@@ -1,0 +1,60 @@
+// Ablation A1: effect of the between-hop projection + merge row reduction
+// (§V.B.3, the DSLog vs DSLog-NoMerge gap in Fig 9). Reports per-hop
+// intermediate box counts and end-to-end latency with the merge step on
+// and off, over random numpy pipelines.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "query/query_engine.h"
+#include "query/theta_join.h"
+
+using namespace dslog;
+using namespace dslog::bench;
+
+int main() {
+  std::printf("=== Ablation: θ-join merge step (on vs off) ===\n\n");
+  std::printf("%-10s %6s | %14s %14s | %12s %12s %8s\n", "workflow", "ops",
+              "boxes(merge)", "boxes(no-merge)", "merge (s)", "no-merge (s)",
+              "speedup");
+  PrintRule(100);
+
+  for (int w = 0; w < 6; ++w) {
+    auto wfr = BuildRandomNumpyWorkflow(8, 20000, static_cast<uint64_t>(500 + w));
+    if (!wfr.ok()) continue;
+    const Workflow& wf = wfr.value();
+    std::vector<CompressedTable> tables;
+    for (const auto& step : wf.steps) tables.push_back(ProvRcCompress(step.relation));
+    std::vector<QueryHop> hops;
+    for (const auto& t : tables) hops.push_back({&t, true});
+
+    Rng rng(static_cast<uint64_t>(w));
+    std::vector<int64_t> cells = SampleQueryCells(wf, 4000, &rng);
+    BoxTable q = BoxTable::FromCells(static_cast<int>(wf.shapes[0].size()), cells);
+
+    // Count final boxes and time both configurations.
+    QueryOptions merged_opts, unmerged_opts;
+    unmerged_opts.merge_between_hops = false;
+
+    WallTimer t1;
+    BoxTable with_merge = InSituQuery(hops, q, merged_opts);
+    double merge_s = t1.ElapsedSeconds();
+    WallTimer t2;
+    BoxTable without_merge = InSituQuery(hops, q, unmerged_opts);
+    double no_merge_s = t2.ElapsedSeconds();
+
+    std::printf("%-10d %6zu | %14lld %14lld | %12.4f %12.4f %7.2fx\n", w,
+                wf.steps.size(), static_cast<long long>(with_merge.num_boxes()),
+                static_cast<long long>(without_merge.num_boxes()), merge_s,
+                no_merge_s, no_merge_s / std::max(1e-9, merge_s));
+  }
+  PrintRule(100);
+  std::printf(
+      "\nReading: merging collapses intermediate box tables (often to a\n"
+      "single box), bounding the cost of each subsequent range join — the\n"
+      "paper's DSLog-NoMerge gap. With the sort-sweep range join the\n"
+      "penalty for unmerged tables is smaller than under a nested-loop\n"
+      "join, so the merge pays off chiefly when boxes actually coalesce;\n"
+      "its own cost is bounded and small.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) for the compression substrate:
+// varint, bit packing, hybrid RLE, Deflate, and the range coder on
+// synthetic distributions. These quantify the constants behind the
+// Fig 7 / Table VII results.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "compress/bitpack.h"
+#include "compress/deflate.h"
+#include "compress/range_coder.h"
+#include "compress/rle.h"
+#include "compress/varint.h"
+
+namespace dslog {
+namespace {
+
+std::vector<int64_t> MakeSortedValues(int64_t n) {
+  Rng rng(1);
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  int64_t acc = 0;
+  for (auto& x : v) {
+    acc += static_cast<int64_t>(rng.Uniform(4));
+    x = acc;
+  }
+  return v;
+}
+
+std::string MakeSkewedBytes(int64_t n) {
+  Rng rng(2);
+  std::string s;
+  s.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i)
+    s.push_back(rng.Bernoulli(0.8) ? 'a' : static_cast<char>(rng.Next() & 0xFF));
+  return s;
+}
+
+void BM_VarintEncode(benchmark::State& state) {
+  auto values = MakeSortedValues(state.range(0));
+  for (auto _ : state) {
+    std::string buf;
+    for (int64_t v : values) PutVarint64(&buf, static_cast<uint64_t>(v));
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VarintEncode)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BitPack(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<uint64_t> values(static_cast<size_t>(state.range(0)));
+  for (auto& v : values) v = rng.Next() & 0xFFF;
+  for (auto _ : state) {
+    std::string buf;
+    BitPack(values, 12, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BitPack)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_HybridRleRuns(benchmark::State& state) {
+  std::vector<uint64_t> values(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i / 64;  // long runs
+  int bw = BitWidthFor(values.back());
+  for (auto _ : state) {
+    std::string buf;
+    HybridRleEncode(values, bw, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HybridRleRuns)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_DeflateCompress(benchmark::State& state) {
+  std::string input = MakeSkewedBytes(state.range(0));
+  for (auto _ : state) {
+    std::string c = DeflateCompress(input);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeflateCompress)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_DeflateDecompress(benchmark::State& state) {
+  std::string compressed = DeflateCompress(MakeSkewedBytes(state.range(0)));
+  for (auto _ : state) {
+    auto d = DeflateDecompress(compressed);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeflateDecompress)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RangeCoderCompress(benchmark::State& state) {
+  std::string input = MakeSkewedBytes(state.range(0));
+  for (auto _ : state) {
+    std::string c = RangeCoderCompress(input);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RangeCoderCompress)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RangeCoderDecompress(benchmark::State& state) {
+  std::string compressed = RangeCoderCompress(MakeSkewedBytes(state.range(0)));
+  for (auto _ : state) {
+    auto d = RangeCoderDecompress(compressed);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RangeCoderDecompress)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+}  // namespace dslog
+
+BENCHMARK_MAIN();

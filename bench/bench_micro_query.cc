@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the query kernels: ProvRC
+// compression itself, backward/forward θ-joins, and box-table merging.
+
+#include <benchmark/benchmark.h>
+
+#include "array/ndarray.h"
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+#include "provrc/provrc.h"
+#include "query/box.h"
+#include "query/theta_join.h"
+
+namespace dslog {
+namespace {
+
+LineageRelation MakeSortLineage(int64_t n) {
+  Rng rng(4);
+  NDArray x = NDArray::Random({n}, &rng);
+  const ArrayOp* op = OpRegistry::Global().Find("sort");
+  NDArray out = op->Apply({&x}, OpArgs()).ValueOrDie();
+  return std::move(op->Capture({&x}, out, OpArgs()).ValueOrDie()[0]);
+}
+
+LineageRelation MakeAggregateLineage(int64_t rows) {
+  Rng rng(5);
+  NDArray x = NDArray::Random({rows, 100}, &rng);
+  OpArgs args;
+  args.SetInt("axis", 1);
+  const ArrayOp* op = OpRegistry::Global().Find("sum");
+  NDArray out = op->Apply({&x}, args).ValueOrDie();
+  return std::move(op->Capture({&x}, out, args).ValueOrDie()[0]);
+}
+
+void BM_ProvRcCompressStructured(benchmark::State& state) {
+  LineageRelation rel = MakeAggregateLineage(state.range(0));
+  for (auto _ : state) {
+    CompressedTable t = ProvRcCompress(rel);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.num_rows());
+}
+BENCHMARK(BM_ProvRcCompressStructured)->Arg(100)->Arg(1000);
+
+void BM_ProvRcCompressUnstructured(benchmark::State& state) {
+  LineageRelation rel = MakeSortLineage(state.range(0));
+  for (auto _ : state) {
+    CompressedTable t = ProvRcCompress(rel);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.num_rows());
+}
+BENCHMARK(BM_ProvRcCompressUnstructured)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BackwardThetaJoin(benchmark::State& state) {
+  // Unstructured table (many rows) joined with a moderate query.
+  CompressedTable table = ProvRcCompress(MakeSortLineage(state.range(0)));
+  Rng rng(6);
+  std::vector<int64_t> cells;
+  for (int i = 0; i < 64; ++i) cells.push_back(rng.UniformRange(0, state.range(0) - 1));
+  BoxTable q = BoxTable::FromCells(1, cells);
+  for (auto _ : state) {
+    BoxTable r = BackwardThetaJoin(q, table);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_BackwardThetaJoin)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_ForwardThetaJoin(benchmark::State& state) {
+  CompressedTable table = ProvRcCompress(MakeSortLineage(state.range(0)));
+  Rng rng(7);
+  std::vector<int64_t> cells;
+  for (int i = 0; i < 64; ++i) cells.push_back(rng.UniformRange(0, state.range(0) - 1));
+  BoxTable q = BoxTable::FromCells(1, cells);
+  for (auto _ : state) {
+    BoxTable r = ForwardThetaJoin(q, table);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * table.num_rows());
+}
+BENCHMARK(BM_ForwardThetaJoin)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BoxTableMerge(benchmark::State& state) {
+  Rng rng(8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BoxTable t(2);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      Interval box[2] = {Interval::Point(rng.UniformRange(0, 99)),
+                         Interval::Point(rng.UniformRange(0, 99))};
+      t.AddBox(box);
+    }
+    state.ResumeTiming();
+    t.Merge();
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BoxTableMerge)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace dslog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Reproduces ICDE'24 Table VII: lineage storage size on disk for the twelve
+// evaluation operations under every format (Raw, Array, Parquet,
+// Parquet-GZip, Turbo-RC, ProvRC, ProvRC-GZip), with ratios relative to
+// Raw. Workloads are scaled to laptop size (see EXPERIMENTS.md); the
+// comparison shape — who wins where, by how many orders of magnitude — is
+// the reproduced quantity.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dslog;
+using namespace dslog::bench;
+
+int main() {
+  std::printf("=== Table VII: lineage storage size by format ===\n");
+  std::printf("(sizes in KB; Rel%% = size / Raw size * 100)\n\n");
+
+  auto workloads = BuildTable7Workloads(/*seed=*/20240501);
+  auto formats = MakeAllBaselineFormats();
+
+  std::printf("%-14s %10s |", "Name", "Rows");
+  for (const auto& f : formats) std::printf(" %12s %8s |", f->name().c_str(), "Rel%");
+  std::printf(" %12s %8s | %12s %8s\n", "ProvRC", "Rel%", "ProvRC-GZip", "Rel%");
+  PrintRule(160);
+
+  for (const auto& w : workloads) {
+    std::printf("%-14s %10lld |", w.name.c_str(),
+                static_cast<long long>(w.TotalRows()));
+    int64_t raw_bytes = 0;
+    std::vector<int64_t> sizes;
+    for (const auto& f : formats) {
+      int64_t bytes = FormatBytes(*f, w.relations);
+      if (f->name() == "Raw") raw_bytes = bytes;
+      sizes.push_back(bytes);
+    }
+    for (int64_t bytes : sizes) {
+      std::printf(" %12.2f %8.4f |", bytes / 1024.0,
+                  100.0 * static_cast<double>(bytes) /
+                      static_cast<double>(raw_bytes));
+    }
+    int64_t provrc = ProvRcBytes(w.relations, /*gzip=*/false);
+    int64_t provrc_gz = ProvRcBytes(w.relations, /*gzip=*/true);
+    std::printf(" %12.3f %8.4f | %12.3f %8.4f\n", provrc / 1024.0,
+                100.0 * static_cast<double>(provrc) / static_cast<double>(raw_bytes),
+                provrc_gz / 1024.0,
+                100.0 * static_cast<double>(provrc_gz) / static_cast<double>(raw_bytes));
+  }
+  PrintRule(160);
+  std::printf(
+      "\nExpected shape (paper): ProvRC wins by orders of magnitude on the six\n"
+      "pattern-structured ops, stays competitive on partially-structured ones\n"
+      "(ImgFilter/Lime/DRISE/Inner Join), and degrades to entropy coding on\n"
+      "Sort/Group By where ProvRC-GZip recovers most of the gap.\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Reproduces ICDE'24 Table IX: coverage of ProvRC compression and of
+// automatic reuse prediction (dim_sig / gen_sig, m = 1) over the 136
+// operations of the numpy-equivalent catalogue, 20 runs each with varying
+// input shapes and values. Also reproduces the paper's single
+// misprediction: `cross` generalizes incorrectly across its last dimension.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/hash.h"
+#include "storage/signatures.h"
+
+using namespace dslog;
+using namespace dslog::bench;
+
+namespace {
+
+constexpr int kRuns = 20;
+
+// Inputs for an op at a given shape variant (0, 1, 2).
+struct OpInputs {
+  std::vector<NDArray> arrays;
+  std::vector<const NDArray*> ptrs() const {
+    std::vector<const NDArray*> p;
+    for (const auto& a : arrays) p.push_back(&a);
+    return p;
+  }
+};
+
+bool MakeOpInputs(const ArrayOp& op, int variant, Rng* rng, OpInputs* inputs) {
+  const std::string& name = op.name();
+  inputs->arrays.clear();
+  int64_t n1 = 96 + 48 * variant;   // 1-D sizes per variant
+  int64_t r2 = 8 + 2 * variant;     // 2-D rows per variant
+  if (name == "matmul" || name == "kron") {
+    inputs->arrays.push_back(NDArray::Random({r2, 6}, rng));
+    inputs->arrays.push_back(NDArray::Random({6, 5}, rng));
+    return true;
+  }
+  if (name == "cross") {
+    // Variants 0/1 use dim 3; variant 2 uses dim 2 — the paper's trap.
+    int64_t d = variant == 2 ? 2 : 3;
+    inputs->arrays.push_back(NDArray::Random({r2, d}, rng));
+    inputs->arrays.push_back(NDArray::Random({r2, d}, rng));
+    return true;
+  }
+  if (name == "convolve" || name == "correlate") {
+    inputs->arrays.push_back(NDArray::Random({n1}, rng));
+    inputs->arrays.push_back(NDArray::Random({5}, rng));
+    return true;
+  }
+  if (name == "searchsorted") {
+    inputs->arrays.push_back(NDArray::Arange(n1));
+    inputs->arrays.push_back(NDArray::Random({24}, rng));
+    return true;
+  }
+  if (op.num_inputs() == 3) {
+    inputs->arrays.push_back(NDArray::RandomInts({n1}, 0, 1, rng));
+    inputs->arrays.push_back(NDArray::Random({n1}, rng));
+    inputs->arrays.push_back(NDArray::Random({n1}, rng));
+    return true;
+  }
+  if (op.num_inputs() == 2) {
+    inputs->arrays.push_back(NDArray::Random({n1}, rng));
+    inputs->arrays.push_back(NDArray::Random({n1}, rng));
+    return true;
+  }
+  // Unary: prefer 2-D when supported, else 1-D.
+  std::vector<int64_t> shape2 = {r2, 12};
+  if (op.SupportsUnaryShape(shape2)) {
+    inputs->arrays.push_back(NDArray::Random(shape2, rng));
+    return true;
+  }
+  std::vector<int64_t> shape1 = {n1};
+  if (op.SupportsUnaryShape(shape1)) {
+    inputs->arrays.push_back(NDArray::Random(shape1, rng));
+    return true;
+  }
+  return false;
+}
+
+struct OpOutcome {
+  bool evaluated = false;
+  bool compressed = false;
+  bool dim_covered = false;
+  bool gen_covered = false;
+  int64_t errors = 0;
+};
+
+OpOutcome EvaluateOp(const ArrayOp& op, uint64_t seed) {
+  OpOutcome outcome;
+  Rng rng(seed);
+  ReusePredictor predictor;
+
+  // Fixed args sampled once (signatures include args).
+  OpInputs probe;
+  if (!MakeOpInputs(op, 0, &rng, &probe)) return outcome;
+  OpArgs args = op.SampleArgs(probe.arrays[0].shape(), &rng);
+
+  bool all_compressed = true;
+  bool any_run = false;
+  for (int run = 0; run < kRuns; ++run) {
+    int variant = (run / 2) % 3;  // [0,0,1,1,2,2,...]: repeats then new shape
+    OpInputs inputs;
+    if (!MakeOpInputs(op, variant, &rng, &inputs)) continue;
+    auto out = op.Apply(inputs.ptrs(), args);
+    if (!out.ok()) continue;
+    auto rels = op.Capture(inputs.ptrs(), out.value(), args);
+    if (!rels.ok()) continue;
+    any_run = true;
+
+    // Compression criterion: serialized ProvRC < 50% of the raw CSV file.
+    int64_t provrc_bytes = 0, csv_bytes = 0;
+    std::vector<CompressedTable> tables;
+    for (const auto& rel : rels.value()) {
+      CompressedTable t = ProvRcCompress(rel);
+      provrc_bytes += static_cast<int64_t>(SerializeCompressedTable(t).size());
+      csv_bytes += static_cast<int64_t>(RelationToCsv(rel).size());
+      tables.push_back(std::move(t));
+    }
+    if (csv_bytes > 0 &&
+        static_cast<double>(provrc_bytes) >= 0.5 * static_cast<double>(csv_bytes))
+      all_compressed = false;
+
+    std::vector<std::vector<int64_t>> in_shapes;
+    uint64_t content_hash = 0;
+    for (const auto& a : inputs.arrays) {
+      in_shapes.push_back(a.shape());
+      content_hash = HashCombine(content_hash, a.ContentHash());
+    }
+    predictor.ProcessRegistration(op.name(), args, in_shapes,
+                                  out.value().shape(), content_hash, tables);
+  }
+  outcome.evaluated = any_run;
+  outcome.compressed = any_run && all_compressed;
+  outcome.dim_covered =
+      predictor.stats().dim_promotions > 0 && predictor.stats().mispredictions == 0;
+  outcome.gen_covered =
+      predictor.stats().gen_promotions > 0 && predictor.stats().mispredictions == 0;
+  outcome.errors = predictor.stats().mispredictions;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table IX: numpy API coverage of compression and reuse ===\n");
+  std::printf("(%d runs per op; shapes vary across runs)\n\n", kRuns);
+
+  const OpRegistry& registry = OpRegistry::Global();
+  struct Tally {
+    int total = 0, compressed = 0, dim = 0, gen = 0;
+    int64_t errors = 0;
+  };
+  Tally element, complex_ops;
+  std::vector<std::string> error_ops;
+
+  for (const std::string& name : registry.AllNames()) {
+    const ArrayOp* op = registry.Find(name);
+    OpOutcome o = EvaluateOp(*op, Hash64(name));
+    Tally& t = op->category() == OpCategory::kElementwise ? element : complex_ops;
+    ++t.total;
+    if (o.compressed) ++t.compressed;
+    if (o.dim_covered) ++t.dim;
+    if (o.gen_covered) ++t.gen;
+    t.errors += o.errors;
+    if (o.errors > 0) error_ops.push_back(name);
+  }
+
+  auto row = [](const char* label, const Tally& t) {
+    std::printf("%-10s %5d %10d %6.1f%% %8d %6.1f%% %8d %6.1f%% %8lld\n",
+                label, t.total, t.compressed,
+                100.0 * t.compressed / t.total, t.dim, 100.0 * t.dim / t.total,
+                t.gen, 100.0 * t.gen / t.total,
+                static_cast<long long>(t.errors));
+  };
+  std::printf("%-10s %5s %10s %7s %8s %7s %8s %7s %8s\n", "Op.", "Tot.",
+              "ProvRC", "%", "dim_sig", "%", "gen_sig", "%", "Error");
+  PrintRule(84);
+  row("element", element);
+  row("complex", complex_ops);
+  Tally total{element.total + complex_ops.total,
+              element.compressed + complex_ops.compressed,
+              element.dim + complex_ops.dim, element.gen + complex_ops.gen,
+              element.errors + complex_ops.errors};
+  row("total", total);
+  PrintRule(84);
+  std::printf("mispredicting ops:");
+  for (const auto& n : error_ops) std::printf(" %s", n.c_str());
+  std::printf("\n\nExpected shape (paper): element 75/75/75 across the board;\n"
+              "complex ~90%% compressed, dim_sig slightly lower, gen_sig ~40%%;\n"
+              "exactly `cross` mispredicts under gen_sig with m = 1.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "bench_util.h"
+
+#include "query/box.h"
+#include "query/query_engine.h"
+
+namespace dslog {
+namespace bench {
+
+double QueryBaselineFormat(const StorageFormat& format,
+                           const std::vector<std::string>& buffers,
+                           const std::vector<int64_t>& query_cells,
+                           double timeout_seconds) {
+  WallTimer timer;
+  std::vector<int64_t> frontier = query_cells;
+  for (const std::string& buffer : buffers) {
+    auto rel = format.Decode(buffer);
+    DSLOG_CHECK(rel.ok()) << rel.status().ToString();
+    frontier = RelationJoinStep(rel.value(), /*forward=*/true, frontier);
+    if (timer.ElapsedSeconds() > timeout_seconds) return -1.0;
+    if (frontier.empty()) break;
+  }
+  return timer.ElapsedSeconds();
+}
+
+double QueryArrayVectorized(const std::vector<std::string>& buffers,
+                            const std::vector<int64_t>& query_cells,
+                            int query_ndim, double timeout_seconds) {
+  auto format = MakeArrayFormat();
+  WallTimer timer;
+  constexpr int64_t kBatch = 1000;
+  std::vector<int64_t> frontier = query_cells;
+  int arity = query_ndim;
+  for (const std::string& buffer : buffers) {
+    auto relr = format->Decode(buffer);
+    DSLOG_CHECK(relr.ok()) << relr.status().ToString();
+    const LineageRelation& rel = relr.value();
+    const int l = rel.out_ndim();
+    const int m = rel.in_ndim();
+    DSLOG_CHECK(arity == m) << "arity drift";
+    // Vectorized equality: for each batch of query tuples, compare every
+    // relation row's input side against the batch (the numpy == strategy).
+    LineageRelation matched(l, 0);
+    std::vector<int64_t> next;
+    int64_t num_q = static_cast<int64_t>(frontier.size()) / m;
+    for (int64_t q0 = 0; q0 < num_q; q0 += kBatch) {
+      int64_t q1 = std::min(num_q, q0 + kBatch);
+      for (int64_t r = 0; r < rel.num_rows(); ++r) {
+        auto row = rel.Row(r);
+        for (int64_t q = q0; q < q1; ++q) {
+          bool eq = true;
+          for (int k = 0; k < m && eq; ++k)
+            eq = row[static_cast<size_t>(l + k)] ==
+                 frontier[static_cast<size_t>(q * m + k)];
+          if (eq) {
+            next.insert(next.end(), row.begin(), row.begin() + l);
+            break;
+          }
+        }
+      }
+      if (timer.ElapsedSeconds() > timeout_seconds) return -1.0;
+    }
+    // Dedup the emitted side.
+    LineageRelation dedup(l, 0);
+    dedup.mutable_flat() = std::move(next);
+    dedup.SortAndDedup();
+    frontier = dedup.flat();
+    arity = l;
+    if (frontier.empty()) break;
+  }
+  return timer.ElapsedSeconds();
+}
+
+double QueryDSLog(const std::vector<std::string>& buffers,
+                  const std::vector<int64_t>& query_cells, int query_ndim,
+                  bool merge) {
+  WallTimer timer;
+  std::vector<CompressedTable> tables;
+  tables.reserve(buffers.size());
+  for (const std::string& buffer : buffers) {
+    auto t = DeserializeCompressedTableGzip(buffer);
+    DSLOG_CHECK(t.ok()) << t.status().ToString();
+    tables.push_back(std::move(t).ValueOrDie());
+  }
+  std::vector<QueryHop> hops;
+  for (const auto& t : tables) hops.push_back({&t, /*forward=*/true});
+  BoxTable q = BoxTable::FromCells(query_ndim, query_cells);
+  QueryOptions options;
+  options.merge_between_hops = merge;
+  BoxTable result = InSituQuery(hops, q, options);
+  (void)result;
+  return timer.ElapsedSeconds();
+}
+
+std::vector<int64_t> SampleQueryCells(const Workflow& wf, int64_t count,
+                                      Rng* rng) {
+  const std::vector<int64_t>& shape = wf.shapes[0];
+  int64_t total = 1;
+  for (int64_t d : shape) total *= d;
+  count = std::min(count, total);
+  NDArray probe(shape);  // index helper
+  std::vector<int64_t> cells;
+  std::vector<int64_t> idx(shape.size());
+  for (int64_t flat : rng->SampleWithoutReplacement(total, count)) {
+    probe.UnravelIndex(flat, idx);
+    cells.insert(cells.end(), idx.begin(), idx.end());
+  }
+  return cells;
+}
+
+}  // namespace bench
+}  // namespace dslog

@@ -1,0 +1,227 @@
+// Shared helpers for the benchmark harnesses: the twelve Table VII
+// operations (scaled to laptop size; see EXPERIMENTS.md for the mapping),
+// format size/latency measurement, and table printing.
+
+#ifndef DSLOG_BENCH_BENCH_UTIL_H_
+#define DSLOG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "array/ndarray.h"
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "baselines/storage_format.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "explain/explain.h"
+#include "lineage/lineage_relation.h"
+#include "provrc/provrc.h"
+#include "provrc/serialize.h"
+#include "relational/relational_ops.h"
+#include "workloads/workflows.h"
+
+namespace dslog {
+namespace bench {
+
+/// One Table VII workload: an operation name plus the captured lineage
+/// relations it produced (one per input array).
+struct Table7Workload {
+  std::string name;
+  std::vector<LineageRelation> relations;
+
+  int64_t TotalRows() const {
+    int64_t n = 0;
+    for (const auto& r : relations) n += r.num_rows();
+    return n;
+  }
+};
+
+inline LineageRelation CaptureRegistryOp(
+    const char* op_name, const std::vector<const NDArray*>& inputs,
+    const OpArgs& args, int which = 0) {
+  const ArrayOp* op = OpRegistry::Global().Find(op_name);
+  DSLOG_CHECK(op != nullptr) << op_name;
+  NDArray out = op->Apply(inputs, args).ValueOrDie();
+  return std::move(
+      op->Capture(inputs, out, args).ValueOrDie()[static_cast<size_t>(which)]);
+}
+
+/// Builds the twelve Table VII workloads at the configured scale.
+inline std::vector<Table7Workload> BuildTable7Workloads(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Table7Workload> workloads;
+
+  auto add = [&workloads](std::string name, std::vector<LineageRelation> rels) {
+    workloads.push_back({std::move(name), std::move(rels)});
+  };
+
+  // 1. Negative: element-wise over a 500x1000 array.
+  {
+    NDArray a = NDArray::Random({500, 1000}, &rng);
+    add("Negative", {CaptureRegistryOp("negative", {&a}, OpArgs())});
+  }
+  // 2. Addition: two 500x1000 inputs (one relation per input).
+  {
+    NDArray a = NDArray::Random({500, 1000}, &rng);
+    NDArray b = NDArray::Random({500, 1000}, &rng);
+    const ArrayOp* op = OpRegistry::Global().Find("add");
+    NDArray out = op->Apply({&a, &b}, OpArgs()).ValueOrDie();
+    auto rels = op->Capture({&a, &b}, out, OpArgs()).ValueOrDie();
+    add("Addition", std::move(rels));
+  }
+  // 3. Aggregate: sum over axis 1 of 500x1000.
+  {
+    NDArray a = NDArray::Random({500, 1000}, &rng);
+    OpArgs args;
+    args.SetInt("axis", 1);
+    add("Aggregate", {CaptureRegistryOp("sum", {&a}, args)});
+  }
+  // 4. Repetition: tile a 250k-cell vector x4.
+  {
+    NDArray a = NDArray::Random({250000}, &rng);
+    OpArgs args;
+    args.SetInt("reps", 4);
+    add("Repetition", {CaptureRegistryOp("tile", {&a}, args)});
+  }
+  // 5. Matrix*Vector: (300x300) . (300).
+  {
+    NDArray a = NDArray::Random({300, 300}, &rng);
+    NDArray v = NDArray::Random({300}, &rng);
+    const ArrayOp* op = OpRegistry::Global().Find("matmul");
+    NDArray out = op->Apply({&a, &v}, OpArgs()).ValueOrDie();
+    auto rels = op->Capture({&a, &v}, out, OpArgs()).ValueOrDie();
+    add("Matrix*Vector", std::move(rels));
+  }
+  // 6. Matrix*Matrix: (64x64) . (64x64).
+  {
+    NDArray a = NDArray::Random({64, 64}, &rng);
+    NDArray b = NDArray::Random({64, 64}, &rng);
+    const ArrayOp* op = OpRegistry::Global().Find("matmul");
+    NDArray out = op->Apply({&a, &b}, OpArgs()).ValueOrDie();
+    auto rels = op->Capture({&a, &b}, out, OpArgs()).ValueOrDie();
+    add("Matrix*Matrix", std::move(rels));
+  }
+  // 7. Sort: random 500k-cell vector (ProvRC worst case).
+  {
+    NDArray a = NDArray::Random({500000}, &rng);
+    add("Sort", {CaptureRegistryOp("sort", {&a}, OpArgs())});
+  }
+  // 8. ImgFilter: 3x3 convolution over a 300x300 frame.
+  {
+    NDArray frame = MakeSurveillanceFrame(300, 300, seed + 1);
+    const double k[9] = {0.1, 0.1, 0.1, 0.1, 0.2, 0.1, 0.1, 0.1, 0.1};
+    auto conv = Conv3x3Same(frame, k).ValueOrDie();
+    add("ImgFilter", {std::move(conv.second)});
+  }
+  // 9/10. LIME and DRISE over the tiny detector on a synthetic frame.
+  {
+    NDArray frame = MakeSurveillanceFrame(128, 128, seed + 2);
+    TinyDetector detector;
+    Rng xrng(seed + 3);
+    add("Lime",
+        {LimeCapture(frame, detector, LimeOptions{}, &xrng).ValueOrDie()});
+    add("DRISE",
+        {DRiseCapture(frame, detector, DRiseOptions{}, &xrng).ValueOrDie()});
+  }
+  // 11. Group By: IMDB-like basics grouped by unsorted isAdult.
+  {
+    NDArray basics = MakeTitleBasics(200000, seed + 4);
+    auto grouped = GroupByAggregate(basics, 2, 3).ValueOrDie();
+    add("Group By", {std::move(grouped.lineage[0])});
+  }
+  // 12. Inner Join: basics x episode on sorted tconst.
+  {
+    NDArray basics = MakeTitleBasics(120000, seed + 5);
+    NDArray episode = MakeTitleEpisode(80000, 120000, seed + 6);
+    auto joined = InnerJoin(basics, episode, 0, 0).ValueOrDie();
+    add("Inner Join", std::move(joined.lineage));
+  }
+  return workloads;
+}
+
+/// Serialized ProvRC size over all relations of a workload.
+inline int64_t ProvRcBytes(const std::vector<LineageRelation>& rels,
+                           bool gzip, const ProvRcOptions& options = {}) {
+  int64_t total = 0;
+  for (const auto& rel : rels) {
+    CompressedTable t = ProvRcCompress(rel, options);
+    total += static_cast<int64_t>(gzip ? SerializeCompressedTableGzip(t).size()
+                                       : SerializeCompressedTable(t).size());
+  }
+  return total;
+}
+
+/// Serialized baseline-format size over all relations of a workload.
+inline int64_t FormatBytes(const StorageFormat& format,
+                           const std::vector<LineageRelation>& rels) {
+  int64_t total = 0;
+  for (const auto& rel : rels)
+    total += static_cast<int64_t>(format.Encode(rel).size());
+  return total;
+}
+
+inline void PrintRule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+// ------------------------------------------------------- query measurement --
+
+/// A workflow whose lineage has been encoded once per storage format
+/// (setup cost excluded from query latency, as in the paper: tables are
+/// already stored when the user issues prov_query).
+struct PreparedWorkflow {
+  const Workflow* workflow = nullptr;
+  /// Per-format, per-step encoded buffers (format order of
+  /// MakeAllBaselineFormats).
+  std::vector<std::vector<std::string>> format_buffers;
+  /// Serialized ProvRC-GZip tables per step (DSLog storage).
+  std::vector<std::string> dslog_buffers;
+};
+
+inline PreparedWorkflow PrepareWorkflow(const Workflow& wf) {
+  PreparedWorkflow prep;
+  prep.workflow = &wf;
+  auto formats = MakeAllBaselineFormats();
+  prep.format_buffers.resize(formats.size());
+  for (size_t f = 0; f < formats.size(); ++f)
+    for (const auto& step : wf.steps)
+      prep.format_buffers[f].push_back(formats[f]->Encode(step.relation));
+  for (const auto& step : wf.steps)
+    prep.dslog_buffers.push_back(
+        SerializeCompressedTableGzip(ProvRcCompress(step.relation)));
+  return prep;
+}
+
+/// Forward query over one baseline format: decode every hop's table, then
+/// chain hash natural joins. Returns latency in seconds, or -1 on timeout.
+double QueryBaselineFormat(const StorageFormat& format,
+                           const std::vector<std::string>& buffers,
+                           const std::vector<int64_t>& query_cells,
+                           double timeout_seconds);
+
+/// Forward query over the Array format using the vectorized equality scan
+/// the paper evaluates (batched == comparisons, no hash index).
+double QueryArrayVectorized(const std::vector<std::string>& buffers,
+                            const std::vector<int64_t>& query_cells,
+                            int query_ndim, double timeout_seconds);
+
+/// Forward query through DSLog: deserialize the compressed tables and run
+/// the in-situ θ-join chain.
+double QueryDSLog(const std::vector<std::string>& buffers,
+                  const std::vector<int64_t>& query_cells, int query_ndim,
+                  bool merge);
+
+/// Samples `count` distinct flattened cells of the workflow's first array
+/// and returns them as index tuples (flattened).
+std::vector<int64_t> SampleQueryCells(const Workflow& wf, int64_t count,
+                                      Rng* rng);
+
+}  // namespace bench
+}  // namespace dslog
+
+#endif  // DSLOG_BENCH_BENCH_UTIL_H_

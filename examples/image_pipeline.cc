@@ -1,0 +1,66 @@
+// Image / model-debugging scenario (the Fig 8A workflow): a surveillance
+// frame runs through resize -> luminosity -> rotate -> flip -> LIME over a
+// detector; DSLog then answers "which original pixels influenced the
+// detection?" (backward) and "where does this pixel end up?" (forward)
+// across the whole pipeline.
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "provrc/provrc.h"
+#include "storage/dslog.h"
+#include "workloads/workflows.h"
+
+using namespace dslog;
+
+int main() {
+  auto wfr = BuildImageWorkflow(96, 96, /*seed=*/7);
+  DSLOG_CHECK(wfr.ok()) << wfr.status().ToString();
+  const Workflow& wf = wfr.value();
+
+  DSLog log;
+  for (size_t i = 0; i < wf.array_names.size(); ++i)
+    DSLOG_CHECK(log.DefineArray(wf.array_names[i], wf.shapes[i]).ok());
+  for (size_t i = 0; i < wf.steps.size(); ++i) {
+    OperationRegistration reg;
+    reg.op_name = wf.steps[i].op_name;
+    reg.in_arrs = {wf.array_names[i]};
+    reg.out_arr = wf.array_names[i + 1];
+    reg.captured = {wf.steps[i].relation};
+    DSLOG_CHECK(log.RegisterOperation(std::move(reg)).ok());
+    std::printf("step %zu: %-12s lineage rows=%lld\n", i + 1,
+                wf.steps[i].op_name.c_str(),
+                static_cast<long long>(wf.steps[i].relation.num_rows()));
+  }
+  std::printf("total stored lineage: %s (ProvRC-GZip)\n\n",
+              HumanBytes(log.StorageFootprintBytes()).c_str());
+
+  // Backward: which original pixels contributed to the detection's
+  // confidence cell (index 4)?
+  std::vector<std::string> back_path(wf.array_names.rbegin(),
+                                     wf.array_names.rend());
+  BoxTable qdet = BoxTable::FromCells(1, {4});
+  BoxTable pixels = log.ProvQuery(back_path, qdet).ValueOrDie();
+  std::printf("backward query (detection confidence -> source pixels):\n");
+  std::printf("  %lld pixel box(es), %lld distinct pixels\n",
+              static_cast<long long>(pixels.num_boxes()),
+              static_cast<long long>(pixels.NumDistinctCells()));
+
+  // Forward: does the top-left image patch reach the detection at all?
+  std::vector<int64_t> patch;
+  for (int64_t y = 0; y < 8; ++y)
+    for (int64_t x = 0; x < 8; ++x) {
+      patch.push_back(y);
+      patch.push_back(x);
+    }
+  BoxTable qpatch = BoxTable::FromCells(2, patch);
+  BoxTable touched =
+      log.ProvQuery(std::vector<std::string>(wf.array_names.begin(),
+                                             wf.array_names.end()),
+                    qpatch)
+          .ValueOrDie();
+  std::printf("forward query (8x8 source patch -> detection cells):\n");
+  std::printf("  influences %lld of 6 detection cells\n",
+              static_cast<long long>(touched.NumDistinctCells()));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Model-debugging scenario (the Fig 8C workflow): trace activations through
+// the seven steps of a ResNet block. Demonstrates the materialized forward
+// representation (DSLogOptions::materialize_forward, paper §IV.C): when a
+// catalog mostly serves forward queries, DSLog stores the inverse table
+// with absolute input attributes next to the backward one.
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "storage/dslog.h"
+#include "workloads/workflows.h"
+
+using namespace dslog;
+
+namespace {
+
+DSLog BuildCatalog(const Workflow& wf, bool materialize_forward) {
+  DSLogOptions options;
+  options.materialize_forward = materialize_forward;
+  DSLog log(options);
+  for (size_t i = 0; i < wf.array_names.size(); ++i)
+    DSLOG_CHECK(log.DefineArray(wf.array_names[i], wf.shapes[i]).ok());
+  for (size_t i = 0; i < wf.steps.size(); ++i) {
+    OperationRegistration reg;
+    reg.op_name = wf.steps[i].op_name;
+    reg.in_arrs = {wf.array_names[i]};
+    reg.out_arr = wf.array_names[i + 1];
+    reg.captured = {wf.steps[i].relation};
+    DSLOG_CHECK(log.RegisterOperation(std::move(reg)).ok());
+  }
+  return log;
+}
+
+}  // namespace
+
+int main() {
+  auto wfr = BuildResNetWorkflow(64, 64, /*seed=*/21);
+  DSLOG_CHECK(wfr.ok()) << wfr.status().ToString();
+  const Workflow& wf = wfr.value();
+  for (size_t i = 0; i < wf.steps.size(); ++i)
+    std::printf("step %zu: %-10s lineage rows=%lld\n", i + 1,
+                wf.steps[i].op_name.c_str(),
+                static_cast<long long>(wf.steps[i].relation.num_rows()));
+
+  DSLog backward_only = BuildCatalog(wf, /*materialize_forward=*/false);
+  DSLog both = BuildCatalog(wf, /*materialize_forward=*/true);
+  std::printf("\nstored lineage (backward rep only): %s\n",
+              HumanBytes(backward_only.StorageFootprintBytes()).c_str());
+
+  // Forward query: receptive-field expansion of one input pixel through
+  // both 3x3 convolutions (the "which activations did this pixel touch"
+  // debugging question).
+  std::vector<std::string> fwd_path(wf.array_names.begin(),
+                                    wf.array_names.end());
+  BoxTable q = BoxTable::FromCells(2, {32, 32});
+
+  WallTimer t1;
+  BoxTable r1 = backward_only.ProvQuery(fwd_path, q).ValueOrDie();
+  double direct_s = t1.ElapsedSeconds();
+  WallTimer t2;
+  BoxTable r2 = both.ProvQuery(fwd_path, q).ValueOrDie();
+  double materialized_s = t2.ElapsedSeconds();
+
+  std::printf("\nforward query pixel (32,32) -> final activations:\n");
+  std::printf("  receptive field: %lld cells (expected 5x5 = 25)\n",
+              static_cast<long long>(r1.NumDistinctCells()));
+  std::printf("  direct join on backward rep: %.6f s\n", direct_s);
+  std::printf("  materialized forward rep:    %.6f s\n", materialized_s);
+  DSLOG_CHECK(r1.NumDistinctCells() == r2.NumDistinctCells())
+      << "representations disagree";
+
+  // Backward query: which input pixels can influence a border activation?
+  std::vector<std::string> bwd_path(wf.array_names.rbegin(),
+                                    wf.array_names.rend());
+  BoxTable qb = BoxTable::FromCells(2, {0, 0});
+  BoxTable sources = both.ProvQuery(bwd_path, qb).ValueOrDie();
+  std::printf("\nbackward query activation (0,0) -> input pixels:\n");
+  std::printf("  %lld source cells (corner receptive field: 3x3 = 9)\n",
+              static_cast<long long>(sources.NumDistinctCells()));
+  return 0;
+}

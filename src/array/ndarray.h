@@ -1,0 +1,77 @@
+// NDArray: a dense, row-major, n-dimensional array of float64 — the
+// substrate standing in for numpy arrays. Arrays are the universal data type
+// tracked by DSLog (ICDE'24 §II.A).
+
+#ifndef DSLOG_ARRAY_NDARRAY_H_
+#define DSLOG_ARRAY_NDARRAY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dslog {
+
+class Rng;
+
+/// Dense row-major float64 n-dimensional array.
+class NDArray {
+ public:
+  /// Empty 0-cell array.
+  NDArray() = default;
+
+  /// Zero-initialized array of the given shape. All extents must be >= 0.
+  explicit NDArray(std::vector<int64_t> shape);
+
+  static NDArray Zeros(std::vector<int64_t> shape) { return NDArray(std::move(shape)); }
+  static NDArray Full(std::vector<int64_t> shape, double value);
+  /// Takes ownership of flat row-major data; size must match the shape.
+  static NDArray FromValues(std::vector<int64_t> shape, std::vector<double> values);
+  /// Uniform [0, 1) values.
+  static NDArray Random(std::vector<int64_t> shape, Rng* rng);
+  /// Uniform integers in [lo, hi] stored as doubles.
+  static NDArray RandomInts(std::vector<int64_t> shape, int64_t lo, int64_t hi, Rng* rng);
+  /// 0, 1, 2, ... in row-major order.
+  static NDArray Arange(int64_t n);
+
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  const std::vector<int64_t>& strides() const { return strides_; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& values() { return data_; }
+  const std::vector<double>& values() const { return data_; }
+
+  double operator[](int64_t flat) const { return data_[static_cast<size_t>(flat)]; }
+  double& operator[](int64_t flat) { return data_[static_cast<size_t>(flat)]; }
+
+  /// Row-major flat offset of a multidimensional index.
+  int64_t FlatIndex(std::span<const int64_t> idx) const;
+  /// Inverse of FlatIndex; writes ndim() coordinates into `idx`.
+  void UnravelIndex(int64_t flat, std::span<int64_t> idx) const;
+
+  double At(std::span<const int64_t> idx) const { return data_[static_cast<size_t>(FlatIndex(idx))]; }
+  double& At(std::span<const int64_t> idx) { return data_[static_cast<size_t>(FlatIndex(idx))]; }
+
+  bool SameShape(const NDArray& other) const { return shape_ == other.shape_; }
+
+  /// Content hash over shape and bit patterns (for base_sig matching).
+  uint64_t ContentHash() const;
+
+  std::string ShapeToString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<int64_t> strides_;
+  std::vector<double> data_;
+
+  void ComputeStrides();
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_ARRAY_NDARRAY_H_

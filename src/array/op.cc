@@ -1,0 +1,91 @@
+#include "array/op.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace dslog {
+
+uint64_t OpArgs::Hash() const {
+  uint64_t h = kFnvOffset;
+  for (const auto& [k, v] : ints_) {
+    h = HashCombine(h, Hash64(k));
+    h = HashCombine(h, HashValue(v));
+  }
+  for (const auto& [k, v] : doubles_) {
+    h = HashCombine(h, Hash64(k));
+    h = HashCombine(h, HashValue(v));
+  }
+  for (const auto& [k, v] : int_lists_) {
+    h = HashCombine(h, Hash64(k));
+    h = HashCombine(h, Hash64(v.data(), v.size() * sizeof(int64_t)));
+  }
+  return h;
+}
+
+std::string OpArgs::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : ints_) {
+    if (!first) os << ", ";
+    os << k << "=" << v;
+    first = false;
+  }
+  for (const auto& [k, v] : doubles_) {
+    if (!first) os << ", ";
+    os << k << "=" << v;
+    first = false;
+  }
+  for (const auto& [k, v] : int_lists_) {
+    if (!first) os << ", ";
+    os << k << "=[";
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (i) os << ",";
+      os << v[i];
+    }
+    os << "]";
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+OpArgs ArrayOp::SampleArgs(const std::vector<int64_t>&, Rng*) const {
+  return OpArgs();
+}
+
+LineageRelation IdentityLineage(const NDArray& output, const NDArray& input) {
+  DSLOG_CHECK(output.size() == input.size())
+      << "identity lineage requires equal cell counts";
+  LineageRelation rel(output.ndim(), input.ndim());
+  rel.set_shapes(output.shape(), input.shape());
+  rel.Reserve(output.size());
+  std::vector<int64_t> out_idx(static_cast<size_t>(output.ndim()));
+  std::vector<int64_t> in_idx(static_cast<size_t>(input.ndim()));
+  for (int64_t flat = 0; flat < output.size(); ++flat) {
+    output.UnravelIndex(flat, out_idx);
+    input.UnravelIndex(flat, in_idx);
+    rel.Add(out_idx, in_idx);
+  }
+  return rel;
+}
+
+LineageRelation AllToAllLineage(const NDArray& output, const NDArray& input) {
+  LineageRelation rel(output.ndim(), input.ndim());
+  rel.set_shapes(output.shape(), input.shape());
+  rel.Reserve(output.size() * input.size());
+  std::vector<int64_t> out_idx(static_cast<size_t>(output.ndim()));
+  std::vector<int64_t> in_idx(static_cast<size_t>(input.ndim()));
+  for (int64_t of = 0; of < output.size(); ++of) {
+    output.UnravelIndex(of, out_idx);
+    for (int64_t inf = 0; inf < input.size(); ++inf) {
+      input.UnravelIndex(inf, in_idx);
+      rel.Add(out_idx, in_idx);
+    }
+  }
+  return rel;
+}
+
+}  // namespace dslog

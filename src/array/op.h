@@ -1,0 +1,117 @@
+// ArrayOp: one numpy-equivalent array operation with value application and
+// cell-level lineage capture. The catalogue built on this interface mirrors
+// the 136 numpy API operations evaluated in ICDE'24 Table IX.
+
+#ifndef DSLOG_ARRAY_OP_H_
+#define DSLOG_ARRAY_OP_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/ndarray.h"
+#include "common/result.h"
+#include "lineage/lineage_relation.h"
+
+namespace dslog {
+
+class Rng;
+
+/// Scalar-only operation arguments (axis, shift, clip bounds, ...). The
+/// paper restricts the evaluated numpy API to ops taking scalar-only
+/// arguments outside of float64 arrays (§VII.E); OpArgs models exactly that.
+class OpArgs {
+ public:
+  OpArgs& SetInt(const std::string& name, int64_t v) {
+    ints_[name] = v;
+    return *this;
+  }
+  OpArgs& SetDouble(const std::string& name, double v) {
+    doubles_[name] = v;
+    return *this;
+  }
+  OpArgs& SetIntList(const std::string& name, std::vector<int64_t> v) {
+    int_lists_[name] = std::move(v);
+    return *this;
+  }
+
+  int64_t GetIntOr(const std::string& name, int64_t def) const {
+    auto it = ints_.find(name);
+    return it == ints_.end() ? def : it->second;
+  }
+  double GetDoubleOr(const std::string& name, double def) const {
+    auto it = doubles_.find(name);
+    return it == doubles_.end() ? def : it->second;
+  }
+  const std::vector<int64_t>* GetIntList(const std::string& name) const {
+    auto it = int_lists_.find(name);
+    return it == int_lists_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const {
+    return ints_.empty() && doubles_.empty() && int_lists_.empty();
+  }
+
+  /// Stable hash over all arguments (part of the operation signature).
+  uint64_t Hash() const;
+  std::string ToString() const;
+
+  bool operator==(const OpArgs& other) const {
+    return ints_ == other.ints_ && doubles_ == other.doubles_ &&
+           int_lists_ == other.int_lists_;
+  }
+
+ private:
+  std::map<std::string, int64_t> ints_;
+  std::map<std::string, double> doubles_;
+  std::map<std::string, std::vector<int64_t>> int_lists_;
+};
+
+/// Table IX classification.
+enum class OpCategory { kElementwise, kComplex };
+
+/// A single array operation: value semantics plus lineage capture.
+class ArrayOp {
+ public:
+  virtual ~ArrayOp() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual int num_inputs() const = 0;
+  virtual OpCategory category() const = 0;
+
+  /// True when the lineage pattern depends on cell *values* (sort, where,
+  /// median, ...). Such ops cannot be covered by dim_sig/gen_sig reuse.
+  virtual bool value_dependent() const { return false; }
+
+  /// Computes the output array.
+  virtual Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                                const OpArgs& args) const = 0;
+
+  /// Captures cell-level lineage: one LineageRelation per input array (same
+  /// order as `inputs`), each relating `output` cells to that input's cells.
+  virtual Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs& args) const = 0;
+
+  /// Whether the op accepts a single input of this shape (used by the random
+  /// pipeline generator, which chains unary-compatible ops).
+  virtual bool SupportsUnaryShape(const std::vector<int64_t>& shape) const {
+    return num_inputs() == 1 && !shape.empty();
+  }
+
+  /// Randomized-but-valid arguments for a given input shape.
+  virtual OpArgs SampleArgs(const std::vector<int64_t>& shape, Rng* rng) const;
+};
+
+/// Convenience: capture an identity (cell-to-same-cell) relation between two
+/// same-shaped arrays.
+LineageRelation IdentityLineage(const NDArray& output, const NDArray& input);
+
+/// Convenience: every output cell depends on every input cell.
+LineageRelation AllToAllLineage(const NDArray& output, const NDArray& input);
+
+}  // namespace dslog
+
+#endif  // DSLOG_ARRAY_OP_H_

@@ -1,0 +1,59 @@
+#include "array/op_registry.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dslog {
+
+const OpRegistry& OpRegistry::Global() {
+  static OpRegistry* registry = [] {
+    auto* r = new OpRegistry();
+    RegisterElementwiseOps(r);
+    RegisterReduceOps(r);
+    RegisterLinalgOps(r);
+    RegisterShapeOps(r);
+    RegisterSelectOps(r);
+    return r;
+  }();
+  return *registry;
+}
+
+const ArrayOp* OpRegistry::Find(const std::string& name) const {
+  for (const auto& op : ops_)
+    if (op->name() == name) return op.get();
+  return nullptr;
+}
+
+std::vector<std::string> OpRegistry::AllNames() const {
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& op : ops_) names.push_back(op->name());
+  return names;
+}
+
+std::vector<std::string> OpRegistry::NamesByCategory(OpCategory category) const {
+  std::vector<std::string> names;
+  for (const auto& op : ops_)
+    if (op->category() == category) names.push_back(op->name());
+  return names;
+}
+
+std::vector<std::string> OpRegistry::UnaryPipelineNames() const {
+  std::vector<std::string> names;
+  for (const auto& op : ops_) {
+    if (op->num_inputs() != 1) continue;
+    // Probe with a representative 1-D and 2-D shape; pipeline generation
+    // re-checks the actual shape at sampling time.
+    if (op->SupportsUnaryShape({64}) || op->SupportsUnaryShape({8, 8}))
+      names.push_back(op->name());
+  }
+  return names;
+}
+
+void OpRegistry::Register(std::unique_ptr<ArrayOp> op) {
+  DSLOG_CHECK(Find(op->name()) == nullptr) << "duplicate op: " << op->name();
+  ops_.push_back(std::move(op));
+}
+
+}  // namespace dslog

@@ -1,0 +1,51 @@
+// Global catalogue of array operations (the numpy API surface evaluated in
+// Table IX: 75 element-wise + 61 complex operations).
+
+#ifndef DSLOG_ARRAY_OP_REGISTRY_H_
+#define DSLOG_ARRAY_OP_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/op.h"
+
+namespace dslog {
+
+/// Name -> op catalogue. Thread-compatible (built once, read-only after).
+class OpRegistry {
+ public:
+  /// The process-wide registry with all built-in ops registered.
+  static const OpRegistry& Global();
+
+  /// Looks up an op by name; nullptr when absent.
+  const ArrayOp* Find(const std::string& name) const;
+
+  /// All registered op names in registration order.
+  std::vector<std::string> AllNames() const;
+
+  /// Names filtered by category.
+  std::vector<std::string> NamesByCategory(OpCategory category) const;
+
+  /// Ops usable in random unary pipelines (1 input array in, array out).
+  std::vector<std::string> UnaryPipelineNames() const;
+
+  int size() const { return static_cast<int>(ops_.size()); }
+
+  /// Registers an op; CHECK-fails on duplicate names.
+  void Register(std::unique_ptr<ArrayOp> op);
+
+ private:
+  std::vector<std::unique_ptr<ArrayOp>> ops_;
+};
+
+/// Registration hooks implemented by the ops_*.cc translation units.
+void RegisterElementwiseOps(OpRegistry* registry);
+void RegisterReduceOps(OpRegistry* registry);
+void RegisterLinalgOps(OpRegistry* registry);
+void RegisterShapeOps(OpRegistry* registry);
+void RegisterSelectOps(OpRegistry* registry);
+
+}  // namespace dslog
+
+#endif  // DSLOG_ARRAY_OP_REGISTRY_H_

@@ -1,0 +1,283 @@
+// The 75 element-wise operations of the catalogue (Table IX "element"
+// row): 42 unary math functions, 31 binary functions over same-shaped
+// arrays, and 2 unary functions with scalar arguments (clip, nan_to_num).
+// All have identity cell lineage: out[i...] <- in[i...].
+
+#include <cmath>
+#include <limits>
+
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+
+namespace dslog {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ------------------------------------------------------------------ unary --
+
+class UnaryElementwiseOp : public ArrayOp {
+ public:
+  UnaryElementwiseOp(std::string name, double (*fn)(double))
+      : name_(std::move(name)), fn_(fn) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    if (inputs.size() != 1)
+      return Status::InvalidArgument(name_ + ": expects 1 input");
+    const NDArray& x = *inputs[0];
+    NDArray out(x.shape());
+    for (int64_t i = 0; i < x.size(); ++i) out[i] = fn_(x[i]);
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    if (inputs.size() != 1)
+      return Status::InvalidArgument(name_ + ": expects 1 input");
+    std::vector<LineageRelation> rels;
+    rels.push_back(IdentityLineage(output, *inputs[0]));
+    return rels;
+  }
+
+ private:
+  std::string name_;
+  double (*fn_)(double);
+};
+
+// ----------------------------------------------------------------- binary --
+
+class BinaryElementwiseOp : public ArrayOp {
+ public:
+  BinaryElementwiseOp(std::string name, double (*fn)(double, double))
+      : name_(std::move(name)), fn_(fn) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    if (inputs.size() != 2)
+      return Status::InvalidArgument(name_ + ": expects 2 inputs");
+    const NDArray& x = *inputs[0];
+    const NDArray& y = *inputs[1];
+    if (!x.SameShape(y))
+      return Status::InvalidArgument(name_ + ": shape mismatch " +
+                                     x.ShapeToString() + " vs " +
+                                     y.ShapeToString());
+    NDArray out(x.shape());
+    for (int64_t i = 0; i < x.size(); ++i) out[i] = fn_(x[i], y[i]);
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    if (inputs.size() != 2)
+      return Status::InvalidArgument(name_ + ": expects 2 inputs");
+    std::vector<LineageRelation> rels;
+    rels.push_back(IdentityLineage(output, *inputs[0]));
+    rels.push_back(IdentityLineage(output, *inputs[1]));
+    return rels;
+  }
+
+ private:
+  std::string name_;
+  double (*fn_)(double, double);
+};
+
+// ------------------------------------------------- unary with scalar args --
+
+class ClipOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "clip";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs& args) const override {
+    if (inputs.size() != 1) return Status::InvalidArgument("clip: 1 input");
+    double lo = args.GetDoubleOr("a_min", 0.0);
+    double hi = args.GetDoubleOr("a_max", 1.0);
+    const NDArray& x = *inputs[0];
+    NDArray out(x.shape());
+    for (int64_t i = 0; i < x.size(); ++i)
+      out[i] = x[i] < lo ? lo : (x[i] > hi ? hi : x[i]);
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    std::vector<LineageRelation> rels;
+    rels.push_back(IdentityLineage(output, *inputs[0]));
+    return rels;
+  }
+
+  OpArgs SampleArgs(const std::vector<int64_t>&, Rng* rng) const override {
+    OpArgs args;
+    double lo = rng->NextDouble();
+    args.SetDouble("a_min", lo);
+    args.SetDouble("a_max", lo + rng->NextDouble());
+    return args;
+  }
+};
+
+class NanToNumOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "nan_to_num";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kElementwise; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs& args) const override {
+    if (inputs.size() != 1)
+      return Status::InvalidArgument("nan_to_num: 1 input");
+    double nan_value = args.GetDoubleOr("nan", 0.0);
+    const NDArray& x = *inputs[0];
+    NDArray out(x.shape());
+    for (int64_t i = 0; i < x.size(); ++i) {
+      double v = x[i];
+      if (std::isnan(v)) {
+        out[i] = nan_value;
+      } else if (std::isinf(v)) {
+        out[i] = v > 0 ? std::numeric_limits<double>::max()
+                       : std::numeric_limits<double>::lowest();
+      } else {
+        out[i] = v;
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    std::vector<LineageRelation> rels;
+    rels.push_back(IdentityLineage(output, *inputs[0]));
+    return rels;
+  }
+};
+
+}  // namespace
+
+void RegisterElementwiseOps(OpRegistry* r) {
+  auto u = [r](const char* name, double (*fn)(double)) {
+    r->Register(std::make_unique<UnaryElementwiseOp>(name, fn));
+  };
+  auto b = [r](const char* name, double (*fn)(double, double)) {
+    r->Register(std::make_unique<BinaryElementwiseOp>(name, fn));
+  };
+
+  // 42 unary math functions.
+  u("negative", [](double x) { return -x; });
+  u("positive", [](double x) { return +x; });
+  u("absolute", [](double x) { return std::fabs(x); });
+  u("fabs", [](double x) { return std::fabs(x); });
+  u("sign", [](double x) { return static_cast<double>((x > 0) - (x < 0)); });
+  u("square", [](double x) { return x * x; });
+  u("sqrt", [](double x) { return std::sqrt(std::fabs(x)); });
+  u("cbrt", [](double x) { return std::cbrt(x); });
+  u("reciprocal", [](double x) { return x == 0 ? 0.0 : 1.0 / x; });
+  u("exp", [](double x) { return std::exp(x); });
+  u("exp2", [](double x) { return std::exp2(x); });
+  u("expm1", [](double x) { return std::expm1(x); });
+  u("log", [](double x) { return std::log(std::fabs(x) + 1e-12); });
+  u("log2", [](double x) { return std::log2(std::fabs(x) + 1e-12); });
+  u("log10", [](double x) { return std::log10(std::fabs(x) + 1e-12); });
+  u("log1p", [](double x) { return std::log1p(std::fabs(x)); });
+  u("sin", [](double x) { return std::sin(x); });
+  u("cos", [](double x) { return std::cos(x); });
+  u("tan", [](double x) { return std::tan(x); });
+  u("arcsin", [](double x) { return std::asin(std::fmod(x, 1.0)); });
+  u("arccos", [](double x) { return std::acos(std::fmod(x, 1.0)); });
+  u("arctan", [](double x) { return std::atan(x); });
+  u("sinh", [](double x) { return std::sinh(x); });
+  u("cosh", [](double x) { return std::cosh(x); });
+  u("tanh", [](double x) { return std::tanh(x); });
+  u("arcsinh", [](double x) { return std::asinh(x); });
+  u("arccosh", [](double x) { return std::acosh(std::fabs(x) + 1.0); });
+  u("arctanh", [](double x) { return std::atanh(std::fmod(x, 0.999)); });
+  u("floor", [](double x) { return std::floor(x); });
+  u("ceil", [](double x) { return std::ceil(x); });
+  u("trunc", [](double x) { return std::trunc(x); });
+  u("rint", [](double x) { return std::rint(x); });
+  u("deg2rad", [](double x) { return x * kPi / 180.0; });
+  u("rad2deg", [](double x) { return x * 180.0 / kPi; });
+  u("degrees", [](double x) { return x * 180.0 / kPi; });
+  u("radians", [](double x) { return x * kPi / 180.0; });
+  u("logical_not", [](double x) { return x == 0.0 ? 1.0 : 0.0; });
+  u("isnan", [](double x) { return std::isnan(x) ? 1.0 : 0.0; });
+  u("isinf", [](double x) { return std::isinf(x) ? 1.0 : 0.0; });
+  u("isfinite", [](double x) { return std::isfinite(x) ? 1.0 : 0.0; });
+  u("signbit", [](double x) { return std::signbit(x) ? 1.0 : 0.0; });
+  u("spacing", [](double x) {
+    return std::nextafter(x, std::numeric_limits<double>::infinity()) - x;
+  });
+
+  // 31 binary functions.
+  b("add", [](double x, double y) { return x + y; });
+  b("subtract", [](double x, double y) { return x - y; });
+  b("multiply", [](double x, double y) { return x * y; });
+  b("divide", [](double x, double y) { return y == 0 ? 0.0 : x / y; });
+  b("true_divide", [](double x, double y) { return y == 0 ? 0.0 : x / y; });
+  b("floor_divide",
+    [](double x, double y) { return y == 0 ? 0.0 : std::floor(x / y); });
+  b("mod", [](double x, double y) { return y == 0 ? 0.0 : x - y * std::floor(x / y); });
+  b("fmod", [](double x, double y) { return y == 0 ? 0.0 : std::fmod(x, y); });
+  b("remainder",
+    [](double x, double y) { return y == 0 ? 0.0 : x - y * std::floor(x / y); });
+  b("power", [](double x, double y) { return std::pow(std::fabs(x), std::fmod(y, 4.0)); });
+  b("float_power",
+    [](double x, double y) { return std::pow(std::fabs(x), std::fmod(y, 4.0)); });
+  b("maximum", [](double x, double y) { return x > y ? x : y; });
+  b("minimum", [](double x, double y) { return x < y ? x : y; });
+  b("fmax", [](double x, double y) { return std::fmax(x, y); });
+  b("fmin", [](double x, double y) { return std::fmin(x, y); });
+  b("arctan2", [](double x, double y) { return std::atan2(x, y); });
+  b("hypot", [](double x, double y) { return std::hypot(x, y); });
+  b("copysign", [](double x, double y) { return std::copysign(x, y); });
+  b("nextafter", [](double x, double y) { return std::nextafter(x, y); });
+  b("logaddexp", [](double x, double y) {
+    double m = std::fmax(x, y);
+    return m + std::log(std::exp(x - m) + std::exp(y - m));
+  });
+  b("logaddexp2", [](double x, double y) {
+    double m = std::fmax(x, y);
+    return m + std::log2(std::exp2(x - m) + std::exp2(y - m));
+  });
+  b("heaviside", [](double x, double y) {
+    return x < 0 ? 0.0 : (x > 0 ? 1.0 : y);
+  });
+  b("greater", [](double x, double y) { return x > y ? 1.0 : 0.0; });
+  b("greater_equal", [](double x, double y) { return x >= y ? 1.0 : 0.0; });
+  b("less", [](double x, double y) { return x < y ? 1.0 : 0.0; });
+  b("less_equal", [](double x, double y) { return x <= y ? 1.0 : 0.0; });
+  b("equal", [](double x, double y) { return x == y ? 1.0 : 0.0; });
+  b("not_equal", [](double x, double y) { return x != y ? 1.0 : 0.0; });
+  b("logical_and",
+    [](double x, double y) { return (x != 0 && y != 0) ? 1.0 : 0.0; });
+  b("logical_or",
+    [](double x, double y) { return (x != 0 || y != 0) ? 1.0 : 0.0; });
+  b("logical_xor",
+    [](double x, double y) { return ((x != 0) != (y != 0)) ? 1.0 : 0.0; });
+
+  // 2 unary ops with scalar arguments.
+  r->Register(std::make_unique<ClipOp>());
+  r->Register(std::make_unique<NanToNumOp>());
+}
+
+}  // namespace dslog

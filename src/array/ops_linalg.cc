@@ -1,0 +1,499 @@
+// Linear-algebra operations (part of the Table IX "complex" set): matmul,
+// dot, inner, outer, vdot, kron, cross, trace, diagonal, diag, triu, tril.
+
+#include <cmath>
+
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+
+namespace dslog {
+namespace {
+
+// Small helper making 1-arity index spans readable.
+inline std::span<const int64_t> Idx1(const int64_t& v) { return {&v, 1}; }
+
+class MatmulOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "matmul";
+    return kName;
+  }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    // 2-D x 2-D, 2-D x 1-D (matrix-vector).
+    if (a.ndim() != 2) return Status::InvalidArgument("matmul: A must be 2-D");
+    int64_t m = a.shape()[0], k = a.shape()[1];
+    if (b.ndim() == 1) {
+      if (b.shape()[0] != k)
+        return Status::InvalidArgument("matmul: inner dim mismatch");
+      NDArray out({m});
+      for (int64_t i = 0; i < m; ++i) {
+        double acc = 0;
+        for (int64_t t = 0; t < k; ++t) acc += a[i * k + t] * b[t];
+        out[i] = acc;
+      }
+      return out;
+    }
+    if (b.ndim() != 2 || b.shape()[0] != k)
+      return Status::InvalidArgument("matmul: inner dim mismatch");
+    int64_t n = b.shape()[1];
+    NDArray out({m, n});
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (int64_t t = 0; t < k; ++t) acc += a[i * k + t] * b[t * n + j];
+        out[i * n + j] = acc;
+      }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    int64_t m = a.shape()[0], k = a.shape()[1];
+    std::vector<LineageRelation> rels;
+    if (b.ndim() == 1) {
+      // out(i) <- A(i, 0..k-1);  out(i) <- v(0..k-1)
+      LineageRelation ra(1, 2);
+      ra.set_shapes(output.shape(), a.shape());
+      ra.Reserve(m * k);
+      LineageRelation rb(1, 1);
+      rb.set_shapes(output.shape(), b.shape());
+      rb.Reserve(m * k);
+      for (int64_t i = 0; i < m; ++i)
+        for (int64_t t = 0; t < k; ++t) {
+          int64_t ai[2] = {i, t};
+          ra.Add(Idx1(i), ai);
+          rb.Add(Idx1(i), Idx1(t));
+        }
+      rels.push_back(std::move(ra));
+      rels.push_back(std::move(rb));
+      return rels;
+    }
+    int64_t n = b.shape()[1];
+    // out(i,j) <- A(i, 0..k-1);  out(i,j) <- B(0..k-1, j)
+    LineageRelation ra(2, 2);
+    ra.set_shapes(output.shape(), a.shape());
+    ra.Reserve(m * n * k);
+    LineageRelation rb(2, 2);
+    rb.set_shapes(output.shape(), b.shape());
+    rb.Reserve(m * n * k);
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j)
+        for (int64_t t = 0; t < k; ++t) {
+          int64_t oi[2] = {i, j};
+          int64_t ai[2] = {i, t};
+          int64_t bi[2] = {t, j};
+          ra.Add(oi, ai);
+          rb.Add(oi, bi);
+        }
+    rels.push_back(std::move(ra));
+    rels.push_back(std::move(rb));
+    return rels;
+  }
+};
+
+/// dot: 1-D x 1-D inner product -> 1 cell; 2-D falls back to matmul rules.
+class DotOp : public ArrayOp {
+ public:
+  explicit DotOp(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    if (a.size() != b.size())
+      return Status::InvalidArgument(name_ + ": size mismatch");
+    NDArray out({1});
+    double acc = 0;
+    for (int64_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    out[0] = acc;
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    std::vector<LineageRelation> rels;
+    rels.push_back(AllToAllLineage(output, *inputs[0]));
+    rels.push_back(AllToAllLineage(output, *inputs[1]));
+    return rels;
+  }
+
+ private:
+  std::string name_;
+};
+
+class OuterOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "outer";
+    return kName;
+  }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    NDArray out({a.size(), b.size()});
+    for (int64_t i = 0; i < a.size(); ++i)
+      for (int64_t j = 0; j < b.size(); ++j) out[i * b.size() + j] = a[i] * b[j];
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    LineageRelation ra(2, 1), rb(2, 1);
+    ra.set_shapes(output.shape(), {a.size()});
+    rb.set_shapes(output.shape(), {b.size()});
+    ra.Reserve(output.size());
+    rb.Reserve(output.size());
+    for (int64_t i = 0; i < a.size(); ++i)
+      for (int64_t j = 0; j < b.size(); ++j) {
+        int64_t oi[2] = {i, j};
+        ra.Add(oi, Idx1(i));
+        rb.Add(oi, Idx1(j));
+      }
+    std::vector<LineageRelation> rels;
+    rels.push_back(std::move(ra));
+    rels.push_back(std::move(rb));
+    return rels;
+  }
+};
+
+class KronOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "kron";
+    return kName;
+  }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    if (a.ndim() != 2 || b.ndim() != 2)
+      return Status::InvalidArgument("kron: expects 2-D inputs");
+    int64_t m = a.shape()[0], n = a.shape()[1];
+    int64_t p = b.shape()[0], q = b.shape()[1];
+    NDArray out({m * p, n * q});
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j)
+        for (int64_t r = 0; r < p; ++r)
+          for (int64_t s = 0; s < q; ++s)
+            out[(i * p + r) * n * q + (j * q + s)] =
+                a[i * n + j] * b[r * q + s];
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    int64_t m = a.shape()[0], n = a.shape()[1];
+    int64_t p = b.shape()[0], q = b.shape()[1];
+    LineageRelation ra(2, 2), rb(2, 2);
+    ra.set_shapes(output.shape(), a.shape());
+    rb.set_shapes(output.shape(), b.shape());
+    ra.Reserve(output.size());
+    rb.Reserve(output.size());
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j)
+        for (int64_t r = 0; r < p; ++r)
+          for (int64_t s = 0; s < q; ++s) {
+            int64_t oi[2] = {i * p + r, j * q + s};
+            int64_t ai[2] = {i, j};
+            int64_t bi[2] = {r, s};
+            ra.Add(oi, ai);
+            rb.Add(oi, bi);
+          }
+    std::vector<LineageRelation> rels;
+    rels.push_back(std::move(ra));
+    rels.push_back(std::move(rb));
+    return rels;
+  }
+};
+
+/// cross over the last axis of (n, d) arrays; d = 3 gives the usual cross
+/// product with output (n, 3); d = 2 degenerates to a scalar per row with
+/// output (n). The lineage pattern *differs* between the two cases, which is
+/// exactly what breaks gen_sig reuse prediction in the paper (Table IX's
+/// single misprediction).
+class CrossOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "cross";
+    return kName;
+  }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    if (a.ndim() != 2 || !a.SameShape(b))
+      return Status::InvalidArgument("cross: expects matching (n,d) inputs");
+    int64_t n = a.shape()[0], d = a.shape()[1];
+    if (d == 3) {
+      NDArray out({n, 3});
+      for (int64_t i = 0; i < n; ++i) {
+        const double* x = a.data() + i * 3;
+        const double* y = b.data() + i * 3;
+        out[i * 3 + 0] = x[1] * y[2] - x[2] * y[1];
+        out[i * 3 + 1] = x[2] * y[0] - x[0] * y[2];
+        out[i * 3 + 2] = x[0] * y[1] - x[1] * y[0];
+      }
+      return out;
+    }
+    if (d == 2) {
+      NDArray out({n});
+      for (int64_t i = 0; i < n; ++i)
+        out[i] = a[i * 2] * b[i * 2 + 1] - a[i * 2 + 1] * b[i * 2];
+      return out;
+    }
+    return Status::InvalidArgument("cross: last dimension must be 2 or 3");
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    int64_t n = a.shape()[0], d = a.shape()[1];
+    std::vector<LineageRelation> rels;
+    if (d == 3) {
+      for (int which = 0; which < 2; ++which) {
+        LineageRelation rel(2, 2);
+        rel.set_shapes(output.shape(), a.shape());
+        rel.Reserve(n * 3 * 2);
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t k = 0; k < 3; ++k) {
+            int64_t oi[2] = {i, k};
+            int64_t i1[2] = {i, (k + 1) % 3};
+            int64_t i2[2] = {i, (k + 2) % 3};
+            rel.Add(oi, i1);
+            rel.Add(oi, i2);
+          }
+        rels.push_back(std::move(rel));
+      }
+      return rels;
+    }
+    // d == 2: out(i) <- a(i, 0..1), b(i, 0..1).
+    for (int which = 0; which < 2; ++which) {
+      LineageRelation rel(1, 2);
+      rel.set_shapes(output.shape(), a.shape());
+      rel.Reserve(n * 2);
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t k = 0; k < 2; ++k) {
+          int64_t ii[2] = {i, k};
+          rel.Add(Idx1(i), ii);
+        }
+      rels.push_back(std::move(rel));
+    }
+    return rels;
+  }
+};
+
+class TraceOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "trace";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    if (x.ndim() != 2) return Status::InvalidArgument("trace: 2-D input");
+    int64_t n = std::min(x.shape()[0], x.shape()[1]);
+    NDArray out({1});
+    for (int64_t i = 0; i < n; ++i) out[0] += x[i * x.shape()[1] + i];
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    int64_t n = std::min(x.shape()[0], x.shape()[1]);
+    LineageRelation rel(1, 2);
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(n);
+    int64_t zero = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t ii[2] = {i, i};
+      rel.Add(Idx1(zero), ii);
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    return shape.size() == 2;
+  }
+};
+
+class DiagonalOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "diagonal";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    if (x.ndim() != 2) return Status::InvalidArgument("diagonal: 2-D input");
+    int64_t n = std::min(x.shape()[0], x.shape()[1]);
+    NDArray out({n});
+    for (int64_t i = 0; i < n; ++i) out[i] = x[i * x.shape()[1] + i];
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    int64_t n = output.size();
+    LineageRelation rel(1, 2);
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t ii[2] = {i, i};
+      rel.Add(Idx1(i), ii);
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    return shape.size() == 2;
+  }
+};
+
+/// diag: 1-D vector -> 2-D matrix with the vector on the diagonal.
+class DiagOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "diag";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    if (x.ndim() != 1) return Status::InvalidArgument("diag: 1-D input");
+    int64_t n = x.size();
+    NDArray out({n, n});
+    for (int64_t i = 0; i < n; ++i) out[i * n + i] = x[i];
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    int64_t n = x.size();
+    LineageRelation rel(2, 1);
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t oi[2] = {i, i};
+      rel.Add(oi, Idx1(i));
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    return shape.size() == 1 && shape[0] <= 512;
+  }
+};
+
+class TriOp : public ArrayOp {
+ public:
+  explicit TriOp(bool upper) : name_(upper ? "triu" : "tril"), upper_(upper) {}
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    if (x.ndim() != 2) return Status::InvalidArgument(name_ + ": 2-D input");
+    NDArray out(x.shape());
+    int64_t cols = x.shape()[1];
+    for (int64_t i = 0; i < x.shape()[0]; ++i)
+      for (int64_t j = 0; j < cols; ++j) {
+        bool keep = upper_ ? (j >= i) : (j <= i);
+        out[i * cols + j] = keep ? x[i * cols + j] : 0.0;
+      }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    LineageRelation rel(2, 2);
+    rel.set_shapes(output.shape(), x.shape());
+    int64_t cols = x.shape()[1];
+    for (int64_t i = 0; i < x.shape()[0]; ++i)
+      for (int64_t j = 0; j < cols; ++j) {
+        bool keep = upper_ ? (j >= i) : (j <= i);
+        if (!keep) continue;  // zeroed cells have no contributing input
+        int64_t idx[2] = {i, j};
+        rel.Add(idx, idx);
+      }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    return shape.size() == 2;
+  }
+
+ private:
+  std::string name_;
+  bool upper_;
+};
+
+}  // namespace
+
+void RegisterLinalgOps(OpRegistry* r) {
+  r->Register(std::make_unique<MatmulOp>());
+  r->Register(std::make_unique<DotOp>("dot"));
+  r->Register(std::make_unique<DotOp>("inner"));
+  r->Register(std::make_unique<DotOp>("vdot"));
+  r->Register(std::make_unique<OuterOp>());
+  r->Register(std::make_unique<KronOp>());
+  r->Register(std::make_unique<CrossOp>());
+  r->Register(std::make_unique<TraceOp>());
+  r->Register(std::make_unique<DiagonalOp>());
+  r->Register(std::make_unique<DiagOp>());
+  r->Register(std::make_unique<TriOp>(/*upper=*/true));
+  r->Register(std::make_unique<TriOp>(/*upper=*/false));
+}
+
+}  // namespace dslog

@@ -1,0 +1,471 @@
+// Reduction and scan operations (part of the Table IX "complex" set):
+// full / per-axis reductions with all-to-one lineage, extremal reductions
+// with value-dependent lineage, and prefix/stencil scans.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+
+namespace dslog {
+namespace {
+
+// Shared iteration helper: enumerate output indices for a reduction over
+// `axis` of `shape`, yielding the matching input indices.
+struct AxisReduction {
+  std::vector<int64_t> in_shape;
+  int axis;  // reduced axis
+  std::vector<int64_t> out_shape;
+
+  AxisReduction(const std::vector<int64_t>& shape, int ax)
+      : in_shape(shape), axis(ax) {
+    for (int i = 0; i < static_cast<int>(shape.size()); ++i)
+      if (i != axis) out_shape.push_back(shape[static_cast<size_t>(i)]);
+    if (out_shape.empty()) out_shape.push_back(1);
+  }
+
+  /// Input index for an output index and a position along the reduced axis.
+  std::vector<int64_t> InIndex(std::span<const int64_t> out_idx, int64_t k) const {
+    std::vector<int64_t> in_idx;
+    in_idx.reserve(in_shape.size());
+    size_t oi = 0;
+    bool degenerate = in_shape.size() == 1;
+    for (int i = 0; i < static_cast<int>(in_shape.size()); ++i) {
+      if (i == axis) {
+        in_idx.push_back(k);
+      } else {
+        in_idx.push_back(degenerate ? 0 : out_idx[oi++]);
+      }
+    }
+    return in_idx;
+  }
+};
+
+enum class Reducer {
+  kSum,
+  kProd,
+  kMean,
+  kStd,
+  kVar,
+  kAverage,
+  kMin,
+  kMax,
+  kPtp,
+  kMedian,
+  kCountNonzero,
+  kTrapz,
+};
+
+bool ReducerIsValueDependent(Reducer r) {
+  switch (r) {
+    case Reducer::kMin:
+    case Reducer::kMax:
+    case Reducer::kPtp:
+    case Reducer::kMedian:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double ReduceValues(Reducer r, const std::vector<double>& v) {
+  switch (r) {
+    case Reducer::kSum:
+      return std::accumulate(v.begin(), v.end(), 0.0);
+    case Reducer::kProd: {
+      double p = 1.0;
+      for (double x : v) p *= x;
+      return p;
+    }
+    case Reducer::kMean:
+    case Reducer::kAverage:
+      return v.empty() ? 0.0
+                       : std::accumulate(v.begin(), v.end(), 0.0) /
+                             static_cast<double>(v.size());
+    case Reducer::kStd:
+    case Reducer::kVar: {
+      if (v.empty()) return 0.0;
+      double mean = std::accumulate(v.begin(), v.end(), 0.0) /
+                    static_cast<double>(v.size());
+      double acc = 0.0;
+      for (double x : v) acc += (x - mean) * (x - mean);
+      double var = acc / static_cast<double>(v.size());
+      return r == Reducer::kVar ? var : std::sqrt(var);
+    }
+    case Reducer::kMin:
+      return *std::min_element(v.begin(), v.end());
+    case Reducer::kMax:
+      return *std::max_element(v.begin(), v.end());
+    case Reducer::kPtp:
+      return *std::max_element(v.begin(), v.end()) -
+             *std::min_element(v.begin(), v.end());
+    case Reducer::kMedian: {
+      std::vector<double> s = v;
+      std::sort(s.begin(), s.end());
+      size_t n = s.size();
+      return n % 2 == 1 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+    }
+    case Reducer::kCountNonzero: {
+      int64_t c = 0;
+      for (double x : v) c += (x != 0.0);
+      return static_cast<double>(c);
+    }
+    case Reducer::kTrapz: {
+      double acc = 0.0;
+      for (size_t i = 1; i < v.size(); ++i) acc += 0.5 * (v[i - 1] + v[i]);
+      return acc;
+    }
+  }
+  return 0.0;
+}
+
+/// Positions (along the reduced slice) that contribute to the result.
+/// For value-independent reducers this is every position; for extremal ones
+/// only the positions achieving the extremum/median.
+std::vector<int64_t> ContributingPositions(Reducer r,
+                                           const std::vector<double>& v) {
+  std::vector<int64_t> pos;
+  int64_t n = static_cast<int64_t>(v.size());
+  switch (r) {
+    case Reducer::kMin: {
+      double m = *std::min_element(v.begin(), v.end());
+      for (int64_t i = 0; i < n; ++i)
+        if (v[static_cast<size_t>(i)] == m) pos.push_back(i);
+      return pos;
+    }
+    case Reducer::kMax: {
+      double m = *std::max_element(v.begin(), v.end());
+      for (int64_t i = 0; i < n; ++i)
+        if (v[static_cast<size_t>(i)] == m) pos.push_back(i);
+      return pos;
+    }
+    case Reducer::kPtp: {
+      double lo = *std::min_element(v.begin(), v.end());
+      double hi = *std::max_element(v.begin(), v.end());
+      for (int64_t i = 0; i < n; ++i)
+        if (v[static_cast<size_t>(i)] == lo || v[static_cast<size_t>(i)] == hi)
+          pos.push_back(i);
+      return pos;
+    }
+    case Reducer::kMedian: {
+      std::vector<int64_t> order(static_cast<size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+        return v[static_cast<size_t>(a)] < v[static_cast<size_t>(b)];
+      });
+      if (n % 2 == 1) {
+        pos.push_back(order[static_cast<size_t>(n / 2)]);
+      } else {
+        pos.push_back(order[static_cast<size_t>(n / 2 - 1)]);
+        pos.push_back(order[static_cast<size_t>(n / 2)]);
+      }
+      std::sort(pos.begin(), pos.end());
+      return pos;
+    }
+    default:
+      pos.resize(static_cast<size_t>(n));
+      std::iota(pos.begin(), pos.end(), 0);
+      return pos;
+  }
+}
+
+class ReduceOp : public ArrayOp {
+ public:
+  ReduceOp(std::string name, Reducer reducer)
+      : name_(std::move(name)), reducer_(reducer) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+  bool value_dependent() const override {
+    return ReducerIsValueDependent(reducer_);
+  }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs& args) const override {
+    if (inputs.size() != 1)
+      return Status::InvalidArgument(name_ + ": expects 1 input");
+    const NDArray& x = *inputs[0];
+    int64_t axis = args.GetIntOr("axis", -1);
+    if (axis < 0) {
+      // Full reduction -> 1-cell array.
+      NDArray out({1});
+      out[0] = ReduceValues(reducer_, x.values());
+      return out;
+    }
+    if (axis >= x.ndim())
+      return Status::InvalidArgument(name_ + ": axis out of range");
+    AxisReduction red(x.shape(), static_cast<int>(axis));
+    NDArray out(red.out_shape);
+    std::vector<int64_t> out_idx(static_cast<size_t>(out.ndim()));
+    int64_t extent = x.shape()[static_cast<size_t>(axis)];
+    std::vector<double> slice(static_cast<size_t>(extent));
+    for (int64_t of = 0; of < out.size(); ++of) {
+      out.UnravelIndex(of, out_idx);
+      for (int64_t k = 0; k < extent; ++k)
+        slice[static_cast<size_t>(k)] = x.At(red.InIndex(out_idx, k));
+      out[of] = ReduceValues(reducer_, slice);
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs& args) const override {
+    const NDArray& x = *inputs[0];
+    int64_t axis = args.GetIntOr("axis", -1);
+    LineageRelation rel(output.ndim(), x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    std::vector<int64_t> out_idx(static_cast<size_t>(output.ndim()));
+    if (axis < 0) {
+      // Full reduction: single output cell.
+      std::vector<double> v = x.values();
+      std::vector<int64_t> contributors = ContributingPositions(reducer_, v);
+      std::vector<int64_t> in_idx(static_cast<size_t>(x.ndim()));
+      out_idx.assign(out_idx.size(), 0);
+      rel.Reserve(static_cast<int64_t>(contributors.size()));
+      for (int64_t flat : contributors) {
+        x.UnravelIndex(flat, in_idx);
+        rel.Add(out_idx, in_idx);
+      }
+      return std::vector<LineageRelation>{std::move(rel)};
+    }
+    AxisReduction red(x.shape(), static_cast<int>(axis));
+    int64_t extent = x.shape()[static_cast<size_t>(axis)];
+    std::vector<double> slice(static_cast<size_t>(extent));
+    rel.Reserve(output.size() * extent);
+    for (int64_t of = 0; of < output.size(); ++of) {
+      output.UnravelIndex(of, out_idx);
+      for (int64_t k = 0; k < extent; ++k)
+        slice[static_cast<size_t>(k)] = x.At(red.InIndex(out_idx, k));
+      for (int64_t k : ContributingPositions(reducer_, slice)) {
+        std::vector<int64_t> in_idx = red.InIndex(out_idx, k);
+        rel.Add(out_idx, in_idx);
+      }
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    return !shape.empty();
+  }
+
+  OpArgs SampleArgs(const std::vector<int64_t>& shape, Rng* rng) const override {
+    OpArgs args;
+    // Mix full and per-axis reductions.
+    if (shape.size() > 1 && rng->Bernoulli(0.6))
+      args.SetInt("axis", static_cast<int64_t>(rng->Uniform(shape.size())));
+    return args;
+  }
+
+ private:
+  std::string name_;
+  Reducer reducer_;
+};
+
+// -------------------------------------------------------------------- scans --
+
+enum class ScanKind { kCumsum, kCumprod };
+
+class ScanOp : public ArrayOp {
+ public:
+  ScanOp(std::string name, ScanKind kind) : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    // numpy default: operate over the flattened array.
+    const NDArray& x = *inputs[0];
+    NDArray out({x.size()});
+    double acc = kind_ == ScanKind::kCumsum ? 0.0 : 1.0;
+    for (int64_t i = 0; i < x.size(); ++i) {
+      acc = kind_ == ScanKind::kCumsum ? acc + x[i] : acc * x[i];
+      out[i] = acc;
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    LineageRelation rel(1, x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(output.size() * (output.size() + 1) / 2);
+    std::vector<int64_t> in_idx(static_cast<size_t>(x.ndim()));
+    for (int64_t i = 0; i < output.size(); ++i) {
+      for (int64_t j = 0; j <= i; ++j) {
+        x.UnravelIndex(j, in_idx);
+        int64_t oi[1] = {i};
+        rel.Add(oi, in_idx);
+      }
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    // Prefix lineage is quadratic in cells; keep pipelines tractable.
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n <= 2048;
+  }
+
+ private:
+  std::string name_;
+  ScanKind kind_;
+};
+
+class DiffOp : public ArrayOp {
+ public:
+  explicit DiffOp(bool flattened)
+      : name_(flattened ? "ediff1d" : "diff"), flattened_(flattened) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    // diff along the last axis; ediff1d over the flattened array. For 1-D
+    // inputs they coincide.
+    if (flattened_ || x.ndim() == 1) {
+      if (x.size() < 2) return Status::InvalidArgument(name_ + ": too small");
+      NDArray out({x.size() - 1});
+      for (int64_t i = 0; i + 1 < x.size(); ++i) out[i] = x[i + 1] - x[i];
+      return out;
+    }
+    std::vector<int64_t> shape = x.shape();
+    int64_t last = shape.back();
+    if (last < 2) return Status::InvalidArgument(name_ + ": last axis too small");
+    shape.back() = last - 1;
+    NDArray out(shape);
+    std::vector<int64_t> idx(static_cast<size_t>(x.ndim()));
+    for (int64_t of = 0; of < out.size(); ++of) {
+      out.UnravelIndex(of, idx);
+      std::vector<int64_t> hi = idx;
+      hi.back() += 1;
+      out[of] = x.At(hi) - x.At(idx);
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    LineageRelation rel(output.ndim(), x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(output.size() * 2);
+    std::vector<int64_t> out_idx(static_cast<size_t>(output.ndim()));
+    std::vector<int64_t> in_idx(static_cast<size_t>(x.ndim()));
+    for (int64_t of = 0; of < output.size(); ++of) {
+      output.UnravelIndex(of, out_idx);
+      if (flattened_ || x.ndim() == 1) {
+        x.UnravelIndex(of, in_idx);
+        rel.Add(out_idx, in_idx);
+        x.UnravelIndex(of + 1, in_idx);
+        rel.Add(out_idx, in_idx);
+      } else {
+        in_idx.assign(out_idx.begin(), out_idx.end());
+        rel.Add(out_idx, in_idx);
+        in_idx.back() += 1;
+        rel.Add(out_idx, in_idx);
+      }
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n >= 2 && shape.back() >= 2;
+  }
+
+ private:
+  std::string name_;
+  bool flattened_;
+};
+
+class GradientOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "gradient";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    if (x.ndim() != 1 || x.size() < 2)
+      return Status::InvalidArgument("gradient: 1-D input with >= 2 cells");
+    NDArray out({x.size()});
+    int64_t n = x.size();
+    out[0] = x[1] - x[0];
+    out[n - 1] = x[n - 1] - x[n - 2];
+    for (int64_t i = 1; i + 1 < n; ++i) out[i] = 0.5 * (x[i + 1] - x[i - 1]);
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    LineageRelation rel(1, 1);
+    rel.set_shapes(output.shape(), x.shape());
+    int64_t n = x.size();
+    rel.Reserve(n * 2);
+    auto add = [&rel](int64_t o, int64_t i) {
+      int64_t oi[1] = {o};
+      int64_t ii[1] = {i};
+      rel.Add(oi, ii);
+    };
+    add(0, 0);
+    add(0, 1);
+    add(n - 1, n - 2);
+    add(n - 1, n - 1);
+    for (int64_t i = 1; i + 1 < n; ++i) {
+      add(i, i - 1);
+      add(i, i + 1);
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    return shape.size() == 1 && shape[0] >= 3;
+  }
+};
+
+}  // namespace
+
+void RegisterReduceOps(OpRegistry* r) {
+  // 12 reductions.
+  r->Register(std::make_unique<ReduceOp>("sum", Reducer::kSum));
+  r->Register(std::make_unique<ReduceOp>("prod", Reducer::kProd));
+  r->Register(std::make_unique<ReduceOp>("mean", Reducer::kMean));
+  r->Register(std::make_unique<ReduceOp>("std", Reducer::kStd));
+  r->Register(std::make_unique<ReduceOp>("var", Reducer::kVar));
+  r->Register(std::make_unique<ReduceOp>("average", Reducer::kAverage));
+  r->Register(std::make_unique<ReduceOp>("amin", Reducer::kMin));
+  r->Register(std::make_unique<ReduceOp>("amax", Reducer::kMax));
+  r->Register(std::make_unique<ReduceOp>("ptp", Reducer::kPtp));
+  r->Register(std::make_unique<ReduceOp>("median", Reducer::kMedian));
+  r->Register(std::make_unique<ReduceOp>("count_nonzero", Reducer::kCountNonzero));
+  r->Register(std::make_unique<ReduceOp>("trapz", Reducer::kTrapz));
+  // 5 scans / stencils.
+  r->Register(std::make_unique<ScanOp>("cumsum", ScanKind::kCumsum));
+  r->Register(std::make_unique<ScanOp>("cumprod", ScanKind::kCumprod));
+  r->Register(std::make_unique<DiffOp>(/*flattened=*/false));
+  r->Register(std::make_unique<DiffOp>(/*flattened=*/true));
+  r->Register(std::make_unique<GradientOp>());
+}
+
+}  // namespace dslog

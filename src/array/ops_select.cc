@@ -1,0 +1,407 @@
+// Value-dependent selection ops (sort, argsort, where, unique, searchsorted,
+// nonzero), argument-driven gather (take), and 1-D convolution/correlation.
+// Completes the 61-op "complex" set of Table IX.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+
+namespace dslog {
+namespace {
+
+inline std::span<const int64_t> Idx1(const int64_t& v) { return {&v, 1}; }
+
+/// Stable sort permutation of the flattened input.
+std::vector<int64_t> SortPermutation(const NDArray& x) {
+  std::vector<int64_t> order(static_cast<size_t>(x.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&x](int64_t a, int64_t b) { return x[a] < x[b]; });
+  return order;
+}
+
+class SortOp : public ArrayOp {
+ public:
+  explicit SortOp(bool arg) : name_(arg ? "argsort" : "sort"), arg_(arg) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+  bool value_dependent() const override { return true; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    std::vector<int64_t> order = SortPermutation(x);
+    NDArray out({x.size()});
+    for (int64_t i = 0; i < x.size(); ++i)
+      out[i] = arg_ ? static_cast<double>(order[static_cast<size_t>(i)])
+                    : x[order[static_cast<size_t>(i)]];
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    std::vector<int64_t> order = SortPermutation(x);
+    LineageRelation rel(1, x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(x.size());
+    std::vector<int64_t> in_idx(static_cast<size_t>(x.ndim()));
+    for (int64_t i = 0; i < x.size(); ++i) {
+      x.UnravelIndex(order[static_cast<size_t>(i)], in_idx);
+      rel.Add(Idx1(i), in_idx);
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+ private:
+  std::string name_;
+  bool arg_;
+};
+
+/// take: gather by an index list given in op_args (value-independent; the
+/// signature includes the indices).
+class TakeOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "take";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs& args) const override {
+    const NDArray& x = *inputs[0];
+    const std::vector<int64_t>* indices = args.GetIntList("indices");
+    if (indices == nullptr)
+      return Status::InvalidArgument("take: missing 'indices'");
+    NDArray out({static_cast<int64_t>(indices->size())});
+    for (size_t i = 0; i < indices->size(); ++i) {
+      int64_t j = (*indices)[i];
+      if (j < 0 || j >= x.size())
+        return Status::OutOfRange("take: index out of range");
+      out[static_cast<int64_t>(i)] = x[j];
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs& args) const override {
+    const NDArray& x = *inputs[0];
+    const std::vector<int64_t>* indices = args.GetIntList("indices");
+    if (indices == nullptr)
+      return Status::InvalidArgument("take: missing 'indices'");
+    LineageRelation rel(1, x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(static_cast<int64_t>(indices->size()));
+    std::vector<int64_t> in_idx(static_cast<size_t>(x.ndim()));
+    for (size_t i = 0; i < indices->size(); ++i) {
+      x.UnravelIndex((*indices)[i], in_idx);
+      int64_t oi = static_cast<int64_t>(i);
+      rel.Add(Idx1(oi), in_idx);
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  OpArgs SampleArgs(const std::vector<int64_t>& shape, Rng* rng) const override {
+    OpArgs args;
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    int64_t k = std::max<int64_t>(1, n / 2);
+    std::vector<int64_t> idx(static_cast<size_t>(k));
+    for (auto& v : idx) v = rng->UniformRange(0, n - 1);
+    args.SetIntList("indices", std::move(idx));
+    return args;
+  }
+};
+
+/// where(cond, a, b): out(i) = cond(i) ? a(i) : b(i). Lineage is the
+/// condition cell plus the selected branch cell (value-dependent).
+class WhereOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "where";
+    return kName;
+  }
+  int num_inputs() const override { return 3; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+  bool value_dependent() const override { return true; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& c = *inputs[0];
+    const NDArray& a = *inputs[1];
+    const NDArray& b = *inputs[2];
+    if (!c.SameShape(a) || !c.SameShape(b))
+      return Status::InvalidArgument("where: shape mismatch");
+    NDArray out(c.shape());
+    for (int64_t i = 0; i < c.size(); ++i) out[i] = c[i] != 0 ? a[i] : b[i];
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& c = *inputs[0];
+    const NDArray& a = *inputs[1];
+    const NDArray& b = *inputs[2];
+    LineageRelation rc(output.ndim(), c.ndim());
+    rc.set_shapes(output.shape(), c.shape());
+    LineageRelation ra(output.ndim(), a.ndim());
+    ra.set_shapes(output.shape(), a.shape());
+    LineageRelation rb(output.ndim(), b.ndim());
+    rb.set_shapes(output.shape(), b.shape());
+    std::vector<int64_t> idx(static_cast<size_t>(c.ndim()));
+    for (int64_t i = 0; i < c.size(); ++i) {
+      c.UnravelIndex(i, idx);
+      rc.Add(idx, idx);
+      if (c[i] != 0) {
+        ra.Add(idx, idx);
+      } else {
+        rb.Add(idx, idx);
+      }
+    }
+    std::vector<LineageRelation> rels;
+    rels.push_back(std::move(rc));
+    rels.push_back(std::move(ra));
+    rels.push_back(std::move(rb));
+    return rels;
+  }
+};
+
+class UniqueOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "unique";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+  bool value_dependent() const override { return true; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    std::vector<double> v = x.values();
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    int64_t n = static_cast<int64_t>(v.size());
+    return NDArray::FromValues({n}, std::move(v));
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    LineageRelation rel(1, x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    std::vector<int64_t> in_idx(static_cast<size_t>(x.ndim()));
+    for (int64_t j = 0; j < output.size(); ++j) {
+      for (int64_t i = 0; i < x.size(); ++i) {
+        if (x[i] == output[j]) {
+          x.UnravelIndex(i, in_idx);
+          rel.Add(Idx1(j), in_idx);
+        }
+      }
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    // Quadratic capture; keep pipeline arrays small.
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n <= 4096;
+  }
+};
+
+/// searchsorted(a, v): insertion positions of v's cells into sorted a.
+/// Lineage: out(i) <- v(i) plus the one or two cells of `a` bracketing the
+/// insertion point (those pin the returned position).
+class SearchSortedOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "searchsorted";
+    return kName;
+  }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+  bool value_dependent() const override { return true; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& v = *inputs[1];
+    if (a.ndim() != 1 || v.ndim() != 1)
+      return Status::InvalidArgument("searchsorted: 1-D inputs");
+    NDArray out({v.size()});
+    for (int64_t i = 0; i < v.size(); ++i) {
+      const double* begin = a.data();
+      const double* end = a.data() + a.size();
+      out[i] = static_cast<double>(std::lower_bound(begin, end, v[i]) - begin);
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& v = *inputs[1];
+    LineageRelation ra(1, 1), rv(1, 1);
+    ra.set_shapes(output.shape(), a.shape());
+    rv.set_shapes(output.shape(), v.shape());
+    for (int64_t i = 0; i < v.size(); ++i) {
+      int64_t pos = static_cast<int64_t>(output[i]);
+      if (pos > 0) {
+        int64_t p = pos - 1;
+        ra.Add(Idx1(i), Idx1(p));
+      }
+      if (pos < a.size()) ra.Add(Idx1(i), Idx1(pos));
+      rv.Add(Idx1(i), Idx1(i));
+    }
+    std::vector<LineageRelation> rels;
+    rels.push_back(std::move(ra));
+    rels.push_back(std::move(rv));
+    return rels;
+  }
+};
+
+class NonzeroOp : public ArrayOp {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "nonzero";
+    return kName;
+  }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+  bool value_dependent() const override { return true; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    std::vector<double> pos;
+    for (int64_t i = 0; i < x.size(); ++i)
+      if (x[i] != 0) pos.push_back(static_cast<double>(i));
+    if (pos.empty()) pos.push_back(0);  // keep outputs non-empty for chaining
+    int64_t n = static_cast<int64_t>(pos.size());
+    return NDArray::FromValues({n}, std::move(pos));
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& x = *inputs[0];
+    LineageRelation rel(1, x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    std::vector<int64_t> in_idx(static_cast<size_t>(x.ndim()));
+    for (int64_t j = 0; j < output.size(); ++j) {
+      int64_t flat = static_cast<int64_t>(output[j]);
+      if (flat < x.size()) {
+        x.UnravelIndex(flat, in_idx);
+        rel.Add(Idx1(j), in_idx);
+      }
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+};
+
+/// 1-D convolution ("full" mode) and correlation ("valid" mode).
+class Conv1DOp : public ArrayOp {
+ public:
+  explicit Conv1DOp(bool correlate)
+      : name_(correlate ? "correlate" : "convolve"), correlate_(correlate) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& v = *inputs[1];
+    if (a.ndim() != 1 || v.ndim() != 1 || v.size() == 0 || a.size() < v.size())
+      return Status::InvalidArgument(name_ + ": bad shapes");
+    int64_t n = a.size(), m = v.size();
+    if (correlate_) {
+      // 'valid': output size n - m + 1.
+      NDArray out({n - m + 1});
+      for (int64_t k = 0; k < out.size(); ++k) {
+        double acc = 0;
+        for (int64_t j = 0; j < m; ++j) acc += a[k + j] * v[j];
+        out[k] = acc;
+      }
+      return out;
+    }
+    // 'full': output size n + m - 1; out[k] = sum_i a[i] v[k-i].
+    NDArray out({n + m - 1});
+    for (int64_t k = 0; k < out.size(); ++k) {
+      double acc = 0;
+      int64_t ilo = std::max<int64_t>(0, k - m + 1);
+      int64_t ihi = std::min(n - 1, k);
+      for (int64_t i = ilo; i <= ihi; ++i) acc += a[i] * v[k - i];
+      out[k] = acc;
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& v = *inputs[1];
+    int64_t n = a.size(), m = v.size();
+    LineageRelation ra(1, 1), rv(1, 1);
+    ra.set_shapes(output.shape(), a.shape());
+    rv.set_shapes(output.shape(), v.shape());
+    for (int64_t k = 0; k < output.size(); ++k) {
+      if (correlate_) {
+        for (int64_t j = 0; j < m; ++j) {
+          int64_t i = k + j;
+          ra.Add(Idx1(k), Idx1(i));
+          rv.Add(Idx1(k), Idx1(j));
+        }
+      } else {
+        int64_t ilo = std::max<int64_t>(0, k - m + 1);
+        int64_t ihi = std::min(n - 1, k);
+        for (int64_t i = ilo; i <= ihi; ++i) {
+          int64_t j = k - i;
+          ra.Add(Idx1(k), Idx1(i));
+          rv.Add(Idx1(k), Idx1(j));
+        }
+      }
+    }
+    std::vector<LineageRelation> rels;
+    rels.push_back(std::move(ra));
+    rels.push_back(std::move(rv));
+    return rels;
+  }
+
+ private:
+  std::string name_;
+  bool correlate_;
+};
+
+}  // namespace
+
+void RegisterSelectOps(OpRegistry* r) {
+  r->Register(std::make_unique<SortOp>(/*arg=*/false));
+  r->Register(std::make_unique<SortOp>(/*arg=*/true));
+  r->Register(std::make_unique<TakeOp>());
+  r->Register(std::make_unique<WhereOp>());
+  r->Register(std::make_unique<UniqueOp>());
+  r->Register(std::make_unique<SearchSortedOp>());
+  r->Register(std::make_unique<NonzeroOp>());
+  r->Register(std::make_unique<Conv1DOp>(/*correlate=*/false));
+  r->Register(std::make_unique<Conv1DOp>(/*correlate=*/true));
+}
+
+}  // namespace dslog

@@ -1,0 +1,584 @@
+// Shape-manipulation operations (part of the Table IX "complex" set).
+// Most are pure index maps: each output cell copies exactly one input cell,
+// so they share the IndexMapOp base below. Multi-input combinators
+// (concatenate, stack, ...) are implemented separately.
+
+#include <algorithm>
+#include <numeric>
+
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+
+namespace dslog {
+namespace {
+
+int64_t NumCells(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+// ------------------------------------------------------------ IndexMapOp --
+
+/// Base for unary ops where out[idx] = in[Map(idx)] (one source cell per
+/// output cell; Map may return no cell for padding zeros).
+class IndexMapOp : public ArrayOp {
+ public:
+  explicit IndexMapOp(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 1; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  /// Output shape for an input shape; error when unsupported.
+  virtual Result<std::vector<int64_t>> OutShape(
+      const std::vector<int64_t>& in_shape, const OpArgs& args) const = 0;
+
+  /// Maps an output index to its single source input index. Returns false
+  /// when the output cell has no source (e.g. padding).
+  virtual bool MapToInput(std::span<const int64_t> out_idx,
+                          const std::vector<int64_t>& in_shape,
+                          const OpArgs& args,
+                          std::vector<int64_t>* in_idx) const = 0;
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs& args) const override {
+    if (inputs.size() != 1)
+      return Status::InvalidArgument(name_ + ": expects 1 input");
+    const NDArray& x = *inputs[0];
+    DSLOG_ASSIGN_OR_RETURN(std::vector<int64_t> out_shape,
+                           OutShape(x.shape(), args));
+    NDArray out(out_shape);
+    std::vector<int64_t> out_idx(out_shape.size());
+    std::vector<int64_t> in_idx;
+    for (int64_t of = 0; of < out.size(); ++of) {
+      out.UnravelIndex(of, out_idx);
+      if (MapToInput(out_idx, x.shape(), args, &in_idx)) out[of] = x.At(in_idx);
+    }
+    return out;
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs& args) const override {
+    const NDArray& x = *inputs[0];
+    LineageRelation rel(output.ndim(), x.ndim());
+    rel.set_shapes(output.shape(), x.shape());
+    rel.Reserve(output.size());
+    std::vector<int64_t> out_idx(static_cast<size_t>(output.ndim()));
+    std::vector<int64_t> in_idx;
+    for (int64_t of = 0; of < output.size(); ++of) {
+      output.UnravelIndex(of, out_idx);
+      if (MapToInput(out_idx, x.shape(), args, &in_idx)) rel.Add(out_idx, in_idx);
+    }
+    return std::vector<LineageRelation>{std::move(rel)};
+  }
+
+  bool SupportsUnaryShape(const std::vector<int64_t>& shape) const override {
+    OpArgs none;
+    return OutShape(shape, none).ok();
+  }
+
+ private:
+  std::string name_;
+};
+
+// ------------------------------------------------------ concrete index maps --
+
+class TransposeOp : public IndexMapOp {
+ public:
+  explicit TransposeOp(std::string name) : IndexMapOp(std::move(name)) {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs&) const override {
+    if (s.size() != 2)
+      return Status::InvalidArgument(name() + ": expects 2-D input");
+    return std::vector<int64_t>{s[1], s[0]};
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>&,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    *in = {o[1], o[0]};
+    return true;
+  }
+};
+
+class ReshapeOp : public IndexMapOp {
+ public:
+  explicit ReshapeOp(std::string name, bool to_1d)
+      : IndexMapOp(std::move(name)), to_1d_(to_1d) {}
+
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs& args) const override {
+    int64_t n = NumCells(s);
+    if (to_1d_) return std::vector<int64_t>{n};
+    const std::vector<int64_t>* ns = args.GetIntList("newshape");
+    if (ns == nullptr) return std::vector<int64_t>{n};  // default: ravel
+    if (NumCells(*ns) != n)
+      return Status::InvalidArgument(name() + ": cell count mismatch");
+    return *ns;
+  }
+
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs& args, std::vector<int64_t>* in) const override {
+    // Flat row-major identity.
+    std::vector<int64_t> out_shape =
+        OutShape(s, args).ValueOrDie();  // validated by Apply/Capture already
+    int64_t flat = 0;
+    int64_t stride = 1;
+    for (int i = static_cast<int>(out_shape.size()) - 1; i >= 0; --i) {
+      flat += o[static_cast<size_t>(i)] * stride;
+      stride *= out_shape[static_cast<size_t>(i)];
+    }
+    in->assign(s.size(), 0);
+    for (int i = static_cast<int>(s.size()) - 1; i >= 0; --i) {
+      (*in)[static_cast<size_t>(i)] = flat % s[static_cast<size_t>(i)];
+      flat /= s[static_cast<size_t>(i)];
+    }
+    return true;
+  }
+
+  OpArgs SampleArgs(const std::vector<int64_t>& shape, Rng* rng) const override {
+    OpArgs args;
+    if (to_1d_) return args;
+    int64_t n = NumCells(shape);
+    // Find a random divisor-based 2-D factorization.
+    std::vector<int64_t> divisors;
+    for (int64_t d = 1; d * d <= n; ++d)
+      if (n % d == 0) divisors.push_back(d);
+    int64_t rows = divisors[rng->Uniform(divisors.size())];
+    args.SetIntList("newshape", {rows, n / rows});
+    return args;
+  }
+
+ private:
+  bool to_1d_;
+};
+
+class ExpandDimsOp : public IndexMapOp {
+ public:
+  ExpandDimsOp() : IndexMapOp("expand_dims") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs&) const override {
+    std::vector<int64_t> out = {1};
+    out.insert(out.end(), s.begin(), s.end());
+    return out;
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>&,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    in->assign(o.begin() + 1, o.end());
+    return true;
+  }
+};
+
+class SqueezeOp : public IndexMapOp {
+ public:
+  SqueezeOp() : IndexMapOp("squeeze") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs&) const override {
+    std::vector<int64_t> out;
+    for (int64_t d : s)
+      if (d != 1) out.push_back(d);
+    if (out.empty()) out.push_back(1);
+    return out;
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    in->clear();
+    size_t oi = 0;
+    bool all_ones = std::all_of(s.begin(), s.end(),
+                                [](int64_t d) { return d == 1; });
+    for (int64_t d : s) {
+      if (d == 1) {
+        in->push_back(0);
+      } else {
+        in->push_back(o[oi++]);
+      }
+    }
+    (void)all_ones;
+    return true;
+  }
+};
+
+class FlipOp : public IndexMapOp {
+ public:
+  /// axis = -1 flips every axis (numpy default); 0/1 flips one axis.
+  FlipOp(std::string name, int axis) : IndexMapOp(std::move(name)), axis_(axis) {}
+
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs&) const override {
+    if (axis_ >= static_cast<int>(s.size()))
+      return Status::InvalidArgument(name() + ": axis out of range");
+    return s;
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    in->assign(o.begin(), o.end());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (axis_ < 0 || static_cast<int>(i) == axis_)
+        (*in)[i] = s[i] - 1 - o[i];
+    }
+    return true;
+  }
+
+ private:
+  int axis_;
+};
+
+class Rot90Op : public IndexMapOp {
+ public:
+  Rot90Op() : IndexMapOp("rot90") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs&) const override {
+    if (s.size() != 2) return Status::InvalidArgument("rot90: 2-D input");
+    return std::vector<int64_t>{s[1], s[0]};
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    // Counter-clockwise: out[i][j] = in[j][cols-1-i] with out shape (cols, rows).
+    *in = {o[1], s[1] - 1 - o[0]};
+    return true;
+  }
+};
+
+class RollOp : public IndexMapOp {
+ public:
+  RollOp() : IndexMapOp("roll") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs&) const override {
+    if (s.size() != 1) return Status::InvalidArgument("roll: 1-D input");
+    return s;
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs& args, std::vector<int64_t>* in) const override {
+    int64_t n = s[0];
+    int64_t shift = args.GetIntOr("shift", 1) % n;
+    *in = {(o[0] - shift % n + n) % n};
+    return true;
+  }
+  OpArgs SampleArgs(const std::vector<int64_t>& shape, Rng* rng) const override {
+    OpArgs args;
+    args.SetInt("shift", rng->UniformRange(1, std::max<int64_t>(1, shape[0] - 1)));
+    return args;
+  }
+};
+
+class TileOp : public IndexMapOp {
+ public:
+  TileOp() : IndexMapOp("tile") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs& args) const override {
+    if (s.size() != 1) return Status::InvalidArgument("tile: 1-D input");
+    int64_t reps = args.GetIntOr("reps", 2);
+    if (s[0] * reps > (1 << 21))
+      return Status::InvalidArgument("tile: output too large");
+    return std::vector<int64_t>{s[0] * reps};
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    *in = {o[0] % s[0]};
+    return true;
+  }
+  OpArgs SampleArgs(const std::vector<int64_t>&, Rng* rng) const override {
+    OpArgs args;
+    args.SetInt("reps", rng->UniformRange(2, 4));
+    return args;
+  }
+};
+
+class RepeatOp : public IndexMapOp {
+ public:
+  RepeatOp() : IndexMapOp("repeat") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs& args) const override {
+    int64_t reps = args.GetIntOr("repeats", 2);
+    int64_t n = NumCells(s);
+    if (n * reps > (1 << 21))
+      return Status::InvalidArgument("repeat: output too large");
+    return std::vector<int64_t>{n * reps};  // numpy repeat flattens
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs& args, std::vector<int64_t>* in) const override {
+    int64_t reps = args.GetIntOr("repeats", 2);
+    int64_t flat = o[0] / reps;
+    in->assign(s.size(), 0);
+    for (int i = static_cast<int>(s.size()) - 1; i >= 0; --i) {
+      (*in)[static_cast<size_t>(i)] = flat % s[static_cast<size_t>(i)];
+      flat /= s[static_cast<size_t>(i)];
+    }
+    return true;
+  }
+  OpArgs SampleArgs(const std::vector<int64_t>&, Rng* rng) const override {
+    OpArgs args;
+    args.SetInt("repeats", rng->UniformRange(2, 4));
+    return args;
+  }
+};
+
+class PadOp : public IndexMapOp {
+ public:
+  PadOp() : IndexMapOp("pad") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs& args) const override {
+    int64_t w = args.GetIntOr("pad_width", 1);
+    std::vector<int64_t> out = s;
+    for (auto& d : out) d += 2 * w;
+    return out;
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>& s,
+                  const OpArgs& args, std::vector<int64_t>* in) const override {
+    int64_t w = args.GetIntOr("pad_width", 1);
+    in->assign(o.begin(), o.end());
+    for (size_t i = 0; i < s.size(); ++i) {
+      (*in)[i] -= w;
+      if ((*in)[i] < 0 || (*in)[i] >= s[i]) return false;  // constant pad cell
+    }
+    return true;
+  }
+  OpArgs SampleArgs(const std::vector<int64_t>&, Rng* rng) const override {
+    OpArgs args;
+    args.SetInt("pad_width", rng->UniformRange(1, 3));
+    return args;
+  }
+};
+
+class BroadcastToOp : public IndexMapOp {
+ public:
+  BroadcastToOp() : IndexMapOp("broadcast_to") {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs& args) const override {
+    if (s.size() != 1)
+      return Status::InvalidArgument("broadcast_to: 1-D input");
+    int64_t k = args.GetIntOr("rows", 2);
+    if (s[0] * k > (1 << 21))
+      return Status::InvalidArgument("broadcast_to: output too large");
+    return std::vector<int64_t>{k, s[0]};
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>&,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    *in = {o[1]};
+    return true;
+  }
+  OpArgs SampleArgs(const std::vector<int64_t>&, Rng* rng) const override {
+    OpArgs args;
+    args.SetInt("rows", rng->UniformRange(2, 4));
+    return args;
+  }
+};
+
+class SwapAxesOp : public IndexMapOp {
+ public:
+  SwapAxesOp(std::string name) : IndexMapOp(std::move(name)) {}
+  Result<std::vector<int64_t>> OutShape(const std::vector<int64_t>& s,
+                                        const OpArgs&) const override {
+    if (s.size() != 2)
+      return Status::InvalidArgument(name() + ": expects 2-D input");
+    return std::vector<int64_t>{s[1], s[0]};
+  }
+  bool MapToInput(std::span<const int64_t> o, const std::vector<int64_t>&,
+                  const OpArgs&, std::vector<int64_t>* in) const override {
+    *in = {o[1], o[0]};
+    return true;
+  }
+};
+
+// --------------------------------------------------- two-input combinators --
+
+/// concatenate/append (axis 0 for same-ndim inputs) and the stack family.
+class CombineOp : public ArrayOp {
+ public:
+  enum class Kind { kConcat, kAppendFlat, kStack, kVstack, kHstack, kColumnStack };
+
+  CombineOp(std::string name, Kind kind) : name_(std::move(name)), kind_(kind) {}
+
+  const std::string& name() const override { return name_; }
+  int num_inputs() const override { return 2; }
+  OpCategory category() const override { return OpCategory::kComplex; }
+
+  Result<NDArray> Apply(const std::vector<const NDArray*>& inputs,
+                        const OpArgs&) const override {
+    if (inputs.size() != 2)
+      return Status::InvalidArgument(name_ + ": expects 2 inputs");
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    switch (kind_) {
+      case Kind::kAppendFlat: {
+        NDArray out({a.size() + b.size()});
+        for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i];
+        for (int64_t i = 0; i < b.size(); ++i) out[a.size() + i] = b[i];
+        return out;
+      }
+      case Kind::kConcat:
+      case Kind::kVstack: {
+        if (a.ndim() == 1 && kind_ == Kind::kVstack) {
+          if (!a.SameShape(b))
+            return Status::InvalidArgument(name_ + ": shape mismatch");
+          NDArray out({2, a.size()});
+          for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i];
+          for (int64_t i = 0; i < b.size(); ++i) out[a.size() + i] = b[i];
+          return out;
+        }
+        if (a.ndim() != b.ndim() || a.ndim() < 1)
+          return Status::InvalidArgument(name_ + ": ndim mismatch");
+        std::vector<int64_t> shape = a.shape();
+        for (int i = 1; i < a.ndim(); ++i)
+          if (a.shape()[static_cast<size_t>(i)] != b.shape()[static_cast<size_t>(i)])
+            return Status::InvalidArgument(name_ + ": trailing shape mismatch");
+        shape[0] += b.shape()[0];
+        NDArray out(shape);
+        for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i];
+        for (int64_t i = 0; i < b.size(); ++i) out[a.size() + i] = b[i];
+        return out;
+      }
+      case Kind::kHstack: {
+        if (a.ndim() == 1) {
+          NDArray out({a.size() + b.size()});
+          for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i];
+          for (int64_t i = 0; i < b.size(); ++i) out[a.size() + i] = b[i];
+          return out;
+        }
+        if (a.ndim() != 2 || b.ndim() != 2 || a.shape()[0] != b.shape()[0])
+          return Status::InvalidArgument("hstack: row mismatch");
+        int64_t rows = a.shape()[0], ca = a.shape()[1], cb = b.shape()[1];
+        NDArray out({rows, ca + cb});
+        for (int64_t i = 0; i < rows; ++i) {
+          for (int64_t j = 0; j < ca; ++j) out[i * (ca + cb) + j] = a[i * ca + j];
+          for (int64_t j = 0; j < cb; ++j)
+            out[i * (ca + cb) + ca + j] = b[i * cb + j];
+        }
+        return out;
+      }
+      case Kind::kStack: {
+        if (!a.SameShape(b))
+          return Status::InvalidArgument("stack: shape mismatch");
+        std::vector<int64_t> shape = {2};
+        shape.insert(shape.end(), a.shape().begin(), a.shape().end());
+        NDArray out(shape);
+        for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i];
+        for (int64_t i = 0; i < b.size(); ++i) out[a.size() + i] = b[i];
+        return out;
+      }
+      case Kind::kColumnStack: {
+        if (a.ndim() != 1 || !a.SameShape(b))
+          return Status::InvalidArgument("column_stack: 1-D equal shapes");
+        NDArray out({a.size(), 2});
+        for (int64_t i = 0; i < a.size(); ++i) {
+          out[i * 2] = a[i];
+          out[i * 2 + 1] = b[i];
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Result<std::vector<LineageRelation>> Capture(
+      const std::vector<const NDArray*>& inputs, const NDArray& output,
+      const OpArgs&) const override {
+    const NDArray& a = *inputs[0];
+    const NDArray& b = *inputs[1];
+    LineageRelation ra(output.ndim(), a.ndim());
+    ra.set_shapes(output.shape(), a.shape());
+    LineageRelation rb(output.ndim(), b.ndim());
+    rb.set_shapes(output.shape(), b.shape());
+    std::vector<int64_t> out_idx(static_cast<size_t>(output.ndim()));
+    std::vector<int64_t> in_idx_a(static_cast<size_t>(a.ndim()));
+    std::vector<int64_t> in_idx_b(static_cast<size_t>(b.ndim()));
+    switch (kind_) {
+      case Kind::kAppendFlat:
+      case Kind::kConcat:
+      case Kind::kVstack:
+      case Kind::kStack: {
+        // Row-major: a occupies the first a.size() flats, b the rest.
+        for (int64_t of = 0; of < output.size(); ++of) {
+          output.UnravelIndex(of, out_idx);
+          if (of < a.size()) {
+            a.UnravelIndex(of, in_idx_a);
+            ra.Add(out_idx, in_idx_a);
+          } else {
+            b.UnravelIndex(of - a.size(), in_idx_b);
+            rb.Add(out_idx, in_idx_b);
+          }
+        }
+        break;
+      }
+      case Kind::kHstack: {
+        if (a.ndim() == 1) {
+          for (int64_t of = 0; of < output.size(); ++of) {
+            output.UnravelIndex(of, out_idx);
+            if (of < a.size()) {
+              in_idx_a[0] = of;
+              ra.Add(out_idx, in_idx_a);
+            } else {
+              in_idx_b[0] = of - a.size();
+              rb.Add(out_idx, in_idx_b);
+            }
+          }
+        } else {
+          int64_t ca = a.shape()[1];
+          for (int64_t of = 0; of < output.size(); ++of) {
+            output.UnravelIndex(of, out_idx);
+            if (out_idx[1] < ca) {
+              in_idx_a = {out_idx[0], out_idx[1]};
+              ra.Add(out_idx, in_idx_a);
+            } else {
+              in_idx_b = {out_idx[0], out_idx[1] - ca};
+              rb.Add(out_idx, in_idx_b);
+            }
+          }
+        }
+        break;
+      }
+      case Kind::kColumnStack: {
+        for (int64_t i = 0; i < a.size(); ++i) {
+          out_idx = {i, 0};
+          in_idx_a[0] = i;
+          ra.Add(out_idx, in_idx_a);
+          out_idx = {i, 1};
+          in_idx_b[0] = i;
+          rb.Add(out_idx, in_idx_b);
+        }
+        break;
+      }
+    }
+    std::vector<LineageRelation> rels;
+    rels.push_back(std::move(ra));
+    rels.push_back(std::move(rb));
+    return rels;
+  }
+
+ private:
+  std::string name_;
+  Kind kind_;
+};
+
+}  // namespace
+
+void RegisterShapeOps(OpRegistry* r) {
+  // 17 unary index maps.
+  r->Register(std::make_unique<TransposeOp>("transpose"));
+  r->Register(std::make_unique<SwapAxesOp>("swapaxes"));
+  r->Register(std::make_unique<SwapAxesOp>("moveaxis"));
+  r->Register(std::make_unique<ReshapeOp>("reshape", /*to_1d=*/false));
+  r->Register(std::make_unique<ReshapeOp>("ravel", /*to_1d=*/true));
+  r->Register(std::make_unique<ReshapeOp>("flatten", /*to_1d=*/true));
+  r->Register(std::make_unique<ExpandDimsOp>());
+  r->Register(std::make_unique<SqueezeOp>());
+  r->Register(std::make_unique<FlipOp>("flip", /*axis=*/-1));
+  r->Register(std::make_unique<FlipOp>("flipud", /*axis=*/0));
+  r->Register(std::make_unique<FlipOp>("fliplr", /*axis=*/1));
+  r->Register(std::make_unique<Rot90Op>());
+  r->Register(std::make_unique<RollOp>());
+  r->Register(std::make_unique<TileOp>());
+  r->Register(std::make_unique<RepeatOp>());
+  r->Register(std::make_unique<PadOp>());
+  r->Register(std::make_unique<BroadcastToOp>());
+  // 6 combinators.
+  r->Register(std::make_unique<CombineOp>("concatenate", CombineOp::Kind::kConcat));
+  r->Register(std::make_unique<CombineOp>("append", CombineOp::Kind::kAppendFlat));
+  r->Register(std::make_unique<CombineOp>("stack", CombineOp::Kind::kStack));
+  r->Register(std::make_unique<CombineOp>("vstack", CombineOp::Kind::kVstack));
+  r->Register(std::make_unique<CombineOp>("hstack", CombineOp::Kind::kHstack));
+  r->Register(std::make_unique<CombineOp>("column_stack", CombineOp::Kind::kColumnStack));
+}
+
+}  // namespace dslog

@@ -1,0 +1,269 @@
+// Colstore: the Parquet-like columnar baseline. Layout: row groups of
+// kRowGroupSize tuples; within a group each column chunk is independently
+// encoded with the cheapest of PLAIN / DICT(+hybrid RLE/bit-pack) / DELTA
+// and optionally wrapped in Deflate (the Parquet-GZip configuration).
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "baselines/storage_format.h"
+#include "compress/bitpack.h"
+#include "compress/deflate.h"
+#include "compress/rle.h"
+#include "compress/varint.h"
+
+namespace dslog {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'O', 'L', '1'};
+constexpr int64_t kRowGroupSize = 1 << 17;  // 128 Ki tuples per group
+
+enum Encoding : uint8_t {
+  kPlain = 0,
+  kDict = 1,
+  kDelta = 2,
+};
+
+// ------------------------------------------------------- chunk encodings --
+
+std::string EncodePlain(const std::vector<int64_t>& col) {
+  std::string out;
+  out.resize(col.size() * sizeof(int64_t));
+  std::memcpy(out.data(), col.data(), col.size() * sizeof(int64_t));
+  return out;
+}
+
+bool DecodePlain(const std::string& buf, size_t count,
+                 std::vector<int64_t>* out) {
+  if (buf.size() != count * sizeof(int64_t)) return false;
+  size_t base = out->size();
+  out->resize(base + count);
+  std::memcpy(out->data() + base, buf.data(), count * sizeof(int64_t));
+  return true;
+}
+
+std::string EncodeDelta(const std::vector<int64_t>& col) {
+  std::string out;
+  int64_t prev = 0;
+  for (int64_t v : col) {
+    PutVarintSigned(&out, v - prev);
+    prev = v;
+  }
+  return out;
+}
+
+bool DecodeDelta(const std::string& buf, size_t count,
+                 std::vector<int64_t>* out) {
+  size_t pos = 0;
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    int64_t d;
+    if (!GetVarintSigned(buf, &pos, &d)) return false;
+    prev += d;
+    out->push_back(prev);
+  }
+  return pos == buf.size();
+}
+
+// Dictionary encoding: sorted distinct values (delta-varint) + hybrid
+// RLE/bit-packed indices (the Parquet RLE_DICTIONARY analogue).
+std::string EncodeDict(const std::vector<int64_t>& col, bool* feasible) {
+  std::map<int64_t, uint64_t> dict;
+  for (int64_t v : col) dict.emplace(v, 0);
+  // Dictionaries close to the chunk cardinality do not pay off.
+  if (dict.size() * 2 > col.size() + 16) {
+    *feasible = false;
+    return {};
+  }
+  *feasible = true;
+  uint64_t next = 0;
+  for (auto& [v, id] : dict) id = next++;
+  std::string out;
+  PutVarint64(&out, dict.size());
+  int64_t prev = 0;
+  for (const auto& [v, id] : dict) {
+    PutVarintSigned(&out, v - prev);
+    prev = v;
+  }
+  int bw = BitWidthFor(dict.size() - 1);
+  out.push_back(static_cast<char>(bw));
+  std::vector<uint64_t> indices;
+  indices.reserve(col.size());
+  for (int64_t v : col) indices.push_back(dict.at(v));
+  HybridRleEncode(indices, bw, &out);
+  return out;
+}
+
+bool DecodeDict(const std::string& buf, size_t count,
+                std::vector<int64_t>* out) {
+  size_t pos = 0;
+  uint64_t dict_size;
+  if (!GetVarint64(buf, &pos, &dict_size)) return false;
+  std::vector<int64_t> dict(dict_size);
+  int64_t prev = 0;
+  for (auto& v : dict) {
+    int64_t d;
+    if (!GetVarintSigned(buf, &pos, &d)) return false;
+    prev += d;
+    v = prev;
+  }
+  if (pos >= buf.size()) return false;
+  int bw = static_cast<uint8_t>(buf[pos++]);
+  std::vector<uint64_t> indices;
+  if (!HybridRleDecode(buf, &pos, count, bw, &indices)) return false;
+  for (uint64_t id : indices) {
+    if (id >= dict_size) return false;
+    out->push_back(dict[id]);
+  }
+  return true;
+}
+
+class ColstoreFormat : public StorageFormat {
+ public:
+  explicit ColstoreFormat(bool deflate_pages) : deflate_pages_(deflate_pages) {}
+
+  std::string name() const override {
+    return deflate_pages_ ? "Parquet-GZip" : "Parquet";
+  }
+
+  std::string Encode(const LineageRelation& rel) const override {
+    std::string out;
+    out.append(kMagic, 4);
+    PutVarint64(&out, static_cast<uint64_t>(rel.out_ndim()));
+    PutVarint64(&out, static_cast<uint64_t>(rel.in_ndim()));
+    for (int64_t d : rel.out_shape()) PutVarint64(&out, static_cast<uint64_t>(d));
+    for (int64_t d : rel.in_shape()) PutVarint64(&out, static_cast<uint64_t>(d));
+    PutVarint64(&out, static_cast<uint64_t>(rel.num_rows()));
+    out.push_back(deflate_pages_ ? 1 : 0);
+
+    const int arity = rel.arity();
+    const int64_t nrows = rel.num_rows();
+    std::vector<int64_t> col;
+    for (int64_t group_start = 0; group_start < nrows;
+         group_start += kRowGroupSize) {
+      int64_t group_rows = std::min(kRowGroupSize, nrows - group_start);
+      for (int c = 0; c < arity; ++c) {
+        col.clear();
+        col.reserve(static_cast<size_t>(group_rows));
+        for (int64_t r = 0; r < group_rows; ++r)
+          col.push_back(rel.flat()[static_cast<size_t>(
+              (group_start + r) * arity + c)]);
+        // Parquet's default encoding choice: dictionary when the chunk's
+        // cardinality makes it worthwhile, plain otherwise. (A DELTA
+        // encoder exists in this file for completeness but is not part of
+        // the default selection, mirroring parquet-mr V1 behaviour — the
+        // configuration the paper benchmarks against.)
+        bool dict_ok = false;
+        std::string dict_buf = EncodeDict(col, &dict_ok);
+        std::string plain_buf;
+        Encoding enc;
+        std::string* best;
+        if (dict_ok && dict_buf.size() < col.size() * sizeof(int64_t)) {
+          enc = kDict;
+          best = &dict_buf;
+        } else {
+          plain_buf = EncodePlain(col);
+          enc = kPlain;
+          best = &plain_buf;
+        }
+        std::string payload =
+            deflate_pages_ ? DeflateCompress(*best) : std::move(*best);
+        out.push_back(static_cast<char>(enc));
+        PutVarint64(&out, payload.size());
+        out.append(payload);
+      }
+    }
+    return out;
+  }
+
+  Result<LineageRelation> Decode(const std::string& data) const override {
+    if (data.size() < 4 || std::memcmp(data.data(), kMagic, 4) != 0)
+      return Status::Corruption("COL1: bad magic");
+    size_t pos = 4;
+    uint64_t l, m;
+    if (!GetVarint64(data, &pos, &l) || !GetVarint64(data, &pos, &m))
+      return Status::Corruption("COL1: bad arity");
+    if (l > 64 || m > 64) return Status::Corruption("COL1: absurd arity");
+    std::vector<int64_t> out_shape(l), in_shape(m);
+    for (auto& d : out_shape) {
+      uint64_t v;
+      if (!GetVarint64(data, &pos, &v)) return Status::Corruption("COL1: shape");
+      d = static_cast<int64_t>(v);
+    }
+    for (auto& d : in_shape) {
+      uint64_t v;
+      if (!GetVarint64(data, &pos, &v)) return Status::Corruption("COL1: shape");
+      d = static_cast<int64_t>(v);
+    }
+    uint64_t nrows;
+    if (!GetVarint64(data, &pos, &nrows))
+      return Status::Corruption("COL1: rows");
+    if (pos >= data.size() && nrows > 0)
+      return Status::Corruption("COL1: truncated");
+    bool deflated = nrows > 0 || pos < data.size()
+                        ? static_cast<uint8_t>(data[pos++]) != 0
+                        : false;
+
+    const int arity = static_cast<int>(l + m);
+    LineageRelation rel(static_cast<int>(l), static_cast<int>(m));
+    rel.set_shapes(out_shape, in_shape);
+    std::vector<std::vector<int64_t>> cols(static_cast<size_t>(arity));
+    for (uint64_t group_start = 0; group_start < nrows;
+         group_start += kRowGroupSize) {
+      uint64_t group_rows =
+          std::min<uint64_t>(kRowGroupSize, nrows - group_start);
+      for (int c = 0; c < arity; ++c) {
+        if (pos >= data.size()) return Status::Corruption("COL1: truncated");
+        Encoding enc = static_cast<Encoding>(data[pos++]);
+        uint64_t sz;
+        if (!GetVarint64(data, &pos, &sz))
+          return Status::Corruption("COL1: chunk size");
+        if (pos + sz > data.size())
+          return Status::Corruption("COL1: truncated chunk");
+        std::string payload = data.substr(pos, sz);
+        pos += sz;
+        if (deflated) {
+          auto raw = DeflateDecompress(payload);
+          if (!raw.ok()) return raw.status();
+          payload = std::move(raw).value();
+        }
+        bool ok = false;
+        switch (enc) {
+          case kPlain:
+            ok = DecodePlain(payload, group_rows, &cols[static_cast<size_t>(c)]);
+            break;
+          case kDict:
+            ok = DecodeDict(payload, group_rows, &cols[static_cast<size_t>(c)]);
+            break;
+          case kDelta:
+            ok = DecodeDelta(payload, group_rows, &cols[static_cast<size_t>(c)]);
+            break;
+        }
+        if (!ok) return Status::Corruption("COL1: bad chunk payload");
+      }
+    }
+    // Re-interleave columns into row-major tuples.
+    rel.mutable_flat().resize(static_cast<size_t>(nrows) * arity);
+    for (int c = 0; c < arity; ++c) {
+      if (cols[static_cast<size_t>(c)].size() != nrows)
+        return Status::Corruption("COL1: column length mismatch");
+      for (uint64_t r = 0; r < nrows; ++r)
+        rel.mutable_flat()[static_cast<size_t>(r * arity + c)] =
+            cols[static_cast<size_t>(c)][r];
+    }
+    return rel;
+  }
+
+ private:
+  bool deflate_pages_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageFormat> MakeColstoreFormat(bool deflate_pages) {
+  return std::make_unique<ColstoreFormat>(deflate_pages);
+}
+
+}  // namespace dslog

@@ -1,0 +1,60 @@
+// Storage-format baselines for lineage tables (ICDE'24 §VII.B): the
+// formats ProvRC is compared against in Table VII and the query
+// experiments. Each format encodes an uncompressed lineage relation to a
+// byte buffer (what would be written to disk) and decodes it back for
+// query processing (baselines join over decompressed relations; only
+// DSLog queries in situ).
+
+#ifndef DSLOG_BASELINES_STORAGE_FORMAT_H_
+#define DSLOG_BASELINES_STORAGE_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/lineage_relation.h"
+
+namespace dslog {
+
+/// Abstract lineage storage format.
+class StorageFormat {
+ public:
+  virtual ~StorageFormat() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Serializes the relation (the on-disk representation).
+  virtual std::string Encode(const LineageRelation& relation) const = 0;
+
+  /// Recovers the relation (baselines must decompress before querying).
+  virtual Result<LineageRelation> Decode(const std::string& data) const = 0;
+};
+
+/// Row-oriented tuples, varint-packed per value — the "Raw" baseline
+/// (Ground-style row store; DuckDB-equivalent layout in the paper).
+std::unique_ptr<StorageFormat> MakeRawFormat();
+
+/// Dense fixed-width int64 ndarray file — the "Array" (numpy) baseline.
+std::unique_ptr<StorageFormat> MakeArrayFormat();
+
+/// Parquet-like columnar format: row groups, per-chunk choice of PLAIN /
+/// DICT+hybrid-RLE / DELTA encodings. `deflate_pages` adds general-purpose
+/// compression per column chunk (the Parquet-GZip baseline).
+std::unique_ptr<StorageFormat> MakeColstoreFormat(bool deflate_pages);
+
+/// Per-column RLE + order-0 range coding — the "Turbo-RC" baseline
+/// (run-length + integer entropy coding; no cross-column structure).
+std::unique_ptr<StorageFormat> MakeTurboRcFormat();
+
+/// All baselines in Table VII order: Raw, Array, Parquet, Parquet-GZip,
+/// Turbo-RC.
+std::vector<std::unique_ptr<StorageFormat>> MakeAllBaselineFormats();
+
+/// Renders the relation as a CSV file body (header + one line per tuple) —
+/// the "raw CSV" reference of the Table IX coverage criterion.
+std::string RelationToCsv(const LineageRelation& relation);
+
+}  // namespace dslog
+
+#endif  // DSLOG_BASELINES_STORAGE_FORMAT_H_

@@ -1,0 +1,60 @@
+// CHECK macros: invariant assertions that abort with a message on failure.
+// Used for programmer errors (violated preconditions inside the library);
+// recoverable conditions use Status instead. Supports message streaming:
+//   DSLOG_CHECK(n > 0) << "n was " << n;
+
+#ifndef DSLOG_COMMON_CHECK_H_
+#define DSLOG_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dslog {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed CheckFailureStream expression into void so it can sit on
+/// the rhs of a ternary whose lhs is (void)0 (the glog "voidify" idiom).
+struct Voidify {
+  // const& binds both the bare temporary and the result of streaming into it.
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal
+}  // namespace dslog
+
+#define DSLOG_CHECK(cond)                                          \
+  (cond) ? (void)0                                                 \
+         : ::dslog::internal::Voidify() &                          \
+               ::dslog::internal::CheckFailureStream(              \
+                   "DSLOG_CHECK", __FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define DSLOG_DCHECK(cond) DSLOG_CHECK(true)
+#else
+#define DSLOG_DCHECK(cond) DSLOG_CHECK(cond)
+#endif
+
+#endif  // DSLOG_COMMON_CHECK_H_

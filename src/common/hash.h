@@ -1,0 +1,46 @@
+// 64-bit hashing utilities (FNV-1a core plus combining), used for operation
+// signatures and hash joins.
+
+#ifndef DSLOG_COMMON_HASH_H_
+#define DSLOG_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dslog {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte range.
+inline uint64_t Hash64(const void* data, size_t n, uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = kFnvOffset) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Hashes a trivially-copyable value by its object representation.
+template <typename T>
+uint64_t HashValue(const T& v, uint64_t seed = kFnvOffset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return Hash64(&v, sizeof(v), seed);
+}
+
+/// Boost-style hash combining with 64-bit constants.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMMON_HASH_H_

@@ -1,0 +1,65 @@
+#include "common/io.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace dslog {
+
+namespace fs = std::filesystem;
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return data;
+}
+
+Result<int64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  auto sz = fs::file_size(path, ec);
+  if (ec) return Status::IOError("file_size failed: " + path);
+  return static_cast<int64_t>(sz);
+}
+
+Status CreateDirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("create_directories failed: " + path);
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::IOError("remove failed: " + path);
+  return Status::OK();
+}
+
+std::string ScratchDir() {
+  static const std::string dir = [] {
+    std::string d = (fs::temp_directory_path() /
+                     ("dslog_scratch_" + std::to_string(::getpid())))
+                        .string();
+    std::error_code ec;
+    fs::create_directories(d, ec);
+    return d;
+  }();
+  return dir;
+}
+
+}  // namespace dslog

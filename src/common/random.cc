@@ -1,0 +1,36 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace dslog {
+
+double Rng::NextGaussian() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  DSLOG_CHECK(k >= 0 && k <= n);
+  // For dense samples use a shuffled prefix; for sparse ones, rejection.
+  if (k * 3 >= n) {
+    std::vector<int64_t> all(n);
+    for (int64_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> out;
+  out.reserve(k);
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t v = static_cast<int64_t>(Uniform(static_cast<uint64_t>(n)));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace dslog

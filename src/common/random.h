@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// property tests. SplitMix64 core: fast, well-distributed, reproducible
+// across platforms (std::mt19937 distributions are not portable).
+
+#ifndef DSLOG_COMMON_RANDOM_H_
+#define DSLOG_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dslog {
+
+/// SplitMix64-based PRNG. Deterministic for a given seed on all platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    DSLOG_CHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    DSLOG_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Gaussian via Box-Muller (mean 0, stddev 1).
+  double NextGaussian();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// k distinct integers sampled from [0, n) (k <= n), in random order.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMMON_RANDOM_H_

@@ -1,0 +1,67 @@
+// Result<T>: a Status plus a value on success (the Arrow arrow::Result idiom).
+
+#ifndef DSLOG_COMMON_RESULT_H_
+#define DSLOG_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace dslog {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. CHECK-fails if the status is OK.
+  Result(Status status) : status_(std::move(status)) {
+    DSLOG_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; CHECK-fails if not ok().
+  const T& value() const& {
+    DSLOG_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DSLOG_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DSLOG_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Moves the contained value out; CHECK-fails if not ok().
+  T ValueOrDie() {
+    DSLOG_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dslog
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define DSLOG_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto DSLOG_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!DSLOG_CONCAT_(_res_, __LINE__).ok())           \
+    return DSLOG_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(DSLOG_CONCAT_(_res_, __LINE__)).value()
+
+#define DSLOG_CONCAT_IMPL_(a, b) a##b
+#define DSLOG_CONCAT_(a, b) DSLOG_CONCAT_IMPL_(a, b)
+
+#endif  // DSLOG_COMMON_RESULT_H_

@@ -1,0 +1,92 @@
+// Status: error-handling primitive for all fallible DSLog library paths.
+// Follows the RocksDB/Arrow idiom: the library never throws; every fallible
+// function returns a Status (or a Result<T>, see result.h).
+
+#ifndef DSLOG_COMMON_STATUS_H_
+#define DSLOG_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dslog {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kNotSupported = 6,
+  kOutOfRange = 7,
+  kInternal = 8,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: an OK marker or a code plus message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation) and carry a
+/// heap-allocated message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace dslog
+
+/// Propagates a non-OK Status to the caller. Usable only in functions that
+/// return Status.
+#define DSLOG_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::dslog::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // DSLOG_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dslog {
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string JoinInts(const std::vector<int64_t>& v, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += sep;
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::string HumanBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  return Format("%.2f %s", v, units[u]);
+}
+
+}  // namespace dslog

@@ -1,0 +1,23 @@
+// Small string helpers (printf-style Format, Join, human-readable sizes).
+
+#ifndef DSLOG_COMMON_STRINGS_H_
+#define DSLOG_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dslog {
+
+/// snprintf into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator using operator<< semantics for ints.
+std::string JoinInts(const std::vector<int64_t>& v, const std::string& sep);
+
+/// "12.34 MB"-style rendering of a byte count.
+std::string HumanBytes(int64_t bytes);
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMMON_STRINGS_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing helpers used by the benchmark harnesses.
+
+#ifndef DSLOG_COMMON_TIMER_H_
+#define DSLOG_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dslog {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMMON_TIMER_H_

@@ -1,0 +1,50 @@
+#include "compress/bitpack.h"
+
+#include "common/check.h"
+
+namespace dslog {
+
+int BitWidthFor(uint64_t max_value) {
+  int w = 1;
+  while (w < 64 && (max_value >> w) != 0) ++w;
+  return w;
+}
+
+void BitPack(const std::vector<uint64_t>& values, int bit_width,
+             std::string* dst) {
+  DSLOG_CHECK(bit_width >= 1 && bit_width <= 64);
+  size_t total_bits = values.size() * static_cast<size_t>(bit_width);
+  size_t start = dst->size();
+  dst->resize(start + (total_bits + 7) / 8, '\0');
+  auto* p = reinterpret_cast<unsigned char*>(dst->data() + start);
+  size_t bit_pos = 0;
+  for (uint64_t v : values) {
+    DSLOG_DCHECK(bit_width == 64 || (v >> bit_width) == 0);
+    for (int b = 0; b < bit_width; ++b, ++bit_pos) {
+      if ((v >> b) & 1) p[bit_pos >> 3] |= static_cast<unsigned char>(1u << (bit_pos & 7));
+    }
+  }
+}
+
+bool BitUnpack(const std::string& src, size_t* pos, size_t count,
+               int bit_width, std::vector<uint64_t>* out) {
+  DSLOG_CHECK(bit_width >= 1 && bit_width <= 64);
+  size_t total_bits = count * static_cast<size_t>(bit_width);
+  size_t total_bytes = (total_bits + 7) / 8;
+  if (*pos + total_bytes > src.size()) return false;
+  out->reserve(out->size() + count);
+  const auto* p = reinterpret_cast<const unsigned char*>(src.data() + *pos);
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    for (int b = 0; b < bit_width; ++b, ++bit_pos) {
+      uint64_t bit = (p[bit_pos >> 3] >> (bit_pos & 7)) & 1;
+      v |= bit << b;
+    }
+    out->push_back(v);
+  }
+  *pos += total_bytes;
+  return true;
+}
+
+}  // namespace dslog

@@ -1,0 +1,26 @@
+// Fixed-width bit packing (LSB-first within each byte, Parquet layout).
+
+#ifndef DSLOG_COMPRESS_BITPACK_H_
+#define DSLOG_COMPRESS_BITPACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dslog {
+
+/// Minimum bit width able to represent `max_value` (>= 1 even for 0).
+int BitWidthFor(uint64_t max_value);
+
+/// Appends `values` packed at `bit_width` bits each. Values must fit.
+void BitPack(const std::vector<uint64_t>& values, int bit_width,
+             std::string* dst);
+
+/// Unpacks `count` values of `bit_width` bits starting at byte offset `*pos`;
+/// advances `*pos` past the packed region. Returns false on truncation.
+bool BitUnpack(const std::string& src, size_t* pos, size_t count,
+               int bit_width, std::vector<uint64_t>* out);
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMPRESS_BITPACK_H_

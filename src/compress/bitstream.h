@@ -1,0 +1,80 @@
+// LSB-first bit stream reader/writer used by the Huffman/Deflate codecs.
+
+#ifndef DSLOG_COMPRESS_BITSTREAM_H_
+#define DSLOG_COMPRESS_BITSTREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace dslog {
+
+/// Writes bit fields LSB-first into a byte buffer.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Appends the low `nbits` of `bits` (LSB-first).
+  void Write(uint64_t bits, int nbits) {
+    DSLOG_DCHECK(nbits >= 0 && nbits <= 57);
+    acc_ |= bits << filled_;
+    filled_ += nbits;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<char>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Flushes any partial byte (zero-padded).
+  void Finish() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<char>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::string* out_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+/// Reads bit fields LSB-first from a byte buffer.
+class BitReader {
+ public:
+  BitReader(const std::string& src, size_t byte_pos)
+      : src_(src), pos_(byte_pos) {}
+
+  /// Reads `nbits` bits; returns false past end of buffer.
+  bool Read(int nbits, uint64_t* out) {
+    while (filled_ < nbits) {
+      if (pos_ >= src_.size()) return false;
+      acc_ |= static_cast<uint64_t>(static_cast<uint8_t>(src_[pos_++]))
+              << filled_;
+      filled_ += 8;
+    }
+    *out = acc_ & ((nbits == 64) ? ~0ULL : ((1ULL << nbits) - 1));
+    acc_ >>= nbits;
+    filled_ -= nbits;
+    return true;
+  }
+
+  /// Reads a single bit.
+  bool ReadBit(uint64_t* out) { return Read(1, out); }
+
+  /// Byte position of the next unread byte (after discarding bit remainder).
+  size_t ByteAlignedPos() const { return pos_; }
+
+ private:
+  const std::string& src_;
+  size_t pos_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMPRESS_BITSTREAM_H_

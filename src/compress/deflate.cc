@@ -1,0 +1,298 @@
+#include "compress/deflate.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "compress/bitstream.h"
+#include "compress/huffman.h"
+#include "compress/varint.h"
+
+namespace dslog {
+
+namespace {
+
+// --- LZ77 parameters (RFC 1951 geometry) ---------------------------------
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowSize = 32768;
+constexpr int kHashBits = 15;
+constexpr int kHashSize = 1 << kHashBits;
+constexpr int kMaxChain = 64;
+
+// Literal/length alphabet: 0..255 literals, 256 end-of-block,
+// 257..285 length codes. Distance alphabet: 0..29.
+constexpr int kNumLitLen = 286;
+constexpr int kNumDist = 30;
+constexpr int kEob = 256;
+constexpr int kMaxCodeLen = 15;
+
+// RFC 1951 length code table: base length and extra bits per code 257+i.
+constexpr int kLengthBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                 15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr int kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                  2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// RFC 1951 distance code table: base distance and extra bits per code.
+constexpr int kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,    13,
+                               17,   25,   33,   49,   65,   97,    129,  193,
+                               257,  385,  513,  769,  1025, 1537,  2049, 3073,
+                               4097, 6145, 8193, 12289, 16385, 24577};
+constexpr int kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5, 5, 6,
+                                6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int LengthToCode(int len) {
+  DSLOG_DCHECK(len >= kMinMatch && len <= kMaxMatch);
+  for (int i = 28; i >= 0; --i)
+    if (len >= kLengthBase[i]) return i;
+  return 0;
+}
+
+int DistToCode(int dist) {
+  DSLOG_DCHECK(dist >= 1 && dist <= kWindowSize);
+  for (int i = 29; i >= 0; --i)
+    if (dist >= kDistBase[i]) return i;
+  return 0;
+}
+
+struct Token {
+  bool is_match;
+  // Literal payload:
+  uint8_t literal;
+  // Match payload:
+  int length;
+  int distance;
+};
+
+uint32_t HashAt(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Greedy hash-chain LZ77 tokenizer.
+std::vector<Token> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
+  const size_t n = input.size();
+  tokens.reserve(n / 4);
+
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(n, -1);
+
+  size_t i = 0;
+  while (i < n) {
+    int best_len = 0;
+    int64_t best_pos = -1;
+    if (i + 4 <= n) {
+      uint32_t h = HashAt(data + i);
+      int64_t cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && i - static_cast<size_t>(cand) <= kWindowSize &&
+             chain < kMaxChain) {
+        // Extend the match.
+        size_t max_len = std::min<size_t>(kMaxMatch, n - i);
+        size_t l = 0;
+        const unsigned char* a = data + cand;
+        const unsigned char* b = data + i;
+        while (l < max_len && a[l] == b[l]) ++l;
+        if (static_cast<int>(l) > best_len) {
+          best_len = static_cast<int>(l);
+          best_pos = cand;
+          if (best_len >= kMaxMatch) break;
+        }
+        cand = prev[static_cast<size_t>(cand)];
+        ++chain;
+      }
+      prev[i] = head[h];
+      head[h] = static_cast<int64_t>(i);
+    }
+    if (best_len >= kMinMatch) {
+      tokens.push_back(Token{true, 0, best_len,
+                             static_cast<int>(i - static_cast<size_t>(best_pos))});
+      // Insert hash entries for skipped positions (cheap variant: only a few).
+      size_t end = i + static_cast<size_t>(best_len);
+      for (size_t j = i + 1; j < end && j + 4 <= n; ++j) {
+        uint32_t h = HashAt(data + j);
+        prev[j] = head[h];
+        head[h] = static_cast<int64_t>(j);
+      }
+      i = end;
+    } else {
+      tokens.push_back(Token{false, data[i], 0, 0});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+void WriteCodeLengths(const std::vector<int>& lengths, std::string* out) {
+  // Nibble-packed code lengths (max 15 fits in 4 bits).
+  for (size_t i = 0; i < lengths.size(); i += 2) {
+    int lo = lengths[i];
+    int hi = (i + 1 < lengths.size()) ? lengths[i + 1] : 0;
+    out->push_back(static_cast<char>((lo & 0xF) | ((hi & 0xF) << 4)));
+  }
+}
+
+bool ReadCodeLengths(const std::string& src, size_t* pos, size_t count,
+                     std::vector<int>* lengths) {
+  size_t bytes = (count + 1) / 2;
+  if (*pos + bytes > src.size()) return false;
+  lengths->resize(count);
+  for (size_t i = 0; i < count; i += 2) {
+    uint8_t b = static_cast<uint8_t>(src[*pos + i / 2]);
+    (*lengths)[i] = b & 0xF;
+    if (i + 1 < count) (*lengths)[i + 1] = (b >> 4) & 0xF;
+  }
+  *pos += bytes;
+  return true;
+}
+
+constexpr char kMagic[4] = {'D', 'S', 'L', 'Z'};
+constexpr uint8_t kFormatStored = 0;
+constexpr uint8_t kFormatHuffman = 1;
+
+}  // namespace
+
+std::string DeflateCompress(const std::string& input) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutVarint64(&out, input.size());
+  if (input.empty()) {
+    out.push_back(static_cast<char>(kFormatStored));
+    return out;
+  }
+
+  std::vector<Token> tokens = Tokenize(input);
+
+  // Gather symbol statistics.
+  std::vector<uint64_t> lit_freq(kNumLitLen, 0);
+  std::vector<uint64_t> dist_freq(kNumDist, 0);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      lit_freq[static_cast<size_t>(257 + LengthToCode(t.length))]++;
+      dist_freq[static_cast<size_t>(DistToCode(t.distance))]++;
+    } else {
+      lit_freq[t.literal]++;
+    }
+  }
+  lit_freq[kEob]++;
+
+  std::vector<int> lit_lens = BuildHuffmanCodeLengths(lit_freq, kMaxCodeLen);
+  std::vector<int> dist_lens = BuildHuffmanCodeLengths(dist_freq, kMaxCodeLen);
+  std::vector<uint32_t> lit_codes = CanonicalCodes(lit_lens);
+  std::vector<uint32_t> dist_codes = CanonicalCodes(dist_lens);
+
+  std::string body;
+  WriteCodeLengths(lit_lens, &body);
+  WriteCodeLengths(dist_lens, &body);
+  BitWriter writer(&body);
+  for (const Token& t : tokens) {
+    if (t.is_match) {
+      int lc = LengthToCode(t.length);
+      int sym = 257 + lc;
+      writer.Write(lit_codes[static_cast<size_t>(sym)],
+                   lit_lens[static_cast<size_t>(sym)]);
+      if (kLengthExtra[lc] > 0)
+        writer.Write(static_cast<uint64_t>(t.length - kLengthBase[lc]),
+                     kLengthExtra[lc]);
+      int dc = DistToCode(t.distance);
+      writer.Write(dist_codes[static_cast<size_t>(dc)],
+                   dist_lens[static_cast<size_t>(dc)]);
+      if (kDistExtra[dc] > 0)
+        writer.Write(static_cast<uint64_t>(t.distance - kDistBase[dc]),
+                     kDistExtra[dc]);
+    } else {
+      writer.Write(lit_codes[t.literal], lit_lens[t.literal]);
+    }
+  }
+  writer.Write(lit_codes[kEob], lit_lens[kEob]);
+  writer.Finish();
+
+  if (body.size() + 1 >= input.size() + 1) {
+    // Incompressible: store raw.
+    out.push_back(static_cast<char>(kFormatStored));
+    out.append(input);
+  } else {
+    out.push_back(static_cast<char>(kFormatHuffman));
+    out.append(body);
+  }
+  return out;
+}
+
+Result<std::string> DeflateDecompress(const std::string& input) {
+  size_t pos = 0;
+  if (input.size() < 5 || std::memcmp(input.data(), kMagic, 4) != 0)
+    return Status::Corruption("DSLZ: bad magic");
+  pos = 4;
+  uint64_t raw_size;
+  if (!GetVarint64(input, &pos, &raw_size))
+    return Status::Corruption("DSLZ: bad size varint");
+  if (pos >= input.size() && raw_size > 0)
+    return Status::Corruption("DSLZ: truncated header");
+  uint8_t format = raw_size == 0 && pos >= input.size()
+                       ? kFormatStored
+                       : static_cast<uint8_t>(input[pos++]);
+  if (format == kFormatStored) {
+    if (input.size() - pos != raw_size)
+      return Status::Corruption("DSLZ: stored size mismatch");
+    return input.substr(pos);
+  }
+  if (format != kFormatHuffman) return Status::Corruption("DSLZ: bad format");
+
+  std::vector<int> lit_lens, dist_lens;
+  if (!ReadCodeLengths(input, &pos, kNumLitLen, &lit_lens) ||
+      !ReadCodeLengths(input, &pos, kNumDist, &dist_lens))
+    return Status::Corruption("DSLZ: truncated code lengths");
+
+  HuffmanDecoder lit_dec;
+  if (!lit_dec.Init(lit_lens)) return Status::Corruption("DSLZ: bad lit tree");
+  HuffmanDecoder dist_dec;
+  bool has_dist = false;
+  for (int l : dist_lens) has_dist |= (l > 0);
+  if (has_dist && !dist_dec.Init(dist_lens))
+    return Status::Corruption("DSLZ: bad dist tree");
+
+  std::string out;
+  out.reserve(raw_size);
+  BitReader reader(input, pos);
+  while (out.size() < raw_size) {
+    int sym;
+    if (!lit_dec.Decode(&reader, &sym))
+      return Status::Corruption("DSLZ: truncated stream");
+    if (sym < 256) {
+      out.push_back(static_cast<char>(sym));
+    } else if (sym == kEob) {
+      return Status::Corruption("DSLZ: early end of block");
+    } else {
+      int lc = sym - 257;
+      if (lc >= 29) return Status::Corruption("DSLZ: bad length code");
+      uint64_t extra = 0;
+      if (kLengthExtra[lc] > 0 && !reader.Read(kLengthExtra[lc], &extra))
+        return Status::Corruption("DSLZ: truncated length extra");
+      int length = kLengthBase[lc] + static_cast<int>(extra);
+      int dc;
+      if (!has_dist || !dist_dec.Decode(&reader, &dc))
+        return Status::Corruption("DSLZ: truncated distance");
+      if (dc >= 30) return Status::Corruption("DSLZ: bad distance code");
+      extra = 0;
+      if (kDistExtra[dc] > 0 && !reader.Read(kDistExtra[dc], &extra))
+        return Status::Corruption("DSLZ: truncated distance extra");
+      int dist = kDistBase[dc] + static_cast<int>(extra);
+      if (static_cast<size_t>(dist) > out.size())
+        return Status::Corruption("DSLZ: distance before start");
+      size_t from = out.size() - static_cast<size_t>(dist);
+      for (int k = 0; k < length; ++k) out.push_back(out[from + static_cast<size_t>(k)]);
+    }
+  }
+  // Expect the end-of-block marker.
+  int sym;
+  if (!lit_dec.Decode(&reader, &sym) || sym != kEob)
+    return Status::Corruption("DSLZ: missing end of block");
+  return out;
+}
+
+}  // namespace dslog

@@ -1,0 +1,24 @@
+// Deflate-style general-purpose compressor: LZ77 (hash-chain matcher, 32 KiB
+// window) + canonical Huffman coding of literal/length and distance
+// alphabets. This is the repository's substitute for GZip — same algorithm
+// family as RFC 1951, with a simplified self-describing container (explicit
+// code-length tables, single stream, stored-block fallback).
+
+#ifndef DSLOG_COMPRESS_DEFLATE_H_
+#define DSLOG_COMPRESS_DEFLATE_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace dslog {
+
+/// Compresses `input` into the DSLZ container format.
+std::string DeflateCompress(const std::string& input);
+
+/// Decompresses a DSLZ buffer. Fails with Corruption on malformed input.
+Result<std::string> DeflateDecompress(const std::string& input);
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMPRESS_DEFLATE_H_

@@ -1,0 +1,179 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dslog {
+
+namespace {
+
+struct Node {
+  uint64_t freq;
+  int symbol;  // -1 for internal
+  int left = -1, right = -1;
+};
+
+// Depth-assignment over the explicit tree (iterative DFS).
+void AssignDepths(const std::vector<Node>& nodes, int root,
+                  std::vector<int>* depths) {
+  std::vector<std::pair<int, int>> stack = {{root, 0}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[idx];
+    if (n.symbol >= 0) {
+      (*depths)[n.symbol] = std::max(d, 1);
+    } else {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+}
+
+// One round of Huffman construction; returns per-symbol depths (0 = unused).
+std::vector<int> BuildOnce(const std::vector<uint64_t>& freqs) {
+  int n = static_cast<int>(freqs.size());
+  std::vector<Node> nodes;
+  using Entry = std::pair<uint64_t, int>;  // (freq, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int i = 0; i < n; ++i) {
+    if (freqs[i] > 0) {
+      nodes.push_back({freqs[i], i});
+      heap.push({freqs[i], static_cast<int>(nodes.size()) - 1});
+    }
+  }
+  std::vector<int> depths(n, 0);
+  if (nodes.empty()) return depths;
+  if (nodes.size() == 1) {
+    depths[nodes[0].symbol] = 1;
+    return depths;
+  }
+  while (heap.size() > 1) {
+    auto [fa, a] = heap.top();
+    heap.pop();
+    auto [fb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({fa + fb, -1, a, b});
+    heap.push({fa + fb, static_cast<int>(nodes.size()) - 1});
+  }
+  AssignDepths(nodes, heap.top().second, &depths);
+  return depths;
+}
+
+}  // namespace
+
+std::vector<int> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                         int max_len) {
+  std::vector<uint64_t> f = freqs;
+  while (true) {
+    std::vector<int> depths = BuildOnce(f);
+    int deepest = 0;
+    for (int d : depths) deepest = std::max(deepest, d);
+    if (deepest <= max_len) return depths;
+    // Damp frequencies (zlib heuristic) and retry; converges because all
+    // frequencies tend to 1 and the alphabet is small.
+    for (auto& v : f)
+      if (v > 0) v = (v + 1) / 2;
+  }
+}
+
+std::vector<uint32_t> CanonicalCodes(const std::vector<int>& lengths) {
+  int n = static_cast<int>(lengths.size());
+  int max_len = 0;
+  for (int l : lengths) max_len = std::max(max_len, l);
+  std::vector<int> count(static_cast<size_t>(max_len) + 1, 0);
+  for (int l : lengths)
+    if (l > 0) count[static_cast<size_t>(l)]++;
+  std::vector<uint32_t> next(static_cast<size_t>(max_len) + 1, 0);
+  uint32_t code = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    code = (code + static_cast<uint32_t>(count[static_cast<size_t>(l) - 1])) << 1;
+    next[static_cast<size_t>(l)] = code;
+  }
+  std::vector<uint32_t> codes(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    int l = lengths[static_cast<size_t>(i)];
+    if (l == 0) continue;
+    uint32_t c = next[static_cast<size_t>(l)]++;
+    // Bit-reverse to length l so the code can be emitted into the LSB-first
+    // bitstream and decoded MSB-of-code-first.
+    uint32_t r = 0;
+    for (int b = 0; b < l; ++b) r |= ((c >> b) & 1u) << (l - 1 - b);
+    codes[static_cast<size_t>(i)] = r;
+  }
+  return codes;
+}
+
+bool HuffmanDecoder::Init(const std::vector<int>& lengths) {
+  max_len_ = 0;
+  for (int l : lengths) max_len_ = std::max(max_len_, l);
+  single_symbol_ = -1;
+  int used = 0, last = -1;
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      ++used;
+      last = static_cast<int>(i);
+    }
+  }
+  if (used == 0) return false;
+  if (used == 1) {
+    single_symbol_ = last;
+    return true;
+  }
+  std::vector<int> count(static_cast<size_t>(max_len_) + 1, 0);
+  for (int l : lengths)
+    if (l > 0) count[static_cast<size_t>(l)]++;
+  // Kraft check.
+  uint64_t kraft = 0;
+  for (int l = 1; l <= max_len_; ++l)
+    kraft += static_cast<uint64_t>(count[static_cast<size_t>(l)])
+             << (max_len_ - l);
+  if (kraft != (1ULL << max_len_)) return false;
+
+  first_code_.assign(static_cast<size_t>(max_len_) + 1, 0);
+  first_index_.assign(static_cast<size_t>(max_len_) + 1, 0);
+  uint32_t code = 0;
+  int index = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code + static_cast<uint32_t>(count[static_cast<size_t>(l) - 1])) << 1;
+    first_code_[static_cast<size_t>(l)] = code;
+    first_index_[static_cast<size_t>(l)] = index;
+    index += count[static_cast<size_t>(l)];
+  }
+  sorted_symbols_.clear();
+  for (int l = 1; l <= max_len_; ++l)
+    for (size_t i = 0; i < lengths.size(); ++i)
+      if (lengths[i] == l) sorted_symbols_.push_back(static_cast<int>(i));
+  // Rebuild count for decode bounds.
+  count_per_len_ = count;
+  return true;
+}
+
+bool HuffmanDecoder::Decode(BitReader* reader, int* symbol) const {
+  if (single_symbol_ >= 0) {
+    // Degenerate tree: one 1-bit code.
+    uint64_t bit;
+    if (!reader->ReadBit(&bit)) return false;
+    *symbol = single_symbol_;
+    return true;
+  }
+  uint32_t code = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    uint64_t bit;
+    if (!reader->ReadBit(&bit)) return false;
+    code = (code << 1) | static_cast<uint32_t>(bit);
+    int cnt = count_per_len_[static_cast<size_t>(l)];
+    if (cnt > 0 && code >= first_code_[static_cast<size_t>(l)] &&
+        code < first_code_[static_cast<size_t>(l)] + static_cast<uint32_t>(cnt)) {
+      *symbol = sorted_symbols_[static_cast<size_t>(
+          first_index_[static_cast<size_t>(l)] +
+          static_cast<int>(code - first_code_[static_cast<size_t>(l)]))];
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dslog

@@ -1,0 +1,49 @@
+// Canonical, length-limited Huffman coding over arbitrary small alphabets.
+// Shared by the Deflate-style compressor (literal/length + distance trees).
+
+#ifndef DSLOG_COMPRESS_HUFFMAN_H_
+#define DSLOG_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/bitstream.h"
+
+namespace dslog {
+
+/// Computes canonical code lengths (<= max_len) for the given symbol
+/// frequencies. Symbols with zero frequency get length 0 (no code). If the
+/// optimal tree exceeds max_len, frequencies are damped and rebuilt (the
+/// zlib heuristic), preserving optimality within the depth limit closely.
+std::vector<int> BuildHuffmanCodeLengths(const std::vector<uint64_t>& freqs,
+                                         int max_len);
+
+/// Assigns canonical codes (LSB-first bit-reversed, deflate convention) for
+/// code lengths. codes[i] is valid when lengths[i] > 0.
+std::vector<uint32_t> CanonicalCodes(const std::vector<int>& lengths);
+
+/// Canonical Huffman decoder built from code lengths.
+class HuffmanDecoder {
+ public:
+  /// Returns false if the code lengths do not form a valid prefix code
+  /// (over- or under-subscribed Kraft sum), except the degenerate 1-symbol
+  /// alphabet which is handled specially.
+  bool Init(const std::vector<int>& lengths);
+
+  /// Decodes one symbol from the reader. Returns false on stream error.
+  bool Decode(BitReader* reader, int* symbol) const;
+
+ private:
+  // first_code_[l], first_index_[l]: canonical decoding tables per length.
+  std::vector<uint32_t> first_code_;
+  std::vector<int> first_index_;
+  std::vector<int> count_per_len_;
+  std::vector<int> sorted_symbols_;
+  int max_len_ = 0;
+  int single_symbol_ = -1;  // degenerate alphabet with one used symbol
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMPRESS_HUFFMAN_H_

@@ -1,0 +1,180 @@
+#include "compress/range_coder.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/varint.h"
+
+namespace dslog {
+
+namespace {
+
+constexpr uint32_t kTop = 1u << 24;
+constexpr int kNumSymbols = 256;
+constexpr uint32_t kIncrement = 24;
+constexpr uint32_t kMaxTotal = 1u << 16;
+
+/// Adaptive order-0 frequency model with periodic halving.
+class ByteModel {
+ public:
+  ByteModel() : freq_(kNumSymbols, 1), total_(kNumSymbols) {}
+
+  /// Cumulative frequency below `symbol`.
+  uint32_t CumFreq(int symbol) const {
+    uint32_t c = 0;
+    for (int i = 0; i < symbol; ++i) c += freq_[static_cast<size_t>(i)];
+    return c;
+  }
+
+  uint32_t Freq(int symbol) const { return freq_[static_cast<size_t>(symbol)]; }
+  uint32_t Total() const { return total_; }
+
+  /// Finds the symbol covering cumulative value `f`, returning its low bound.
+  int FindSymbol(uint32_t f, uint32_t* cum_lo) const {
+    uint32_t c = 0;
+    for (int i = 0; i < kNumSymbols; ++i) {
+      uint32_t nf = freq_[static_cast<size_t>(i)];
+      if (f < c + nf) {
+        *cum_lo = c;
+        return i;
+      }
+      c += nf;
+    }
+    *cum_lo = c - freq_[kNumSymbols - 1];
+    return kNumSymbols - 1;
+  }
+
+  void Update(int symbol) {
+    freq_[static_cast<size_t>(symbol)] += kIncrement;
+    total_ += kIncrement;
+    if (total_ >= kMaxTotal) {
+      total_ = 0;
+      for (auto& f : freq_) {
+        f = (f + 1) >> 1;
+        total_ += f;
+      }
+    }
+  }
+
+ private:
+  std::vector<uint32_t> freq_;
+  uint32_t total_;
+};
+
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::string* out) : out_(out) {}
+
+  void Encode(uint32_t cum_lo, uint32_t freq, uint32_t total) {
+    uint32_t r = range_ / total;
+    low_ += static_cast<uint64_t>(r) * cum_lo;
+    range_ = r * freq;
+    while (range_ < kTop) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+
+  void Flush() {
+    for (int i = 0; i < 5; ++i) ShiftLow();
+  }
+
+ private:
+  void ShiftLow() {
+    if (static_cast<uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+      uint8_t temp = cache_;
+      do {
+        out_->push_back(static_cast<char>(temp + carry));
+        temp = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFull) << 8;
+  }
+
+  std::string* out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  /// Initializes from the stream; consumes 5 bytes (first is a pad byte).
+  bool Init(const std::string& src, size_t* pos) {
+    if (*pos + 5 > src.size()) return false;
+    ++(*pos);  // skip encoder pad byte
+    code_ = 0;
+    for (int i = 0; i < 4; ++i)
+      code_ = (code_ << 8) | static_cast<uint8_t>(src[(*pos)++]);
+    src_ = &src;
+    pos_ = *pos;
+    return true;
+  }
+
+  uint32_t GetFreq(uint32_t total) {
+    range_ /= total;
+    uint32_t f = code_ / range_;
+    return f >= total ? total - 1 : f;
+  }
+
+  void Decode(uint32_t cum_lo, uint32_t freq) {
+    code_ -= cum_lo * range_;
+    range_ *= freq;
+    while (range_ < kTop) {
+      uint8_t next = pos_ < src_->size() ? static_cast<uint8_t>((*src_)[pos_++]) : 0;
+      code_ = (code_ << 8) | next;
+      range_ <<= 8;
+    }
+  }
+
+ private:
+  const std::string* src_ = nullptr;
+  size_t pos_ = 0;
+  uint32_t code_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+};
+
+}  // namespace
+
+std::string RangeCoderCompress(const std::string& input) {
+  std::string out;
+  PutVarint64(&out, input.size());
+  ByteModel model;
+  RangeEncoder enc(&out);
+  for (char c : input) {
+    int sym = static_cast<uint8_t>(c);
+    enc.Encode(model.CumFreq(sym), model.Freq(sym), model.Total());
+    model.Update(sym);
+  }
+  enc.Flush();
+  return out;
+}
+
+Result<std::string> RangeCoderDecompress(const std::string& input) {
+  size_t pos = 0;
+  uint64_t n;
+  if (!GetVarint64(input, &pos, &n))
+    return Status::Corruption("range coder: bad header");
+  std::string out;
+  out.reserve(n);
+  if (n == 0) return out;
+  ByteModel model;
+  RangeDecoder dec;
+  if (!dec.Init(input, &pos))
+    return Status::Corruption("range coder: truncated stream");
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t f = dec.GetFreq(model.Total());
+    uint32_t cum_lo;
+    int sym = model.FindSymbol(f, &cum_lo);
+    dec.Decode(cum_lo, model.Freq(sym));
+    out.push_back(static_cast<char>(sym));
+    model.Update(sym);
+  }
+  return out;
+}
+
+}  // namespace dslog

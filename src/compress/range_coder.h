@@ -1,0 +1,22 @@
+// Adaptive order-0 byte range coder (LZMA-style carry handling). This is the
+// "integer entropy coding" stage of the Turbo-RC baseline: a real arithmetic
+// coder over the byte stream produced by the RLE front end.
+
+#ifndef DSLOG_COMPRESS_RANGE_CODER_H_
+#define DSLOG_COMPRESS_RANGE_CODER_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace dslog {
+
+/// Compresses `input` with an adaptive order-0 model.
+std::string RangeCoderCompress(const std::string& input);
+
+/// Inverse of RangeCoderCompress.
+Result<std::string> RangeCoderDecompress(const std::string& input);
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMPRESS_RANGE_CODER_H_

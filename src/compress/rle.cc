@@ -1,0 +1,123 @@
+#include "compress/rle.h"
+
+#include "common/check.h"
+#include "compress/bitpack.h"
+#include "compress/varint.h"
+
+namespace dslog {
+
+void RlePairsEncode(const std::vector<int64_t>& values, std::string* dst) {
+  PutVarint64(dst, values.size());
+  int64_t prev = 0;
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    PutVarintSigned(dst, values[i] - prev);
+    PutVarint64(dst, j - i);
+    prev = values[i];
+    i = j;
+  }
+}
+
+bool RlePairsDecode(const std::string& src, size_t* pos,
+                    std::vector<int64_t>* out) {
+  uint64_t n;
+  if (!GetVarint64(src, pos, &n)) return false;
+  out->reserve(out->size() + n);
+  int64_t prev = 0;
+  uint64_t produced = 0;
+  while (produced < n) {
+    int64_t delta;
+    uint64_t run;
+    if (!GetVarintSigned(src, pos, &delta)) return false;
+    if (!GetVarint64(src, pos, &run)) return false;
+    if (run == 0 || produced + run > n) return false;
+    int64_t v = prev + delta;
+    for (uint64_t k = 0; k < run; ++k) out->push_back(v);
+    prev = v;
+    produced += run;
+  }
+  return true;
+}
+
+namespace {
+
+// Emits a bit-packed group header + payload for values[start, end).
+// The group is padded to a multiple of 8 values with zeros.
+void EmitBitPackedGroup(const std::vector<uint64_t>& values, size_t start,
+                        size_t end, int bit_width, std::string* dst) {
+  size_t n = end - start;
+  size_t groups = (n + 7) / 8;
+  PutVarint64(dst, (groups << 1) | 1);
+  std::vector<uint64_t> padded(values.begin() + static_cast<long>(start),
+                               values.begin() + static_cast<long>(end));
+  padded.resize(groups * 8, 0);
+  BitPack(padded, bit_width, dst);
+}
+
+}  // namespace
+
+void HybridRleEncode(const std::vector<uint64_t>& values, int bit_width,
+                     std::string* dst) {
+  // Bit-packed groups hold a multiple of 8 *real* values; zero padding is
+  // legal only at the very end of the stream (Parquet rule). A run may
+  // therefore donate its first few values to pad the pending bit-packed
+  // region up to a group boundary before switching to RLE.
+  constexpr size_t kMinRun = 8;
+  size_t i = 0;
+  size_t pending_start = 0;  // start of an unfinished bit-packed region
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    size_t run = j - i;
+    size_t pad = (8 - (i - pending_start) % 8) % 8;
+    if (run >= pad + kMinRun) {
+      if (pending_start < i + pad)
+        EmitBitPackedGroup(values, pending_start, i + pad, bit_width, dst);
+      PutVarint64(dst, (run - pad) << 1);  // RLE run header (lsb 0)
+      // Value stored in ceil(bit_width / 8) little-endian bytes.
+      int value_bytes = (bit_width + 7) / 8;
+      uint64_t v = values[i];
+      for (int b = 0; b < value_bytes; ++b)
+        dst->push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
+      pending_start = j;
+    }
+    i = j;
+  }
+  if (pending_start < values.size())
+    EmitBitPackedGroup(values, pending_start, values.size(), bit_width, dst);
+}
+
+bool HybridRleDecode(const std::string& src, size_t* pos, size_t count,
+                     int bit_width, std::vector<uint64_t>* out) {
+  out->reserve(out->size() + count);
+  size_t produced = 0;
+  while (produced < count) {
+    uint64_t header;
+    if (!GetVarint64(src, pos, &header)) return false;
+    if (header & 1) {
+      size_t groups = header >> 1;
+      std::vector<uint64_t> vals;
+      if (!BitUnpack(src, pos, groups * 8, bit_width, &vals)) return false;
+      size_t take = std::min(vals.size(), count - produced);
+      out->insert(out->end(), vals.begin(), vals.begin() + static_cast<long>(take));
+      produced += take;
+    } else {
+      uint64_t run = header >> 1;
+      if (run == 0 || produced + run > count) return false;
+      int value_bytes = (bit_width + 7) / 8;
+      if (*pos + static_cast<size_t>(value_bytes) > src.size()) return false;
+      uint64_t v = 0;
+      for (int b = 0; b < value_bytes; ++b)
+        v |= static_cast<uint64_t>(static_cast<uint8_t>(src[*pos + static_cast<size_t>(b)]))
+             << (8 * b);
+      *pos += static_cast<size_t>(value_bytes);
+      for (uint64_t k = 0; k < run; ++k) out->push_back(v);
+      produced += run;
+    }
+  }
+  return produced == count;
+}
+
+}  // namespace dslog

@@ -1,0 +1,35 @@
+// Run-length encodings:
+//  - RlePairs:   (value, run) pairs, zigzag-delta varints — the front end of
+//                the Turbo-RC baseline (run-length + entropy coding).
+//  - HybridRle:  Parquet-style RLE / bit-packed hybrid used for dictionary
+//                indices in the Colstore baseline.
+
+#ifndef DSLOG_COMPRESS_RLE_H_
+#define DSLOG_COMPRESS_RLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dslog {
+
+/// Encodes `values` as (delta-coded value, run-length) varint pairs.
+void RlePairsEncode(const std::vector<int64_t>& values, std::string* dst);
+
+/// Decodes a RlePairsEncode stream (whole buffer from `*pos`).
+bool RlePairsDecode(const std::string& src, size_t* pos,
+                    std::vector<int64_t>* out);
+
+/// Parquet-style hybrid encoding of non-negative values at a fixed bit width:
+/// runs of >= 8 identical values become RLE runs; other regions are
+/// bit-packed in groups of 8.
+void HybridRleEncode(const std::vector<uint64_t>& values, int bit_width,
+                     std::string* dst);
+
+/// Decodes `count` values from a HybridRleEncode stream.
+bool HybridRleDecode(const std::string& src, size_t* pos, size_t count,
+                     int bit_width, std::vector<uint64_t>* out);
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMPRESS_RLE_H_

@@ -1,0 +1,58 @@
+#include "compress/varint.h"
+
+namespace dslog {
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+bool GetVarint64(const std::string& src, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (p < src.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(src[p++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) {
+      *pos = p;
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+bool GetFixed32(const std::string& src, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > src.size()) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(src[*pos + i])) << (8 * i);
+  *pos += 4;
+  *out = v;
+  return true;
+}
+
+bool GetFixed64(const std::string& src, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > src.size()) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(src[*pos + i])) << (8 * i);
+  *pos += 8;
+  *out = v;
+  return true;
+}
+
+}  // namespace dslog

@@ -1,0 +1,46 @@
+// LEB128 varint and zigzag coding. The byte-buffer type across the
+// compression layer is std::string (RocksDB convention).
+
+#ifndef DSLOG_COMPRESS_VARINT_H_
+#define DSLOG_COMPRESS_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dslog {
+
+/// Appends an unsigned varint (LEB128, 1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Decodes a varint at `*pos`, advancing it. Returns false on truncation.
+bool GetVarint64(const std::string& src, size_t* pos, uint64_t* out);
+
+/// Zigzag maps signed to unsigned so small magnitudes stay small.
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends a zigzag-varint signed value.
+inline void PutVarintSigned(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigzagEncode(v));
+}
+/// Decodes a zigzag-varint signed value.
+inline bool GetVarintSigned(const std::string& src, size_t* pos, int64_t* out) {
+  uint64_t u;
+  if (!GetVarint64(src, pos, &u)) return false;
+  *out = ZigzagDecode(u);
+  return true;
+}
+
+/// Appends a fixed-width little-endian integer.
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+bool GetFixed32(const std::string& src, size_t* pos, uint32_t* out);
+bool GetFixed64(const std::string& src, size_t* pos, uint64_t* out);
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMPRESS_VARINT_H_

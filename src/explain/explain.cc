@@ -1,0 +1,225 @@
+#include "explain/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace dslog {
+
+namespace {
+
+// Solves the S x S linear system A w = b in place (Gaussian elimination
+// with partial pivoting). Returns false when singular.
+bool SolveLinearSystem(std::vector<double>* a, std::vector<double>* b, int n) {
+  auto& A = *a;
+  auto& B = *b;
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r)
+      if (std::fabs(A[static_cast<size_t>(r * n + col)]) >
+          std::fabs(A[static_cast<size_t>(pivot * n + col)]))
+        pivot = r;
+    if (std::fabs(A[static_cast<size_t>(pivot * n + col)]) < 1e-12) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c)
+        std::swap(A[static_cast<size_t>(col * n + c)],
+                  A[static_cast<size_t>(pivot * n + c)]);
+      std::swap(B[static_cast<size_t>(col)], B[static_cast<size_t>(pivot)]);
+    }
+    double d = A[static_cast<size_t>(col * n + col)];
+    for (int r = col + 1; r < n; ++r) {
+      double f = A[static_cast<size_t>(r * n + col)] / d;
+      if (f == 0) continue;
+      for (int c = col; c < n; ++c)
+        A[static_cast<size_t>(r * n + c)] -= f * A[static_cast<size_t>(col * n + c)];
+      B[static_cast<size_t>(r)] -= f * B[static_cast<size_t>(col)];
+    }
+  }
+  for (int col = n - 1; col >= 0; --col) {
+    double v = B[static_cast<size_t>(col)];
+    for (int c = col + 1; c < n; ++c)
+      v -= A[static_cast<size_t>(col * n + c)] * B[static_cast<size_t>(c)];
+    B[static_cast<size_t>(col)] = v / A[static_cast<size_t>(col * n + col)];
+  }
+  return true;
+}
+
+}  // namespace
+
+TinyDetector::TinyDetector()
+    : kernel_{0.5, 1.0, 0.5, 1.0, 2.0, 1.0, 0.5, 1.0, 0.5} {}
+
+Result<NDArray> TinyDetector::Evaluate(const NDArray& frame) const {
+  if (frame.ndim() != 2)
+    return Status::InvalidArgument("TinyDetector: 2-D frame required");
+  int64_t h = frame.shape()[0], w = frame.shape()[1];
+  if (h < 3 || w < 3)
+    return Status::InvalidArgument("TinyDetector: frame too small");
+  // Blob response map (valid convolution).
+  double best = -1e300;
+  int64_t by = 1, bx = 1;
+  for (int64_t y = 1; y + 1 < h; ++y) {
+    for (int64_t x = 1; x + 1 < w; ++x) {
+      double acc = 0;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx)
+          acc += kernel_[static_cast<size_t>((dy + 1) * 3 + (dx + 1))] *
+                 frame[(y + dy) * w + (x + dx)];
+      if (acc > best) {
+        best = acc;
+        by = y;
+        bx = x;
+      }
+    }
+  }
+  // Box extent: grow while response stays above half peak.
+  double mean = 0;
+  for (int64_t i = 0; i < frame.size(); ++i) mean += frame[i];
+  mean /= static_cast<double>(frame.size());
+  NDArray det({6});
+  det[0] = static_cast<double>(bx);
+  det[1] = static_cast<double>(by);
+  det[2] = static_cast<double>(std::min<int64_t>(w / 4, 8));
+  det[3] = static_cast<double>(std::min<int64_t>(h / 4, 8));
+  det[4] = best / (9.0 * (std::fabs(mean) + 1e-9));  // confidence
+  det[5] = best > 9.0 * mean ? 1.0 : 0.0;            // "car" class flag
+  return det;
+}
+
+Result<LineageRelation> LimeCapture(const NDArray& frame,
+                                    const TinyDetector& detector,
+                                    const LimeOptions& options, Rng* rng) {
+  DSLOG_ASSIGN_OR_RETURN(NDArray base, detector.Evaluate(frame));
+  int64_t h = frame.shape()[0], w = frame.shape()[1];
+  const int grid = options.grid;
+  const int segments = grid * grid;
+  auto segment_of = [&](int64_t y, int64_t x) {
+    int sy = static_cast<int>(y * grid / h);
+    int sx = static_cast<int>(x * grid / w);
+    return sy * grid + sx;
+  };
+
+  // Perturbation samples: binary segment masks + detector responses.
+  const int n = options.num_samples;
+  std::vector<double> masks(static_cast<size_t>(n) * segments);
+  std::vector<std::vector<double>> responses(
+      6, std::vector<double>(static_cast<size_t>(n)));
+  NDArray perturbed = frame;
+  for (int s = 0; s < n; ++s) {
+    for (int g = 0; g < segments; ++g)
+      masks[static_cast<size_t>(s * segments + g)] =
+          rng->Bernoulli(0.5) ? 1.0 : 0.0;
+    for (int64_t y = 0; y < h; ++y)
+      for (int64_t x = 0; x < w; ++x)
+        perturbed[y * w + x] =
+            frame[y * w + x] *
+            masks[static_cast<size_t>(s * segments + segment_of(y, x))];
+    DSLOG_ASSIGN_OR_RETURN(NDArray det, detector.Evaluate(perturbed));
+    for (int d = 0; d < 6; ++d)
+      responses[static_cast<size_t>(d)][static_cast<size_t>(s)] = det[d];
+  }
+
+  // Ridge-regularized least squares per detection cell:
+  // (X^T X + eps I) w = X^T y.
+  std::vector<double> xtx(static_cast<size_t>(segments) * segments, 0.0);
+  for (int s = 0; s < n; ++s)
+    for (int g1 = 0; g1 < segments; ++g1) {
+      double v1 = masks[static_cast<size_t>(s * segments + g1)];
+      if (v1 == 0) continue;
+      for (int g2 = 0; g2 < segments; ++g2)
+        xtx[static_cast<size_t>(g1 * segments + g2)] +=
+            v1 * masks[static_cast<size_t>(s * segments + g2)];
+    }
+  for (int g = 0; g < segments; ++g)
+    xtx[static_cast<size_t>(g * segments + g)] += 1e-3;
+
+  LineageRelation rel(1, 2);
+  rel.set_shapes({6}, frame.shape());
+  for (int d = 0; d < 6; ++d) {
+    std::vector<double> a = xtx;
+    std::vector<double> b(static_cast<size_t>(segments), 0.0);
+    for (int s = 0; s < n; ++s) {
+      double y = responses[static_cast<size_t>(d)][static_cast<size_t>(s)] -
+                 base[d];
+      for (int g = 0; g < segments; ++g)
+        b[static_cast<size_t>(g)] +=
+            masks[static_cast<size_t>(s * segments + g)] * y;
+    }
+    if (!SolveLinearSystem(&a, &b, segments)) continue;
+    double max_w = 1e-12;
+    for (double v : b) max_w = std::max(max_w, std::fabs(v));
+    for (int g = 0; g < segments; ++g) {
+      if (std::fabs(b[static_cast<size_t>(g)]) / max_w < options.threshold)
+        continue;
+      // Link every pixel of this significant segment to detection cell d.
+      int sy = g / grid, sx = g % grid;
+      int64_t y0 = sy * h / grid, y1 = (sy + 1) * h / grid;
+      int64_t x0 = sx * w / grid, x1 = (sx + 1) * w / grid;
+      int64_t od[1] = {d};
+      for (int64_t y = y0; y < y1; ++y)
+        for (int64_t x = x0; x < x1; ++x) {
+          int64_t in_idx[2] = {y, x};
+          rel.Add(od, in_idx);
+        }
+    }
+  }
+  return rel;
+}
+
+Result<LineageRelation> DRiseCapture(const NDArray& frame,
+                                     const TinyDetector& detector,
+                                     const DRiseOptions& options, Rng* rng) {
+  DSLOG_ASSIGN_OR_RETURN(NDArray base, detector.Evaluate(frame));
+  int64_t h = frame.shape()[0], w = frame.shape()[1];
+  const int grid = options.mask_grid;
+
+  std::vector<double> saliency(static_cast<size_t>(frame.size()), 0.0);
+  std::vector<double> mask(static_cast<size_t>(grid) * grid);
+  NDArray masked = frame;
+  for (int s = 0; s < options.num_masks; ++s) {
+    for (auto& v : mask) v = rng->Bernoulli(options.keep_prob) ? 1.0 : 0.0;
+    auto mask_at = [&](int64_t y, int64_t x) {
+      int gy = static_cast<int>(y * grid / h);
+      int gx = static_cast<int>(x * grid / w);
+      return mask[static_cast<size_t>(gy * grid + gx)];
+    };
+    for (int64_t y = 0; y < h; ++y)
+      for (int64_t x = 0; x < w; ++x)
+        masked[y * w + x] = frame[y * w + x] * mask_at(y, x);
+    DSLOG_ASSIGN_OR_RETURN(NDArray det, detector.Evaluate(masked));
+    // Detection similarity: cosine between detection vectors.
+    double dot = 0, na = 0, nb = 0;
+    for (int d = 0; d < 6; ++d) {
+      dot += det[d] * base[d];
+      na += det[d] * det[d];
+      nb += base[d] * base[d];
+    }
+    double sim = dot / (std::sqrt(na * nb) + 1e-12);
+    for (int64_t y = 0; y < h; ++y)
+      for (int64_t x = 0; x < w; ++x)
+        saliency[static_cast<size_t>(y * w + x)] += sim * mask_at(y, x);
+  }
+
+  // Threshold at the requested quantile of the saliency distribution.
+  std::vector<double> sorted = saliency;
+  std::sort(sorted.begin(), sorted.end());
+  double cut = sorted[static_cast<size_t>(
+      std::min<double>(options.threshold * static_cast<double>(sorted.size()),
+                       static_cast<double>(sorted.size() - 1)))];
+
+  LineageRelation rel(1, 2);
+  rel.set_shapes({6}, frame.shape());
+  for (int64_t y = 0; y < h; ++y)
+    for (int64_t x = 0; x < w; ++x) {
+      if (saliency[static_cast<size_t>(y * w + x)] < cut) continue;
+      for (int64_t d = 0; d < 6; ++d) {
+        int64_t od[1] = {d};
+        int64_t in_idx[2] = {y, x};
+        rel.Add({od, 1}, in_idx);
+      }
+    }
+  return rel;
+}
+
+}  // namespace dslog

@@ -1,0 +1,64 @@
+// Explainable-AI lineage capture (ICDE'24 §VII.A.2). The paper runs LIME
+// and D-RISE over YOLOv4 detections on a VIRAT surveillance frame; this
+// module substitutes a deterministic tiny convolutional "detector" over a
+// synthetic frame and implements both perturbation-based attribution
+// methods from scratch. Both produce a bipartite weighted contribution
+// between input pixels and the 6-cell detection vector, thresholded into
+// lineage — the same partially-structured lineage shape Table VII's
+// Lime/DRISE rows exercise.
+
+#ifndef DSLOG_EXPLAIN_EXPLAIN_H_
+#define DSLOG_EXPLAIN_EXPLAIN_H_
+
+#include "array/ndarray.h"
+#include "common/result.h"
+#include "lineage/lineage_relation.h"
+
+namespace dslog {
+
+class Rng;
+
+/// Deterministic convolutional scorer: 3x3 edge/blob filters + pooling,
+/// producing a 6-cell detection vector (x, y, w, h, confidence, class) for
+/// the strongest blob in the frame.
+class TinyDetector {
+ public:
+  TinyDetector();
+
+  /// `frame` must be 2-D (grayscale). Returns the detection vector.
+  Result<NDArray> Evaluate(const NDArray& frame) const;
+
+ private:
+  std::vector<double> kernel_;  // 3x3 blob kernel
+};
+
+struct LimeOptions {
+  int grid = 8;            ///< superpixel grid (grid x grid segments)
+  int num_samples = 128;   ///< perturbation samples
+  double threshold = 0.05; ///< |weight| significance threshold
+};
+
+/// LIME capture: segments the frame into grid superpixels, samples random
+/// maskings, fits a least-squares surrogate per detection cell, and links
+/// every pixel of each significant segment to that cell.
+Result<LineageRelation> LimeCapture(const NDArray& frame,
+                                    const TinyDetector& detector,
+                                    const LimeOptions& options, Rng* rng);
+
+struct DRiseOptions {
+  int num_masks = 128;      ///< random coarse masks
+  int mask_grid = 6;        ///< coarse mask resolution
+  double keep_prob = 0.5;   ///< probability a coarse cell is kept
+  double threshold = 0.55;  ///< saliency quantile threshold
+};
+
+/// D-RISE capture: aggregates detection-similarity-weighted random masks
+/// into a saliency map and links every above-threshold pixel to every
+/// detection cell.
+Result<LineageRelation> DRiseCapture(const NDArray& frame,
+                                     const TinyDetector& detector,
+                                     const DRiseOptions& options, Rng* rng);
+
+}  // namespace dslog
+
+#endif  // DSLOG_EXPLAIN_EXPLAIN_H_

@@ -1,0 +1,74 @@
+#include "lineage/lineage_relation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace dslog {
+
+namespace {
+
+// Lexicographic comparison of two tuples of length `arity` in `flat`.
+struct TupleLess {
+  const int64_t* flat;
+  int arity;
+  bool operator()(int64_t a, int64_t b) const {
+    const int64_t* pa = flat + a * arity;
+    const int64_t* pb = flat + b * arity;
+    for (int k = 0; k < arity; ++k) {
+      if (pa[k] != pb[k]) return pa[k] < pb[k];
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void LineageRelation::SortAndDedup() {
+  int a = arity();
+  if (a == 0 || flat_.empty()) return;
+  int64_t n = num_rows();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), TupleLess{flat_.data(), a});
+  std::vector<int64_t> sorted;
+  sorted.reserve(flat_.size());
+  const int64_t* prev = nullptr;
+  for (int64_t idx : order) {
+    const int64_t* row = flat_.data() + idx * a;
+    if (prev != nullptr && std::equal(row, row + a, prev)) continue;
+    sorted.insert(sorted.end(), row, row + a);
+    prev = sorted.data() + sorted.size() - static_cast<size_t>(a);
+  }
+  flat_ = std::move(sorted);
+}
+
+bool LineageRelation::EqualAsSet(const LineageRelation& other) const {
+  if (out_ndim_ != other.out_ndim_ || in_ndim_ != other.in_ndim_) return false;
+  LineageRelation a = *this;
+  LineageRelation b = other;
+  a.SortAndDedup();
+  b.SortAndDedup();
+  return a.flat_ == b.flat_;
+}
+
+std::string LineageRelation::DebugString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << "LineageRelation(out_ndim=" << out_ndim_ << ", in_ndim=" << in_ndim_
+     << ", rows=" << num_rows() << ")\n";
+  int64_t n = std::min(num_rows(), max_rows);
+  for (int64_t i = 0; i < n; ++i) {
+    auto row = Row(i);
+    os << "  (";
+    for (size_t k = 0; k < row.size(); ++k) {
+      if (k) os << ", ";
+      if (static_cast<int>(k) == out_ndim_) os << "| ";
+      os << row[k];
+    }
+    os << ")\n";
+  }
+  if (num_rows() > max_rows) os << "  ...\n";
+  return os.str();
+}
+
+}  // namespace dslog

@@ -1,0 +1,87 @@
+// The uncompressed relational lineage model (ICDE'24 §III.B): one relation
+// R(b1..bl, a1..am) per (output array, input array) pair of an operation,
+// with one row per contribution pair B[b...] <- A[a...]. Indices are
+// 0-based (the paper uses 1-based; the offset carries no information).
+
+#ifndef DSLOG_LINEAGE_LINEAGE_RELATION_H_
+#define DSLOG_LINEAGE_LINEAGE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dslog {
+
+/// Dense row store of lineage tuples (b1..bl, a1..am).
+class LineageRelation {
+ public:
+  LineageRelation() = default;
+  LineageRelation(int out_ndim, int in_ndim)
+      : out_ndim_(out_ndim), in_ndim_(in_ndim) {}
+
+  int out_ndim() const { return out_ndim_; }
+  int in_ndim() const { return in_ndim_; }
+  int arity() const { return out_ndim_ + in_ndim_; }
+  int64_t num_rows() const {
+    return arity() == 0 ? 0 : static_cast<int64_t>(flat_.size()) / arity();
+  }
+
+  /// Shapes of the endpoint arrays; required for index reshaping and for
+  /// size accounting.
+  const std::vector<int64_t>& out_shape() const { return out_shape_; }
+  const std::vector<int64_t>& in_shape() const { return in_shape_; }
+  void set_shapes(std::vector<int64_t> out_shape, std::vector<int64_t> in_shape) {
+    DSLOG_CHECK(static_cast<int>(out_shape.size()) == out_ndim_);
+    DSLOG_CHECK(static_cast<int>(in_shape.size()) == in_ndim_);
+    out_shape_ = std::move(out_shape);
+    in_shape_ = std::move(in_shape);
+  }
+
+  void Reserve(int64_t rows) { flat_.reserve(static_cast<size_t>(rows) * arity()); }
+
+  /// Appends one contribution pair.
+  void Add(std::span<const int64_t> out_idx, std::span<const int64_t> in_idx) {
+    DSLOG_DCHECK(static_cast<int>(out_idx.size()) == out_ndim_);
+    DSLOG_DCHECK(static_cast<int>(in_idx.size()) == in_ndim_);
+    flat_.insert(flat_.end(), out_idx.begin(), out_idx.end());
+    flat_.insert(flat_.end(), in_idx.begin(), in_idx.end());
+  }
+
+  /// Appends a pre-flattened tuple of length arity().
+  void AddTuple(std::span<const int64_t> tuple) {
+    DSLOG_DCHECK(static_cast<int>(tuple.size()) == arity());
+    flat_.insert(flat_.end(), tuple.begin(), tuple.end());
+  }
+
+  std::span<const int64_t> Row(int64_t i) const {
+    return {flat_.data() + i * arity(), static_cast<size_t>(arity())};
+  }
+
+  const std::vector<int64_t>& flat() const { return flat_; }
+  std::vector<int64_t>& mutable_flat() { return flat_; }
+
+  /// Sorts rows lexicographically and removes duplicates (set semantics).
+  void SortAndDedup();
+
+  /// Set equality against another relation (both normalized internally).
+  bool EqualAsSet(const LineageRelation& other) const;
+
+  /// Raw in-memory footprint of the tuple payload in bytes.
+  int64_t PayloadBytes() const { return static_cast<int64_t>(flat_.size() * sizeof(int64_t)); }
+
+  std::string DebugString(int64_t max_rows = 20) const;
+
+ private:
+  int out_ndim_ = 0;
+  int in_ndim_ = 0;
+  std::vector<int64_t> out_shape_;
+  std::vector<int64_t> in_shape_;
+  std::vector<int64_t> flat_;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_LINEAGE_LINEAGE_RELATION_H_

@@ -1,0 +1,100 @@
+#include "provrc/compressed_table.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dslog {
+
+namespace {
+
+// Enumerates the Cartesian product of `intervals` invoking fn(point vector).
+template <typename Fn>
+void ForEachPoint(const std::vector<Interval>& intervals, Fn&& fn) {
+  std::vector<int64_t> point(intervals.size());
+  for (size_t i = 0; i < intervals.size(); ++i) point[i] = intervals[i].lo;
+  while (true) {
+    fn(point);
+    size_t k = intervals.size();
+    while (k > 0) {
+      --k;
+      if (point[k] < intervals[k].hi) {
+        ++point[k];
+        for (size_t j = k + 1; j < intervals.size(); ++j) point[j] = intervals[j].lo;
+        break;
+      }
+      if (k == 0) return;
+    }
+    if (intervals.empty()) return;
+  }
+}
+
+}  // namespace
+
+LineageRelation CompressedTable::Decompress() const {
+  LineageRelation rel(out_ndim(), in_ndim());
+  rel.set_shapes(out_shape_, in_shape_);
+  std::vector<int64_t> in_point(static_cast<size_t>(in_ndim()));
+  for (const CompressedRow& row : rows_) {
+    DSLOG_DCHECK(static_cast<int>(row.out.size()) == out_ndim());
+    DSLOG_DCHECK(static_cast<int>(row.in.size()) == in_ndim());
+    ForEachPoint(row.out, [&](const std::vector<int64_t>& out_point) {
+      // Resolve per-output-point input intervals (de-relativize).
+      std::vector<Interval> in_ivs(row.in.size());
+      for (size_t i = 0; i < row.in.size(); ++i) {
+        const InputCell& cell = row.in[i];
+        if (cell.is_relative()) {
+          int64_t b = out_point[static_cast<size_t>(cell.ref)];
+          in_ivs[i] = {b + cell.iv.lo, b + cell.iv.hi};
+        } else {
+          in_ivs[i] = cell.iv;
+        }
+      }
+      ForEachPoint(in_ivs, [&](const std::vector<int64_t>& ip) {
+        rel.Add(out_point, ip);
+      });
+    });
+  }
+  return rel;
+}
+
+int64_t CompressedTable::NumPairsRepresented() const {
+  int64_t total = 0;
+  for (const CompressedRow& row : rows_) {
+    int64_t out_cells = 1;
+    for (const Interval& iv : row.out) out_cells *= iv.width();
+    int64_t in_cells = 1;
+    for (const InputCell& cell : row.in) in_cells *= cell.iv.width();
+    total += out_cells * in_cells;
+  }
+  return total;
+}
+
+std::string CompressedTable::DebugString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << "CompressedTable(out=" << out_ndim() << "d, in=" << in_ndim()
+     << "d, rows=" << num_rows() << ")\n";
+  int64_t n = std::min<int64_t>(num_rows(), max_rows);
+  for (int64_t i = 0; i < n; ++i) {
+    const CompressedRow& row = rows_[static_cast<size_t>(i)];
+    os << "  (";
+    for (size_t k = 0; k < row.out.size(); ++k) {
+      if (k) os << ", ";
+      os << row.out[k].ToString();
+    }
+    os << " | ";
+    for (size_t k = 0; k < row.in.size(); ++k) {
+      if (k) os << ", ";
+      const InputCell& c = row.in[k];
+      if (c.is_relative())
+        os << "b" << c.ref << "+" << c.iv.ToString();
+      else
+        os << c.iv.ToString();
+    }
+    os << ")\n";
+  }
+  if (num_rows() > max_rows) os << "  ...\n";
+  return os.str();
+}
+
+}  // namespace dslog

@@ -1,0 +1,89 @@
+// The ProvRC compressed lineage table (ICDE'24 §IV): rows of interval cells.
+// Output attributes are absolute intervals; each input attribute carries
+// exactly one surviving representation — an absolute interval (pattern 2)
+// or a delta interval relative to one output attribute (pattern 3, with
+// delta defined as a_i - b_j). Every row denotes an all-to-all set in the
+// (possibly relative) index space — a union-of-Cartesian-products member.
+
+#ifndef DSLOG_PROVRC_COMPRESSED_TABLE_H_
+#define DSLOG_PROVRC_COMPRESSED_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lineage/lineage_relation.h"
+#include "provrc/interval.h"
+
+namespace dslog {
+
+/// One input-attribute cell of a compressed row.
+struct InputCell {
+  enum class Kind : uint8_t { kAbsolute = 0, kRelative = 1 };
+
+  Kind kind = Kind::kAbsolute;
+  /// Referenced output attribute index (valid when kind == kRelative).
+  int32_t ref = -1;
+  /// Absolute index interval, or the delta interval (a_i - b_ref).
+  Interval iv;
+
+  static InputCell Absolute(Interval v) {
+    return InputCell{Kind::kAbsolute, -1, v};
+  }
+  static InputCell Relative(int32_t ref, Interval delta) {
+    return InputCell{Kind::kRelative, ref, delta};
+  }
+
+  bool is_relative() const { return kind == Kind::kRelative; }
+  bool operator==(const InputCell& o) const = default;
+};
+
+/// One compressed row: absolute output intervals plus one cell per input
+/// attribute.
+struct CompressedRow {
+  std::vector<Interval> out;
+  std::vector<InputCell> in;
+
+  bool operator==(const CompressedRow& o) const = default;
+};
+
+/// A compressed lineage table between one output and one input array
+/// (the backward representation of §IV.C: predicates push down on outputs).
+class CompressedTable {
+ public:
+  CompressedTable() = default;
+  CompressedTable(std::vector<int64_t> out_shape, std::vector<int64_t> in_shape)
+      : out_shape_(std::move(out_shape)), in_shape_(std::move(in_shape)) {}
+
+  int out_ndim() const { return static_cast<int>(out_shape_.size()); }
+  int in_ndim() const { return static_cast<int>(in_shape_.size()); }
+  const std::vector<int64_t>& out_shape() const { return out_shape_; }
+  const std::vector<int64_t>& in_shape() const { return in_shape_; }
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const std::vector<CompressedRow>& rows() const { return rows_; }
+  std::vector<CompressedRow>& mutable_rows() { return rows_; }
+
+  void AddRow(CompressedRow row) { rows_.push_back(std::move(row)); }
+
+  /// Expands every row back to individual contribution tuples. Used by the
+  /// losslessness property tests and by baselines needing full relations.
+  LineageRelation Decompress() const;
+
+  /// Number of (output-cell, input-cell) pairs this table represents,
+  /// without materializing them.
+  int64_t NumPairsRepresented() const;
+
+  std::string DebugString(int64_t max_rows = 20) const;
+
+  bool operator==(const CompressedTable& o) const = default;
+
+ private:
+  std::vector<int64_t> out_shape_;
+  std::vector<int64_t> in_shape_;
+  std::vector<CompressedRow> rows_;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_PROVRC_COMPRESSED_TABLE_H_

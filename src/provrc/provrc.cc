@@ -1,0 +1,346 @@
+#include "provrc/provrc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dslog {
+
+namespace {
+
+// Working state over flat interval arrays (row-major: row r, attr k at
+// r * width + k). Rows shrink as passes merge them, so each pass gathers
+// surviving rows into fresh arrays.
+struct WorkState {
+  int l = 0;  // output arity
+  int m = 0;  // input arity
+  int64_t nrows = 0;
+  std::vector<Interval> outs;   // nrows * l
+  std::vector<Interval> ins;    // nrows * m (absolute intervals)
+  // Step-2 state (empty during step 1):
+  std::vector<uint32_t> masks;   // nrows * m; bit 0 = abs, bit 1+j = delta_j
+  std::vector<Interval> deltas;  // nrows * m * l
+
+  Interval* OutRow(int64_t r) { return outs.data() + r * l; }
+  Interval* InRow(int64_t r) { return ins.data() + r * m; }
+  const Interval* OutRow(int64_t r) const { return outs.data() + r * l; }
+  const Interval* InRow(int64_t r) const { return ins.data() + r * m; }
+};
+
+// ---------------------------------------------------------------- step 1 --
+
+// Merges runs contiguous on input attribute `target` where all other
+// attributes agree (the generalized range encoding of §IV.A step 1).
+void RangeEncodeInputAttr(WorkState* st, int target) {
+  const int l = st->l, m = st->m;
+  std::vector<int64_t> order(static_cast<size_t>(st->nrows));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const Interval* oa = st->OutRow(a);
+    const Interval* ob = st->OutRow(b);
+    for (int k = 0; k < l; ++k) {
+      int c = CompareIntervals(oa[k], ob[k]);
+      if (c != 0) return c < 0;
+    }
+    const Interval* ia = st->InRow(a);
+    const Interval* ib = st->InRow(b);
+    for (int k = 0; k < m; ++k) {
+      if (k == target) continue;
+      int c = CompareIntervals(ia[k], ib[k]);
+      if (c != 0) return c < 0;
+    }
+    return CompareIntervals(ia[target], ib[target]) < 0;
+  });
+
+  auto others_equal = [&](int64_t a, int64_t b) {
+    const Interval* oa = st->OutRow(a);
+    const Interval* ob = st->OutRow(b);
+    for (int k = 0; k < l; ++k)
+      if (!(oa[k] == ob[k])) return false;
+    const Interval* ia = st->InRow(a);
+    const Interval* ib = st->InRow(b);
+    for (int k = 0; k < m; ++k)
+      if (k != target && !(ia[k] == ib[k])) return false;
+    return true;
+  };
+
+  std::vector<Interval> new_outs, new_ins;
+  new_outs.reserve(st->outs.size());
+  new_ins.reserve(st->ins.size());
+  int64_t new_rows = 0;
+
+  auto flush = [&](int64_t row, const Interval& acc) {
+    const Interval* o = st->OutRow(row);
+    new_outs.insert(new_outs.end(), o, o + l);
+    const Interval* in = st->InRow(row);
+    for (int k = 0; k < m; ++k)
+      new_ins.push_back(k == target ? acc : in[k]);
+    ++new_rows;
+  };
+
+  int64_t run_row = -1;
+  Interval acc;
+  for (int64_t idx : order) {
+    if (run_row < 0) {
+      run_row = idx;
+      acc = st->InRow(idx)[target];
+      continue;
+    }
+    const Interval& next = st->InRow(idx)[target];
+    if (others_equal(run_row, idx) && acc.AdjacentBefore(next)) {
+      acc.hi = next.hi;
+      continue;
+    }
+    flush(run_row, acc);
+    run_row = idx;
+    acc = next;
+  }
+  if (run_row >= 0) flush(run_row, acc);
+
+  st->outs = std::move(new_outs);
+  st->ins = std::move(new_ins);
+  st->nrows = new_rows;
+}
+
+// ---------------------------------------------------------------- step 2 --
+
+// Initializes per-(row, input-attr) representation sets: the absolute
+// interval plus one delta interval per output attribute (delta = a - b_j,
+// the convention of the paper's Table II).
+void InitRepresentations(WorkState* st) {
+  const int l = st->l, m = st->m;
+  st->masks.assign(static_cast<size_t>(st->nrows) * m, 0);
+  st->deltas.assign(static_cast<size_t>(st->nrows) * m * l, Interval{});
+  const uint32_t all_mask = (1u << (l + 1)) - 1;
+  for (int64_t r = 0; r < st->nrows; ++r) {
+    const Interval* outs = st->OutRow(r);
+    const Interval* ins = st->InRow(r);
+    for (int i = 0; i < m; ++i) {
+      st->masks[static_cast<size_t>(r * m + i)] = all_mask;
+      for (int j = 0; j < l; ++j) {
+        // Outputs are degenerate before any output pass.
+        int64_t b = outs[j].lo;
+        st->deltas[static_cast<size_t>((r * m + i) * l + j)] =
+            Interval{ins[i].lo - b, ins[i].hi - b};
+      }
+    }
+  }
+}
+
+// Merges runs contiguous on output attribute `target` where the other
+// output attributes agree and every input attribute retains at least one
+// shared representation (§IV.A step 2).
+void RangeEncodeOutputAttr(WorkState* st, int target) {
+  const int l = st->l, m = st->m;
+  std::vector<int64_t> order(static_cast<size_t>(st->nrows));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const Interval* oa = st->OutRow(a);
+    const Interval* ob = st->OutRow(b);
+    for (int k = 0; k < l; ++k) {
+      if (k == target) continue;
+      int c = CompareIntervals(oa[k], ob[k]);
+      if (c != 0) return c < 0;
+    }
+    int c = CompareIntervals(oa[target], ob[target]);
+    if (c != 0) return c < 0;
+    // Deterministic tiebreak on inputs.
+    const Interval* ia = st->InRow(a);
+    const Interval* ib = st->InRow(b);
+    for (int k = 0; k < m; ++k) {
+      c = CompareIntervals(ia[k], ib[k]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+
+  auto other_outs_equal = [&](int64_t a, int64_t b) {
+    const Interval* oa = st->OutRow(a);
+    const Interval* ob = st->OutRow(b);
+    for (int k = 0; k < l; ++k)
+      if (k != target && !(oa[k] == ob[k])) return false;
+    return true;
+  };
+
+  // Compatible-representation mask between the run's state (kept in acc_*)
+  // and a candidate row.
+  auto compat_mask = [&](uint32_t acc_mask, const Interval& acc_abs,
+                         const Interval* acc_delta, int64_t row, int attr) {
+    uint32_t row_mask = st->masks[static_cast<size_t>(row * m + attr)];
+    uint32_t result = 0;
+    if ((acc_mask & 1u) && (row_mask & 1u) &&
+        acc_abs == st->InRow(row)[attr]) {
+      result |= 1u;
+    }
+    for (int j = 0; j < l; ++j) {
+      uint32_t bit = 1u << (j + 1);
+      if ((acc_mask & bit) && (row_mask & bit) &&
+          acc_delta[j] == st->deltas[static_cast<size_t>((row * m + attr) * l + j)]) {
+        result |= bit;
+      }
+    }
+    return result;
+  };
+
+  std::vector<Interval> new_outs, new_ins;
+  std::vector<uint32_t> new_masks;
+  std::vector<Interval> new_deltas;
+  new_outs.reserve(st->outs.size());
+  new_ins.reserve(st->ins.size());
+  new_masks.reserve(st->masks.size());
+  new_deltas.reserve(st->deltas.size());
+  int64_t new_rows = 0;
+
+  // Several mergeable families can interleave at the same output index
+  // (e.g. the cross product's column pattern {0, 2}), so the scan keeps a
+  // set of open runs instead of a single accumulator. A run closes when no
+  // future row can extend it (the sweep passed its end, or the other output
+  // attributes changed).
+  struct Run {
+    int64_t first_row;  // representative row for the other-outs comparison
+    std::vector<Interval> out;
+    std::vector<Interval> in;
+    std::vector<uint32_t> masks;
+    std::vector<Interval> deltas;
+  };
+  std::vector<Run> open;
+
+  auto start_run = [&](int64_t row) {
+    Run run;
+    run.first_row = row;
+    run.out.assign(st->OutRow(row), st->OutRow(row) + l);
+    run.in.assign(st->InRow(row), st->InRow(row) + m);
+    run.masks.resize(static_cast<size_t>(m));
+    run.deltas.resize(static_cast<size_t>(m) * l);
+    for (int i = 0; i < m; ++i) {
+      run.masks[static_cast<size_t>(i)] =
+          st->masks[static_cast<size_t>(row * m + i)];
+      for (int j = 0; j < l; ++j)
+        run.deltas[static_cast<size_t>(i * l + j)] =
+            st->deltas[static_cast<size_t>((row * m + i) * l + j)];
+    }
+    open.push_back(std::move(run));
+  };
+
+  auto flush_run = [&](const Run& run) {
+    new_outs.insert(new_outs.end(), run.out.begin(), run.out.end());
+    new_ins.insert(new_ins.end(), run.in.begin(), run.in.end());
+    new_masks.insert(new_masks.end(), run.masks.begin(), run.masks.end());
+    new_deltas.insert(new_deltas.end(), run.deltas.begin(), run.deltas.end());
+    ++new_rows;
+  };
+
+  for (int64_t idx : order) {
+    const Interval& next = st->OutRow(idx)[target];
+    // Close runs the sweep has passed (they can never be extended again).
+    size_t keep = 0;
+    for (size_t r = 0; r < open.size(); ++r) {
+      bool expired = !other_outs_equal(open[r].first_row, idx) ||
+                     open[r].out[static_cast<size_t>(target)].hi + 1 < next.lo;
+      if (expired) {
+        flush_run(open[r]);
+      } else {
+        if (keep != r) open[keep] = std::move(open[r]);
+        ++keep;
+      }
+    }
+    open.resize(keep);
+
+    // Try to extend one of the still-open runs.
+    bool merged = false;
+    for (Run& run : open) {
+      if (!run.out[static_cast<size_t>(target)].AdjacentBefore(next)) continue;
+      std::vector<uint32_t> merged_masks(static_cast<size_t>(m));
+      bool compatible = true;
+      for (int i = 0; i < m && compatible; ++i) {
+        merged_masks[static_cast<size_t>(i)] = compat_mask(
+            run.masks[static_cast<size_t>(i)], run.in[static_cast<size_t>(i)],
+            run.deltas.data() + static_cast<size_t>(i) * l, idx, i);
+        if (merged_masks[static_cast<size_t>(i)] == 0) compatible = false;
+      }
+      if (!compatible) continue;
+      run.out[static_cast<size_t>(target)].hi = next.hi;
+      run.masks = std::move(merged_masks);
+      merged = true;
+      break;
+    }
+    if (!merged) start_run(idx);
+  }
+  for (const Run& run : open) flush_run(run);
+
+  st->outs = std::move(new_outs);
+  st->ins = std::move(new_ins);
+  st->masks = std::move(new_masks);
+  st->deltas = std::move(new_deltas);
+  st->nrows = new_rows;
+}
+
+}  // namespace
+
+CompressedTable ProvRcCompress(const LineageRelation& relation,
+                               const ProvRcOptions& options) {
+  LineageRelation rel = relation;
+  rel.SortAndDedup();
+
+  const int l = rel.out_ndim();
+  const int m = rel.in_ndim();
+  DSLOG_CHECK(l >= 1 && m >= 1) << "ProvRC requires arities >= 1";
+  DSLOG_CHECK(l <= 31) << "output arity too large for representation masks";
+
+  WorkState st;
+  st.l = l;
+  st.m = m;
+  st.nrows = rel.num_rows();
+  st.outs.reserve(static_cast<size_t>(st.nrows) * l);
+  st.ins.reserve(static_cast<size_t>(st.nrows) * m);
+  for (int64_t r = 0; r < st.nrows; ++r) {
+    auto row = rel.Row(r);
+    for (int k = 0; k < l; ++k)
+      st.outs.push_back(Interval::Point(row[static_cast<size_t>(k)]));
+    for (int k = 0; k < m; ++k)
+      st.ins.push_back(Interval::Point(row[static_cast<size_t>(l + k)]));
+  }
+
+  // Step 1: input attributes, a_m first (paper order).
+  for (int i = m - 1; i >= 0; --i) RangeEncodeInputAttr(&st, i);
+
+  CompressedTable table(rel.out_shape(), rel.in_shape());
+  if (options.enable_relative_transform) {
+    // Step 2: relative transform, then output attributes b_l first.
+    InitRepresentations(&st);
+    for (int j = l - 1; j >= 0; --j) RangeEncodeOutputAttr(&st, j);
+
+    for (int64_t r = 0; r < st.nrows; ++r) {
+      CompressedRow row;
+      row.out.assign(st.OutRow(r), st.OutRow(r) + l);
+      row.in.reserve(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        uint32_t mask = st.masks[static_cast<size_t>(r * m + i)];
+        DSLOG_DCHECK(mask != 0);
+        if (mask & 1u) {
+          // Pattern 2: the absolute value survived.
+          row.in.push_back(InputCell::Absolute(st.InRow(r)[i]));
+        } else {
+          // Pattern 3: pick the lowest surviving delta reference.
+          int j = 0;
+          while (((mask >> (j + 1)) & 1u) == 0) ++j;
+          row.in.push_back(InputCell::Relative(
+              j, st.deltas[static_cast<size_t>((r * m + i) * l + j)]));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+  } else {
+    for (int64_t r = 0; r < st.nrows; ++r) {
+      CompressedRow row;
+      row.out.assign(st.OutRow(r), st.OutRow(r) + l);
+      for (int i = 0; i < m; ++i)
+        row.in.push_back(InputCell::Absolute(st.InRow(r)[i]));
+      table.AddRow(std::move(row));
+    }
+  }
+  return table;
+}
+
+}  // namespace dslog

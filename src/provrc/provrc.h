@@ -1,0 +1,28 @@
+// ProvRC lineage compression (ICDE'24 §IV): multi-attribute range encoding
+// over input attributes (step 1), then relative value transformation and
+// range encoding over output attributes (step 2). Lossless: Decompress()
+// of the result equals the input relation under set semantics.
+
+#ifndef DSLOG_PROVRC_PROVRC_H_
+#define DSLOG_PROVRC_PROVRC_H_
+
+#include "lineage/lineage_relation.h"
+#include "provrc/compressed_table.h"
+
+namespace dslog {
+
+/// Tuning/ablation knobs for the compressor.
+struct ProvRcOptions {
+  /// Step 2 (relative transformation + output range encoding). Disabling it
+  /// leaves a pure multi-attribute range encoding (ablation A2).
+  bool enable_relative_transform = true;
+};
+
+/// Compresses an uncompressed lineage relation. The relation is normalized
+/// (sorted, deduplicated) internally; set semantics are assumed.
+CompressedTable ProvRcCompress(const LineageRelation& relation,
+                               const ProvRcOptions& options = {});
+
+}  // namespace dslog
+
+#endif  // DSLOG_PROVRC_PROVRC_H_

@@ -1,0 +1,97 @@
+#include "provrc/reshape.h"
+
+#include <sstream>
+
+namespace dslog {
+
+namespace {
+
+// Finds the symbolic dimension id for an absolute interval, or -1.
+// `same_pos_dim` is the dimension id of the cell's own attribute, preferred
+// when several dimensions share the same extent.
+int32_t SymbolicDimFor(const Interval& iv, const std::vector<int64_t>& dims,
+                       int32_t same_pos_dim) {
+  if (iv.lo != 0) return -1;
+  if (same_pos_dim >= 0 &&
+      iv.hi == dims[static_cast<size_t>(same_pos_dim)] - 1)
+    return same_pos_dim;
+  for (size_t k = 0; k < dims.size(); ++k)
+    if (iv.hi == dims[k] - 1) return static_cast<int32_t>(k);
+  return -1;
+}
+
+}  // namespace
+
+GeneralizedTable GeneralizedTable::Generalize(const CompressedTable& table) {
+  GeneralizedTable gen;
+  gen.template_ = table;
+  const int l = table.out_ndim();
+  const int m = table.in_ndim();
+  std::vector<int64_t> dims = table.out_shape();
+  dims.insert(dims.end(), table.in_shape().begin(), table.in_shape().end());
+
+  gen.marks_.reserve(static_cast<size_t>(table.num_rows()));
+  for (const CompressedRow& row : table.rows()) {
+    std::vector<int32_t> marks(static_cast<size_t>(l + m), -1);
+    for (int k = 0; k < l; ++k) {
+      marks[static_cast<size_t>(k)] =
+          SymbolicDimFor(row.out[static_cast<size_t>(k)], dims, k);
+      if (marks[static_cast<size_t>(k)] >= 0) gen.has_symbolic_ = true;
+    }
+    for (int k = 0; k < m; ++k) {
+      const InputCell& cell = row.in[static_cast<size_t>(k)];
+      // Only absolute intervals are shape-generalizable (the paper's rule);
+      // delta intervals whose magnitude depends on the shape make the table
+      // non-reshapable, handled by gen_sig verification failing.
+      if (!cell.is_relative()) {
+        marks[static_cast<size_t>(l + k)] =
+            SymbolicDimFor(cell.iv, dims, static_cast<int32_t>(l + k));
+        if (marks[static_cast<size_t>(l + k)] >= 0) gen.has_symbolic_ = true;
+      }
+    }
+    gen.marks_.push_back(std::move(marks));
+  }
+  return gen;
+}
+
+Result<CompressedTable> GeneralizedTable::Instantiate(
+    const std::vector<int64_t>& out_shape,
+    const std::vector<int64_t>& in_shape) const {
+  const int l = static_cast<int>(template_.out_shape().size());
+  const int m = static_cast<int>(template_.in_shape().size());
+  if (static_cast<int>(out_shape.size()) != l ||
+      static_cast<int>(in_shape.size()) != m)
+    return Status::InvalidArgument("Instantiate: arity mismatch");
+
+  std::vector<int64_t> dims = out_shape;
+  dims.insert(dims.end(), in_shape.begin(), in_shape.end());
+
+  CompressedTable out(out_shape, in_shape);
+  for (int64_t r = 0; r < template_.num_rows(); ++r) {
+    const CompressedRow& row = template_.rows()[static_cast<size_t>(r)];
+    const std::vector<int32_t>& marks = marks_[static_cast<size_t>(r)];
+    CompressedRow nr = row;
+    for (int k = 0; k < l; ++k) {
+      int32_t dim = marks[static_cast<size_t>(k)];
+      if (dim >= 0)
+        nr.out[static_cast<size_t>(k)] = {0, dims[static_cast<size_t>(dim)] - 1};
+    }
+    for (int k = 0; k < m; ++k) {
+      int32_t dim = marks[static_cast<size_t>(l + k)];
+      if (dim >= 0)
+        nr.in[static_cast<size_t>(k)].iv = {0, dims[static_cast<size_t>(dim)] - 1};
+    }
+    out.AddRow(std::move(nr));
+  }
+  return out;
+}
+
+std::string GeneralizedTable::DebugString() const {
+  std::ostringstream os;
+  os << "GeneralizedTable(symbolic=" << (has_symbolic_ ? "yes" : "no")
+     << ")\n"
+     << template_.DebugString();
+  return os.str();
+}
+
+}  // namespace dslog

@@ -1,0 +1,62 @@
+// Index reshaping (ICDE'24 §VI.B): converting a compressed lineage table
+// into a *generalized representation* where absolute intervals spanning an
+// entire array dimension ([0, d_k - 1]) become symbolic ([0, D_k - 1]).
+// The generalized table can then be instantiated for differently-shaped
+// inputs of the same operation — the mechanism behind gen_sig reuse.
+
+#ifndef DSLOG_PROVRC_RESHAPE_H_
+#define DSLOG_PROVRC_RESHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provrc/compressed_table.h"
+
+namespace dslog {
+
+/// A compressed table whose full-extent intervals are marked symbolic.
+/// Dimension ids index the concatenated vector [out_shape..., in_shape...].
+class GeneralizedTable {
+ public:
+  GeneralizedTable() = default;
+
+  /// Builds the generalized representation of `table`. Every interval cell
+  /// exactly equal to [0, d_k - 1] for some dimension d_k is replaced by the
+  /// symbolic full-extent of that dimension. Dimensions of the same
+  /// attribute position are preferred when extents collide; remaining
+  /// collisions resolve to the first matching dimension (this ambiguity is
+  /// what produces the paper's `cross` misprediction).
+  static GeneralizedTable Generalize(const CompressedTable& table);
+
+  /// Rebuilds a concrete table for new endpoint shapes. Fails when the
+  /// arities do not match.
+  Result<CompressedTable> Instantiate(
+      const std::vector<int64_t>& out_shape,
+      const std::vector<int64_t>& in_shape) const;
+
+  /// True when at least one cell is symbolic (otherwise the generalized
+  /// table is trivially shape-independent).
+  bool has_symbolic_cells() const { return has_symbolic_; }
+
+  int out_ndim() const { return static_cast<int>(template_.out_shape().size()); }
+  int in_ndim() const { return static_cast<int>(template_.in_shape().size()); }
+  int64_t num_rows() const { return template_.num_rows(); }
+
+  std::string DebugString() const;
+
+  bool operator==(const GeneralizedTable& o) const = default;
+
+ private:
+  // The original (concrete) table acting as a template...
+  CompressedTable template_;
+  // ...plus, per row, per cell, the symbolic dimension id (-1 = concrete).
+  // Cell order within a row: out attrs then in attrs.
+  std::vector<std::vector<int32_t>> marks_;
+  bool has_symbolic_ = false;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_PROVRC_RESHAPE_H_

@@ -1,0 +1,122 @@
+#include "provrc/serialize.h"
+
+#include <cstring>
+
+#include "compress/deflate.h"
+#include "compress/varint.h"
+
+namespace dslog {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'R', 'C', '1'};
+
+void PutInterval(std::string* dst, const Interval& iv, int64_t* prev_lo) {
+  PutVarintSigned(dst, iv.lo - *prev_lo);
+  PutVarint64(dst, static_cast<uint64_t>(iv.width() - 1));
+  *prev_lo = iv.lo;
+}
+
+bool GetInterval(const std::string& src, size_t* pos, Interval* iv,
+                 int64_t* prev_lo) {
+  int64_t dlo;
+  uint64_t w;
+  if (!GetVarintSigned(src, pos, &dlo)) return false;
+  if (!GetVarint64(src, pos, &w)) return false;
+  iv->lo = *prev_lo + dlo;
+  iv->hi = iv->lo + static_cast<int64_t>(w);
+  *prev_lo = iv->lo;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeCompressedTable(const CompressedTable& table) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutVarint64(&out, static_cast<uint64_t>(table.out_ndim()));
+  PutVarint64(&out, static_cast<uint64_t>(table.in_ndim()));
+  for (int64_t d : table.out_shape()) PutVarint64(&out, static_cast<uint64_t>(d));
+  for (int64_t d : table.in_shape()) PutVarint64(&out, static_cast<uint64_t>(d));
+  PutVarint64(&out, static_cast<uint64_t>(table.num_rows()));
+
+  // Per-attribute cross-row delta state.
+  std::vector<int64_t> prev_out(static_cast<size_t>(table.out_ndim()), 0);
+  std::vector<int64_t> prev_in(static_cast<size_t>(table.in_ndim()), 0);
+  for (const CompressedRow& row : table.rows()) {
+    for (size_t k = 0; k < row.out.size(); ++k)
+      PutInterval(&out, row.out[k], &prev_out[k]);
+    for (size_t k = 0; k < row.in.size(); ++k) {
+      const InputCell& c = row.in[k];
+      // Tag byte: bit 0 = relative, bits 1.. = ref.
+      uint8_t tag = c.is_relative()
+                        ? static_cast<uint8_t>(1u | (static_cast<uint32_t>(c.ref) << 1))
+                        : 0;
+      out.push_back(static_cast<char>(tag));
+      PutInterval(&out, c.iv, &prev_in[k]);
+    }
+  }
+  return out;
+}
+
+Result<CompressedTable> DeserializeCompressedTable(const std::string& data) {
+  if (data.size() < 4 || std::memcmp(data.data(), kMagic, 4) != 0)
+    return Status::Corruption("PRC1: bad magic");
+  size_t pos = 4;
+  uint64_t l, m;
+  if (!GetVarint64(data, &pos, &l) || !GetVarint64(data, &pos, &m))
+    return Status::Corruption("PRC1: bad arity");
+  if (l > 64 || m > 64) return Status::Corruption("PRC1: absurd arity");
+  std::vector<int64_t> out_shape(l), in_shape(m);
+  for (auto& d : out_shape) {
+    uint64_t v;
+    if (!GetVarint64(data, &pos, &v)) return Status::Corruption("PRC1: shape");
+    d = static_cast<int64_t>(v);
+  }
+  for (auto& d : in_shape) {
+    uint64_t v;
+    if (!GetVarint64(data, &pos, &v)) return Status::Corruption("PRC1: shape");
+    d = static_cast<int64_t>(v);
+  }
+  uint64_t nrows;
+  if (!GetVarint64(data, &pos, &nrows))
+    return Status::Corruption("PRC1: row count");
+
+  CompressedTable table(out_shape, in_shape);
+  std::vector<int64_t> prev_out(l, 0), prev_in(m, 0);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    CompressedRow row;
+    row.out.resize(l);
+    row.in.resize(m);
+    for (size_t k = 0; k < l; ++k)
+      if (!GetInterval(data, &pos, &row.out[k], &prev_out[k]))
+        return Status::Corruption("PRC1: truncated out interval");
+    for (size_t k = 0; k < m; ++k) {
+      if (pos >= data.size()) return Status::Corruption("PRC1: truncated tag");
+      uint8_t tag = static_cast<uint8_t>(data[pos++]);
+      if (tag & 1u) {
+        row.in[k].kind = InputCell::Kind::kRelative;
+        row.in[k].ref = static_cast<int32_t>(tag >> 1);
+        if (row.in[k].ref >= static_cast<int32_t>(l))
+          return Status::Corruption("PRC1: bad relative ref");
+      } else {
+        row.in[k].kind = InputCell::Kind::kAbsolute;
+        row.in[k].ref = -1;
+      }
+      if (!GetInterval(data, &pos, &row.in[k].iv, &prev_in[k]))
+        return Status::Corruption("PRC1: truncated in interval");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+std::string SerializeCompressedTableGzip(const CompressedTable& table) {
+  return DeflateCompress(SerializeCompressedTable(table));
+}
+
+Result<CompressedTable> DeserializeCompressedTableGzip(const std::string& data) {
+  DSLOG_ASSIGN_OR_RETURN(std::string raw, DeflateDecompress(data));
+  return DeserializeCompressedTable(raw);
+}
+
+}  // namespace dslog

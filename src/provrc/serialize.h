@@ -1,0 +1,31 @@
+// On-disk serialization of compressed lineage tables. The plain format is
+// what Table VII reports as "ProvRC"; the Deflate-wrapped variant is
+// "ProvRC-GZip" (the paper's default for DSLog storage).
+
+#ifndef DSLOG_PROVRC_SERIALIZE_H_
+#define DSLOG_PROVRC_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "provrc/compressed_table.h"
+
+namespace dslog {
+
+/// Compact binary encoding: varint/zigzag interval cells with per-attribute
+/// cross-row delta coding (so even incompressible tables like Sort stay
+/// close to entropy).
+std::string SerializeCompressedTable(const CompressedTable& table);
+
+/// Inverse of SerializeCompressedTable.
+Result<CompressedTable> DeserializeCompressedTable(const std::string& data);
+
+/// Deflate-wrapped serialization (ProvRC-GZip).
+std::string SerializeCompressedTableGzip(const CompressedTable& table);
+
+/// Inverse of SerializeCompressedTableGzip.
+Result<CompressedTable> DeserializeCompressedTableGzip(const std::string& data);
+
+}  // namespace dslog
+
+#endif  // DSLOG_PROVRC_SERIALIZE_H_

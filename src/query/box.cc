@@ -1,0 +1,136 @@
+#include "query/box.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dslog {
+
+BoxTable BoxTable::FromCells(int ndim, const std::vector<int64_t>& cells) {
+  DSLOG_CHECK(ndim > 0);
+  DSLOG_CHECK(cells.size() % static_cast<size_t>(ndim) == 0);
+  BoxTable t(ndim);
+  t.flat_.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i)
+    t.flat_.push_back(Interval::Point(cells[i]));
+  t.Merge();
+  return t;
+}
+
+BoxTable BoxTable::FromBox(std::vector<Interval> box) {
+  BoxTable t(static_cast<int>(box.size()));
+  t.flat_ = std::move(box);
+  return t;
+}
+
+void BoxTable::Merge() {
+  if (ndim_ == 0 || flat_.empty()) return;
+  // One coalescing pass per attribute, last attribute first (mirrors the
+  // ProvRC step-1 order), plus duplicate elimination.
+  for (int target = ndim_ - 1; target >= 0; --target) {
+    int64_t n = num_boxes();
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      auto ba = Box(a);
+      auto bb = Box(b);
+      for (int k = 0; k < ndim_; ++k) {
+        if (k == target) continue;
+        int c = CompareIntervals(ba[static_cast<size_t>(k)], bb[static_cast<size_t>(k)]);
+        if (c != 0) return c < 0;
+      }
+      return CompareIntervals(ba[static_cast<size_t>(target)],
+                              bb[static_cast<size_t>(target)]) < 0;
+    });
+
+    std::vector<Interval> merged;
+    merged.reserve(flat_.size());
+    std::vector<Interval> acc;
+    bool open = false;
+    auto flush = [&]() {
+      if (open) merged.insert(merged.end(), acc.begin(), acc.end());
+      open = false;
+    };
+    for (int64_t idx : order) {
+      auto box = Box(idx);
+      if (!open) {
+        acc.assign(box.begin(), box.end());
+        open = true;
+        continue;
+      }
+      bool same_others = true;
+      for (int k = 0; k < ndim_ && same_others; ++k)
+        if (k != target &&
+            !(acc[static_cast<size_t>(k)] == box[static_cast<size_t>(k)]))
+          same_others = false;
+      const Interval& cur = acc[static_cast<size_t>(target)];
+      const Interval& next = box[static_cast<size_t>(target)];
+      if (same_others && cur == next) continue;  // exact duplicate box
+      if (same_others && cur.AdjacentBefore(next)) {
+        acc[static_cast<size_t>(target)].hi = next.hi;
+        continue;
+      }
+      // Also coalesce overlapping intervals (unions stay unions).
+      if (same_others && next.lo <= cur.hi + 1) {
+        acc[static_cast<size_t>(target)].hi = std::max(cur.hi, next.hi);
+        continue;
+      }
+      flush();
+      acc.assign(box.begin(), box.end());
+      open = true;
+    }
+    flush();
+    flat_ = std::move(merged);
+  }
+}
+
+std::vector<int64_t> BoxTable::ExpandToCells() const {
+  std::set<std::vector<int64_t>> cells;
+  std::vector<int64_t> point(static_cast<size_t>(ndim_));
+  for (int64_t b = 0; b < num_boxes(); ++b) {
+    auto box = Box(b);
+    for (size_t k = 0; k < box.size(); ++k) point[k] = box[k].lo;
+    while (true) {
+      cells.insert(point);
+      int k = ndim_;
+      bool done = true;
+      while (k > 0) {
+        --k;
+        if (point[static_cast<size_t>(k)] < box[static_cast<size_t>(k)].hi) {
+          ++point[static_cast<size_t>(k)];
+          for (int j = k + 1; j < ndim_; ++j)
+            point[static_cast<size_t>(j)] = box[static_cast<size_t>(j)].lo;
+          done = false;
+          break;
+        }
+      }
+      if (done) break;
+    }
+  }
+  std::vector<int64_t> out;
+  out.reserve(cells.size() * static_cast<size_t>(ndim_));
+  for (const auto& c : cells) out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+std::string BoxTable::DebugString(int64_t max_boxes) const {
+  std::ostringstream os;
+  os << "BoxTable(ndim=" << ndim_ << ", boxes=" << num_boxes() << ")\n";
+  int64_t n = std::min(num_boxes(), max_boxes);
+  for (int64_t i = 0; i < n; ++i) {
+    os << "  (";
+    auto box = Box(i);
+    for (size_t k = 0; k < box.size(); ++k) {
+      if (k) os << ", ";
+      os << box[k].ToString();
+    }
+    os << ")\n";
+  }
+  if (num_boxes() > max_boxes) os << "  ...\n";
+  return os.str();
+}
+
+}  // namespace dslog

@@ -1,0 +1,66 @@
+// Sort-sweep interval join: enumerates all (left, right) index pairs whose
+// intervals overlap, in O((n + m) log(n + m) + output). This is the range
+// join kernel behind the θ-joins (§V.B step 1) — the first attribute is
+// joined by sweep, remaining attributes are verified per candidate pair.
+
+#ifndef DSLOG_QUERY_INTERVAL_SWEEP_H_
+#define DSLOG_QUERY_INTERVAL_SWEEP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "provrc/interval.h"
+
+namespace dslog {
+
+/// Calls fn(left_index, right_index) for every pair with
+/// left[i].Intersects(right[j]). Both vectors may be in any order.
+template <typename Fn>
+void ForEachOverlappingPair(const std::vector<Interval>& left,
+                            const std::vector<Interval>& right, Fn&& fn) {
+  // Event sweep over interval low endpoints with lazily-pruned active sets
+  // ordered by high endpoint.
+  struct Item {
+    int64_t lo;
+    int64_t hi;
+    int64_t index;
+  };
+  std::vector<Item> ls, rs;
+  ls.reserve(left.size());
+  rs.reserve(right.size());
+  for (size_t i = 0; i < left.size(); ++i)
+    ls.push_back({left[i].lo, left[i].hi, static_cast<int64_t>(i)});
+  for (size_t j = 0; j < right.size(); ++j)
+    rs.push_back({right[j].lo, right[j].hi, static_cast<int64_t>(j)});
+  auto by_lo = [](const Item& a, const Item& b) { return a.lo < b.lo; };
+  std::sort(ls.begin(), ls.end(), by_lo);
+  std::sort(rs.begin(), rs.end(), by_lo);
+
+  // Active sets ordered by (hi, index) for range pruning.
+  std::multiset<std::pair<int64_t, int64_t>> active_left, active_right;
+  size_t li = 0, ri = 0;
+  while (li < ls.size() || ri < rs.size()) {
+    bool take_left =
+        ri >= rs.size() || (li < ls.size() && ls[li].lo <= rs[ri].lo);
+    if (take_left) {
+      const Item& item = ls[li++];
+      // Drop right intervals that end before this left interval starts.
+      active_right.erase(active_right.begin(),
+                         active_right.lower_bound({item.lo, INT64_MIN}));
+      for (const auto& [hi, j] : active_right) fn(item.index, j);
+      active_left.insert({item.hi, item.index});
+    } else {
+      const Item& item = rs[ri++];
+      active_left.erase(active_left.begin(),
+                        active_left.lower_bound({item.lo, INT64_MIN}));
+      for (const auto& [hi, i] : active_left) fn(i, item.index);
+      active_right.insert({item.hi, item.index});
+    }
+  }
+}
+
+}  // namespace dslog
+
+#endif  // DSLOG_QUERY_INTERVAL_SWEEP_H_

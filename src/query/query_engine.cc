@@ -1,0 +1,107 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "query/theta_join.h"
+
+namespace dslog {
+
+BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
+                     const QueryOptions& options) {
+  DSLOG_CHECK(!hops.empty());
+  BoxTable current = query;
+  for (const QueryHop& hop : hops) {
+    if (hop.forward) {
+      current = hop.forward_table != nullptr
+                    ? hop.forward_table->Join(current)
+                    : ForwardThetaJoin(current, *hop.table);
+    } else {
+      current = BackwardThetaJoin(current, *hop.table);
+    }
+    if (options.merge_between_hops) current.Merge();
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+namespace {
+
+// Hash-set of flattened tuples: identity is the full tuple content.
+struct TupleSet {
+  explicit TupleSet(int arity) : arity_(arity) {}
+
+  bool Insert(const int64_t* tuple) {
+    uint64_t h = Hash64(tuple, static_cast<size_t>(arity_) * sizeof(int64_t));
+    auto [it, inserted] = index_.insert({h, {}});
+    auto& bucket = it->second;
+    if (!inserted) {
+      for (size_t off : bucket) {
+        if (std::equal(tuple, tuple + arity_, data_.data() + off)) return false;
+      }
+    }
+    bucket.push_back(data_.size());
+    data_.insert(data_.end(), tuple, tuple + arity_);
+    return true;
+  }
+
+  bool Contains(const int64_t* tuple) const {
+    uint64_t h = Hash64(tuple, static_cast<size_t>(arity_) * sizeof(int64_t));
+    auto it = index_.find(h);
+    if (it == index_.end()) return false;
+    for (size_t off : it->second)
+      if (std::equal(tuple, tuple + arity_, data_.data() + off)) return true;
+    return false;
+  }
+
+  const std::vector<int64_t>& data() const { return data_; }
+
+ private:
+  int arity_;
+  std::vector<int64_t> data_;
+  std::unordered_map<uint64_t, std::vector<size_t>> index_;
+};
+
+}  // namespace
+
+std::vector<int64_t> RelationJoinStep(const LineageRelation& relation,
+                                      bool forward,
+                                      const std::vector<int64_t>& frontier) {
+  // In the stored relation, row = (out tuple | in tuple). A forward
+  // traversal matches on the *input* side and emits the output side.
+  const int l = relation.out_ndim();
+  const int m = relation.in_ndim();
+  const int match_arity = forward ? m : l;
+  const int emit_arity = forward ? l : m;
+  const int match_offset = forward ? l : 0;
+  const int emit_offset = forward ? 0 : l;
+
+  DSLOG_CHECK(frontier.size() % static_cast<size_t>(match_arity) == 0);
+  TupleSet probe(match_arity);
+  for (size_t off = 0; off < frontier.size();
+       off += static_cast<size_t>(match_arity))
+    probe.Insert(frontier.data() + off);
+
+  TupleSet result(emit_arity);
+  for (int64_t r = 0; r < relation.num_rows(); ++r) {
+    auto row = relation.Row(r);
+    if (!probe.Contains(row.data() + match_offset)) continue;
+    result.Insert(row.data() + emit_offset);
+  }
+  return result.data();
+}
+
+std::vector<int64_t> UncompressedQuery(const std::vector<RelationHop>& hops,
+                                       const std::vector<int64_t>& query_cells) {
+  DSLOG_CHECK(!hops.empty());
+  std::vector<int64_t> frontier = query_cells;
+  for (const RelationHop& hop : hops) {
+    frontier = RelationJoinStep(*hop.relation, hop.forward, frontier);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+}  // namespace dslog

@@ -1,0 +1,59 @@
+// Multi-hop lineage query evaluation over compressed tables: the left-to-
+// right θ-join plan with projection + row-reduction merge between hops
+// (ICDE'24 §V.B.3). Also hosts the uncompressed natural-join evaluation
+// used as ground truth and by the storage-format baselines.
+
+#ifndef DSLOG_QUERY_QUERY_ENGINE_H_
+#define DSLOG_QUERY_QUERY_ENGINE_H_
+
+#include <vector>
+
+#include "lineage/lineage_relation.h"
+#include "provrc/compressed_table.h"
+#include "query/box.h"
+
+namespace dslog {
+
+class ForwardTable;
+
+/// One step in a query path. `forward` means the traversal goes from the
+/// stored relation's input array to its output array. When a materialized
+/// forward representation (§IV.C) is available it can be supplied in
+/// `forward_table` and is used for forward hops instead of the direct join
+/// over the backward representation.
+struct QueryHop {
+  const CompressedTable* table = nullptr;
+  bool forward = false;
+  const ForwardTable* forward_table = nullptr;
+};
+
+struct QueryOptions {
+  /// Projection + adjacent-interval merge between hops (§V.B.3). Disabling
+  /// reproduces the DSLog-NoMerge baseline of Fig 9.
+  bool merge_between_hops = true;
+};
+
+/// Evaluates a multi-hop in-situ query: `query` holds boxes over the first
+/// array on the path; the result holds boxes over the last array.
+BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
+                     const QueryOptions& options = {});
+
+/// One step over an *uncompressed* relation. `frontier` holds flattened
+/// cell tuples of the current array (arity = relation side arity).
+/// Returns the flattened tuples of the far side. Hash natural join.
+std::vector<int64_t> RelationJoinStep(const LineageRelation& relation,
+                                      bool forward,
+                                      const std::vector<int64_t>& frontier);
+
+/// Multi-hop uncompressed query (the Raw/baseline execution path and the
+/// ground truth for property tests).
+struct RelationHop {
+  const LineageRelation* relation = nullptr;
+  bool forward = false;
+};
+std::vector<int64_t> UncompressedQuery(const std::vector<RelationHop>& hops,
+                                       const std::vector<int64_t>& query_cells);
+
+}  // namespace dslog
+
+#endif  // DSLOG_QUERY_QUERY_ENGINE_H_

@@ -1,0 +1,188 @@
+#include "query/theta_join.h"
+
+#include "common/check.h"
+#include "query/interval_sweep.h"
+
+namespace dslog {
+
+namespace {
+
+// Collects attribute-0 intervals of the query boxes.
+std::vector<Interval> QueryAttr0(const BoxTable& query) {
+  std::vector<Interval> ivs;
+  ivs.reserve(static_cast<size_t>(query.num_boxes()));
+  for (int64_t qb = 0; qb < query.num_boxes(); ++qb)
+    ivs.push_back(query.Box(qb)[0]);
+  return ivs;
+}
+
+}  // namespace
+
+BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table) {
+  DSLOG_CHECK(query.ndim() == table.out_ndim())
+      << "backward query arity mismatch";
+  const int l = table.out_ndim();
+  const int m = table.in_ndim();
+  BoxTable result(m);
+  std::vector<Interval> t(static_cast<size_t>(l));
+  std::vector<Interval> out_box(static_cast<size_t>(m));
+
+  // Range join on output attribute 0 by sort-sweep; remaining attributes
+  // verified per candidate pair.
+  std::vector<Interval> row_attr0;
+  row_attr0.reserve(static_cast<size_t>(table.num_rows()));
+  for (const CompressedRow& row : table.rows()) row_attr0.push_back(row.out[0]);
+
+  ForEachOverlappingPair(
+      row_attr0, QueryAttr0(query), [&](int64_t ri, int64_t qb) {
+        const CompressedRow& row = table.rows()[static_cast<size_t>(ri)];
+        auto q = query.Box(qb);
+        // Step 1: joint intersection over the output attributes.
+        bool hit = true;
+        for (int k = 0; k < l && hit; ++k) {
+          t[static_cast<size_t>(k)] = q[static_cast<size_t>(k)].Intersect(
+              row.out[static_cast<size_t>(k)]);
+          hit = t[static_cast<size_t>(k)].valid();
+        }
+        if (!hit) return;
+        // Step 2: de-relativize (rel_back): a = b + delta over the
+        // intersected output interval t.
+        for (int i = 0; i < m; ++i) {
+          const InputCell& cell = row.in[static_cast<size_t>(i)];
+          if (cell.is_relative()) {
+            const Interval& tb = t[static_cast<size_t>(cell.ref)];
+            out_box[static_cast<size_t>(i)] = tb.ShiftBy(cell.iv);
+          } else {
+            out_box[static_cast<size_t>(i)] = cell.iv;
+          }
+        }
+        result.AddBox(out_box);
+      });
+  return result;
+}
+
+BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table) {
+  DSLOG_CHECK(query.ndim() == table.in_ndim())
+      << "forward query arity mismatch";
+  const int l = table.out_ndim();
+  const int m = table.in_ndim();
+  BoxTable result(l);
+  std::vector<Interval> t(static_cast<size_t>(m));
+  std::vector<Interval> out_box(static_cast<size_t>(l));
+
+  // Implied absolute input intervals per row (attribute 0 drives the sweep).
+  auto implied = [](const CompressedRow& row, int i) {
+    const InputCell& cell = row.in[static_cast<size_t>(i)];
+    return cell.is_relative()
+               ? row.out[static_cast<size_t>(cell.ref)].ShiftBy(cell.iv)
+               : cell.iv;
+  };
+  std::vector<Interval> row_attr0;
+  row_attr0.reserve(static_cast<size_t>(table.num_rows()));
+  for (const CompressedRow& row : table.rows())
+    row_attr0.push_back(implied(row, 0));
+
+  ForEachOverlappingPair(
+      row_attr0, QueryAttr0(query), [&](int64_t ri, int64_t qb) {
+        const CompressedRow& row = table.rows()[static_cast<size_t>(ri)];
+        auto q = query.Box(qb);
+        // Range join on the implied absolute input intervals.
+        bool hit = true;
+        for (int i = 0; i < m && hit; ++i) {
+          t[static_cast<size_t>(i)] =
+              q[static_cast<size_t>(i)].Intersect(implied(row, i));
+          hit = t[static_cast<size_t>(i)].valid();
+        }
+        if (!hit) return;
+        // De-relativize forward (clamped rel_for): each relative input
+        // constrains its referenced output attribute to
+        // [t.lo - d.hi, t.hi - d.lo], intersected with the row's bound.
+        for (int j = 0; j < l; ++j)
+          out_box[static_cast<size_t>(j)] = row.out[static_cast<size_t>(j)];
+        bool feasible = true;
+        for (int i = 0; i < m && feasible; ++i) {
+          const InputCell& cell = row.in[static_cast<size_t>(i)];
+          if (!cell.is_relative()) continue;
+          const Interval& ti = t[static_cast<size_t>(i)];
+          Interval constraint{ti.lo - cell.iv.hi, ti.hi - cell.iv.lo};
+          Interval& target = out_box[static_cast<size_t>(cell.ref)];
+          target = target.Intersect(constraint);
+          feasible = target.valid();
+        }
+        if (!feasible) return;
+        result.AddBox(out_box);
+      });
+  return result;
+}
+
+ForwardTable ForwardTable::FromBackward(const CompressedTable& table) {
+  ForwardTable fwd;
+  fwd.out_shape_ = table.out_shape();
+  fwd.in_shape_ = table.in_shape();
+  const int l = table.out_ndim();
+  const int m = table.in_ndim();
+  fwd.rows_.reserve(static_cast<size_t>(table.num_rows()));
+  for (const CompressedRow& row : table.rows()) {
+    Row fr;
+    fr.in.resize(static_cast<size_t>(m));
+    fr.out.resize(static_cast<size_t>(l));
+    for (int j = 0; j < l; ++j)
+      fr.out[static_cast<size_t>(j)].bound = row.out[static_cast<size_t>(j)];
+    for (int i = 0; i < m; ++i) {
+      const InputCell& cell = row.in[static_cast<size_t>(i)];
+      if (cell.is_relative()) {
+        fr.in[static_cast<size_t>(i)] =
+            row.out[static_cast<size_t>(cell.ref)].ShiftBy(cell.iv);
+        fr.out[static_cast<size_t>(cell.ref)].refs.push_back(
+            {static_cast<int32_t>(i), cell.iv});
+      } else {
+        fr.in[static_cast<size_t>(i)] = cell.iv;
+      }
+    }
+    fwd.rows_.push_back(std::move(fr));
+  }
+  return fwd;
+}
+
+BoxTable ForwardTable::Join(const BoxTable& query) const {
+  DSLOG_CHECK(query.ndim() == in_ndim()) << "forward query arity mismatch";
+  const int l = out_ndim();
+  const int m = in_ndim();
+  BoxTable result(l);
+  std::vector<Interval> t(static_cast<size_t>(m));
+  std::vector<Interval> out_box(static_cast<size_t>(l));
+
+  std::vector<Interval> row_attr0;
+  row_attr0.reserve(rows_.size());
+  for (const Row& row : rows_) row_attr0.push_back(row.in[0]);
+
+  ForEachOverlappingPair(
+      row_attr0, QueryAttr0(query), [&](int64_t ri, int64_t qb) {
+        const Row& row = rows_[static_cast<size_t>(ri)];
+        auto q = query.Box(qb);
+        bool hit = true;
+        for (int i = 0; i < m && hit; ++i) {
+          t[static_cast<size_t>(i)] = q[static_cast<size_t>(i)].Intersect(
+              row.in[static_cast<size_t>(i)]);
+          hit = t[static_cast<size_t>(i)].valid();
+        }
+        if (!hit) return;
+        bool feasible = true;
+        for (int j = 0; j < l && feasible; ++j) {
+          const OutputCell& cell = row.out[static_cast<size_t>(j)];
+          Interval v = cell.bound;
+          for (const auto& [ref, delta] : cell.refs) {
+            const Interval& ti = t[static_cast<size_t>(ref)];
+            v = v.Intersect({ti.lo - delta.hi, ti.hi - delta.lo});
+            if (!v.valid()) break;
+          }
+          feasible = v.valid();
+          out_box[static_cast<size_t>(j)] = v;
+        }
+        if (!feasible) return;
+        result.AddBox(out_box);
+      });
+  return result;
+}
+
+}  // namespace dslog

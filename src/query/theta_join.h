@@ -1,0 +1,64 @@
+// The in-situ θ-join (ICDE'24 §V.B): a range join over interval cells plus
+// de-relativization of relative attributes — evaluated directly on the
+// compressed table, with no decompression.
+//
+// Backward joins take a query over the table's *output* attributes (which
+// are absolute) and return the linked input cells via rel_back.
+// Forward joins take a query over *input* attributes; they run either
+// directly against the backward representation or against a materialized
+// ForwardTable (the §IV.C alternative representation), using the clamped
+// rel_for de-relativization. (The published rel_for formula is garbled; see
+// DESIGN.md for the derivation used here, which property tests validate
+// against the uncompressed ground truth.)
+
+#ifndef DSLOG_QUERY_THETA_JOIN_H_
+#define DSLOG_QUERY_THETA_JOIN_H_
+
+#include <vector>
+
+#include "provrc/compressed_table.h"
+#include "query/box.h"
+
+namespace dslog {
+
+/// Backward θ-join: query boxes over output attributes -> input-cell boxes.
+BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table);
+
+/// Forward θ-join evaluated directly on the backward representation:
+/// query boxes over input attributes -> output-cell boxes.
+BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table);
+
+/// Materialized forward representation (inputs absolute, outputs possibly
+/// relative with clamping bounds) as described in §IV.C / Table III.
+class ForwardTable {
+ public:
+  struct OutputCell {
+    /// Absolute interval when no relative constraint applies.
+    Interval bound;
+    /// Relative constraints: pairs of (input attribute index, delta interval
+    /// a_ref - b). Empty means the cell is absolute (= bound).
+    std::vector<std::pair<int32_t, Interval>> refs;
+  };
+  struct Row {
+    std::vector<Interval> in;  // absolute input intervals
+    std::vector<OutputCell> out;
+  };
+
+  static ForwardTable FromBackward(const CompressedTable& table);
+
+  int in_ndim() const { return static_cast<int>(in_shape_.size()); }
+  int out_ndim() const { return static_cast<int>(out_shape_.size()); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Forward θ-join over the materialized representation.
+  BoxTable Join(const BoxTable& query) const;
+
+ private:
+  std::vector<int64_t> out_shape_;
+  std::vector<int64_t> in_shape_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_QUERY_THETA_JOIN_H_

@@ -1,0 +1,200 @@
+#include "relational/relational_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace dslog {
+
+namespace {
+
+// Identity lineage between the shared (row, col) region of two 2-D tables,
+// with an optional column remap out_col -> in_col.
+void AddCellCopy(LineageRelation* rel, int64_t out_row, int64_t out_col,
+                 int64_t in_row, int64_t in_col) {
+  int64_t o[2] = {out_row, out_col};
+  int64_t i[2] = {in_row, in_col};
+  rel->Add(o, i);
+}
+
+}  // namespace
+
+Result<RelationalResult> InnerJoin(const NDArray& a, const NDArray& b,
+                                   int key_a, int key_b) {
+  if (a.ndim() != 2 || b.ndim() != 2)
+    return Status::InvalidArgument("InnerJoin: 2-D tables required");
+  int64_t ca = a.shape()[1], cb = b.shape()[1];
+  if (key_a >= ca || key_b >= cb)
+    return Status::InvalidArgument("InnerJoin: key column out of range");
+
+  // Hash build on B's key.
+  std::unordered_map<int64_t, std::vector<int64_t>> build;
+  for (int64_t j = 0; j < b.shape()[0]; ++j)
+    build[static_cast<int64_t>(b[j * cb + key_b])].push_back(j);
+
+  std::vector<std::pair<int64_t, int64_t>> matches;  // (row in A, row in B)
+  for (int64_t i = 0; i < a.shape()[0]; ++i) {
+    auto it = build.find(static_cast<int64_t>(a[i * ca + key_a]));
+    if (it == build.end()) continue;
+    for (int64_t j : it->second) matches.push_back({i, j});
+  }
+
+  int64_t out_cols = ca + cb - 1;
+  NDArray out({static_cast<int64_t>(matches.size()), out_cols});
+  RelationalResult result;
+  LineageRelation ra(2, 2), rb(2, 2);
+  ra.set_shapes(out.shape(), a.shape());
+  rb.set_shapes(out.shape(), b.shape());
+
+  for (size_t k = 0; k < matches.size(); ++k) {
+    auto [i, j] = matches[k];
+    int64_t row = static_cast<int64_t>(k);
+    for (int64_t c = 0; c < ca; ++c) {
+      out[row * out_cols + c] = a[i * ca + c];
+      AddCellCopy(&ra, row, c, i, c);
+      if (c == key_a) AddCellCopy(&rb, row, c, j, key_b);
+    }
+    int64_t oc = ca;
+    for (int64_t c = 0; c < cb; ++c) {
+      if (c == key_b) continue;
+      out[row * out_cols + oc] = b[j * cb + c];
+      AddCellCopy(&rb, row, oc, j, c);
+      ++oc;
+    }
+  }
+  result.output = std::move(out);
+  result.lineage.push_back(std::move(ra));
+  result.lineage.push_back(std::move(rb));
+  return result;
+}
+
+Result<RelationalResult> GroupByAggregate(const NDArray& table, int group_col,
+                                          int value_col) {
+  if (table.ndim() != 2)
+    return Status::InvalidArgument("GroupByAggregate: 2-D table required");
+  int64_t cols = table.shape()[1];
+  if (group_col >= cols || value_col >= cols)
+    return Status::InvalidArgument("GroupByAggregate: column out of range");
+
+  std::map<int64_t, std::vector<int64_t>> groups;  // value -> member rows
+  for (int64_t i = 0; i < table.shape()[0]; ++i)
+    groups[static_cast<int64_t>(table[i * cols + group_col])].push_back(i);
+
+  NDArray out({static_cast<int64_t>(groups.size()), 2});
+  LineageRelation rel(2, 2);
+  rel.set_shapes(out.shape(), table.shape());
+  int64_t k = 0;
+  for (const auto& [value, rows] : groups) {
+    double sum = 0;
+    for (int64_t i : rows) sum += table[i * cols + value_col];
+    out[k * 2 + 0] = static_cast<double>(value);
+    out[k * 2 + 1] = sum;
+    for (int64_t i : rows) {
+      AddCellCopy(&rel, k, 0, i, group_col);
+      AddCellCopy(&rel, k, 1, i, value_col);
+    }
+    ++k;
+  }
+  RelationalResult result;
+  result.output = std::move(out);
+  result.lineage.push_back(std::move(rel));
+  return result;
+}
+
+Result<RelationalResult> DropNaNColumns(const NDArray& table) {
+  if (table.ndim() != 2)
+    return Status::InvalidArgument("DropNaNColumns: 2-D table required");
+  int64_t rows = table.shape()[0], cols = table.shape()[1];
+  std::vector<int64_t> kept;
+  for (int64_t c = 0; c < cols; ++c) {
+    bool has_nan = false;
+    for (int64_t i = 0; i < rows && !has_nan; ++i)
+      has_nan = std::isnan(table[i * cols + c]);
+    if (!has_nan) kept.push_back(c);
+  }
+  if (kept.empty()) return Status::InvalidArgument("DropNaNColumns: all NaN");
+  NDArray out({rows, static_cast<int64_t>(kept.size())});
+  LineageRelation rel(2, 2);
+  rel.set_shapes(out.shape(), table.shape());
+  for (int64_t i = 0; i < rows; ++i)
+    for (size_t kc = 0; kc < kept.size(); ++kc) {
+      out[i * static_cast<int64_t>(kept.size()) + static_cast<int64_t>(kc)] =
+          table[i * cols + kept[kc]];
+      AddCellCopy(&rel, i, static_cast<int64_t>(kc), i, kept[kc]);
+    }
+  RelationalResult result;
+  result.output = std::move(out);
+  result.lineage.push_back(std::move(rel));
+  return result;
+}
+
+Result<RelationalResult> AddColumns(const NDArray& table, int col1, int col2) {
+  if (table.ndim() != 2)
+    return Status::InvalidArgument("AddColumns: 2-D table required");
+  int64_t rows = table.shape()[0], cols = table.shape()[1];
+  if (col1 >= cols || col2 >= cols)
+    return Status::InvalidArgument("AddColumns: column out of range");
+  NDArray out({rows, cols + 1});
+  LineageRelation rel(2, 2);
+  rel.set_shapes(out.shape(), table.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out[i * (cols + 1) + c] = table[i * cols + c];
+      AddCellCopy(&rel, i, c, i, c);
+    }
+    out[i * (cols + 1) + cols] = table[i * cols + col1] + table[i * cols + col2];
+    AddCellCopy(&rel, i, cols, i, col1);
+    AddCellCopy(&rel, i, cols, i, col2);
+  }
+  RelationalResult result;
+  result.output = std::move(out);
+  result.lineage.push_back(std::move(rel));
+  return result;
+}
+
+Result<RelationalResult> OneHotEncode(const NDArray& table, int col,
+                                      int num_values) {
+  if (table.ndim() != 2)
+    return Status::InvalidArgument("OneHotEncode: 2-D table required");
+  int64_t rows = table.shape()[0], cols = table.shape()[1];
+  if (col >= cols) return Status::InvalidArgument("OneHotEncode: bad column");
+  NDArray out({rows, cols + num_values});
+  LineageRelation rel(2, 2);
+  rel.set_shapes(out.shape(), table.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out[i * (cols + num_values) + c] = table[i * cols + c];
+      AddCellCopy(&rel, i, c, i, c);
+    }
+    int64_t code = static_cast<int64_t>(table[i * cols + col]);
+    for (int v = 0; v < num_values; ++v) {
+      out[i * (cols + num_values) + cols + v] = (code == v) ? 1.0 : 0.0;
+      AddCellCopy(&rel, i, cols + v, i, col);
+    }
+  }
+  RelationalResult result;
+  result.output = std::move(out);
+  result.lineage.push_back(std::move(rel));
+  return result;
+}
+
+Result<RelationalResult> AddConstant(const NDArray& table, int col, double c) {
+  if (table.ndim() != 2)
+    return Status::InvalidArgument("AddConstant: 2-D table required");
+  int64_t rows = table.shape()[0], cols = table.shape()[1];
+  if (col >= cols) return Status::InvalidArgument("AddConstant: bad column");
+  NDArray out = table;
+  LineageRelation rel(2, 2);
+  rel.set_shapes(out.shape(), table.shape());
+  for (int64_t i = 0; i < rows; ++i) {
+    out[i * cols + col] += c;
+    for (int64_t cc = 0; cc < cols; ++cc) AddCellCopy(&rel, i, cc, i, cc);
+  }
+  RelationalResult result;
+  result.output = std::move(out);
+  result.lineage.push_back(std::move(rel));
+  return result;
+}
+
+}  // namespace dslog

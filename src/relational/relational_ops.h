@@ -1,0 +1,55 @@
+// Relational operations with custom cell-level lineage capture
+// (ICDE'24 §VII.A.3): inner join and group-by, plus the pre-processing
+// steps of the relational workflow in Fig 8B. Relational tables are
+// represented as 2-D arrays in canonical order (§II.A), with string-like
+// attributes dictionary-coded to integers by the workload generators.
+
+#ifndef DSLOG_RELATIONAL_RELATIONAL_OPS_H_
+#define DSLOG_RELATIONAL_RELATIONAL_OPS_H_
+
+#include <vector>
+
+#include "array/ndarray.h"
+#include "common/result.h"
+#include "lineage/lineage_relation.h"
+
+namespace dslog {
+
+/// Output of a relational operation: the result table plus one lineage
+/// relation per input table (same order as the inputs).
+struct RelationalResult {
+  NDArray output;
+  std::vector<LineageRelation> lineage;
+};
+
+/// Equality inner join A.key_a == B.key_b. Output columns: all of A, then
+/// all of B except key_b. Copied cells trace to their source cell; the key
+/// column traces to both matching key cells.
+Result<RelationalResult> InnerJoin(const NDArray& a, const NDArray& b,
+                                   int key_a, int key_b);
+
+/// SUM aggregation of `value_col` grouped by `group_col`. Output: one row
+/// per distinct group value (ascending), columns (group, sum). Every row of
+/// a group contributes to both output cells of that group (all-to-all
+/// within the group) — unstructured lineage when groups interleave.
+Result<RelationalResult> GroupByAggregate(const NDArray& table, int group_col,
+                                          int value_col);
+
+/// Drops every column containing at least one NaN; kept cells trace
+/// one-to-one (value-dependent).
+Result<RelationalResult> DropNaNColumns(const NDArray& table);
+
+/// Appends a column holding col1 + col2.
+Result<RelationalResult> AddColumns(const NDArray& table, int col1, int col2);
+
+/// Appends `num_values` indicator columns one-hot-encoding integer codes in
+/// `col` (codes outside [0, num_values) yield all-zero indicators).
+Result<RelationalResult> OneHotEncode(const NDArray& table, int col,
+                                      int num_values);
+
+/// Adds a constant to one column (in a copy); identity lineage.
+Result<RelationalResult> AddConstant(const NDArray& table, int col, double c);
+
+}  // namespace dslog
+
+#endif  // DSLOG_RELATIONAL_RELATIONAL_OPS_H_

@@ -1,0 +1,195 @@
+#include "storage/dslog.h"
+
+#include <filesystem>
+
+#include "common/io.h"
+#include "common/strings.h"
+#include "compress/varint.h"
+#include "provrc/provrc.h"
+#include "provrc/serialize.h"
+
+namespace dslog {
+
+Status DSLog::DefineArray(const std::string& name, std::vector<int64_t> shape) {
+  if (name.empty()) return Status::InvalidArgument("array name empty");
+  auto [it, inserted] = arrays_.try_emplace(name, std::move(shape));
+  if (!inserted) return Status::AlreadyExists("array already defined: " + name);
+  return Status::OK();
+}
+
+bool DSLog::HasArray(const std::string& name) const {
+  return arrays_.count(name) > 0;
+}
+
+Result<std::vector<int64_t>> DSLog::ArrayShape(const std::string& name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) return Status::NotFound("array not defined: " + name);
+  return it->second;
+}
+
+Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
+  if (!HasArray(reg.out_arr))
+    return Status::NotFound("output array not defined: " + reg.out_arr);
+  for (const auto& in : reg.in_arrs)
+    if (!HasArray(in)) return Status::NotFound("input array not defined: " + in);
+
+  std::vector<std::vector<int64_t>> in_shapes;
+  for (const auto& in : reg.in_arrs) in_shapes.push_back(arrays_.at(in));
+  const std::vector<int64_t>& out_shape = arrays_.at(reg.out_arr);
+
+  std::vector<CompressedTable> tables;
+  ReuseOutcome outcome;
+  if (!reg.captured.empty()) {
+    if (reg.captured.size() != reg.in_arrs.size())
+      return Status::InvalidArgument("one captured relation per input required");
+    for (const LineageRelation& rel : reg.captured)
+      tables.push_back(ProvRcCompress(rel));
+    if (reg.reuse) {
+      outcome = predictor_.ProcessRegistration(reg.op_name, reg.args, in_shapes,
+                                               out_shape, reg.content_hash,
+                                               tables);
+    }
+  } else {
+    if (!reg.reuse)
+      return Status::InvalidArgument(
+          "no capture provided and reuse disabled for " + reg.op_name);
+    tables = predictor_.Predict(reg.op_name, reg.args, in_shapes, out_shape);
+    if (tables.empty())
+      return Status::NotFound("no promoted reuse mapping for " + reg.op_name);
+    outcome.dim_hit = true;  // served from the reuse index
+  }
+
+  if (tables.size() != reg.in_arrs.size())
+    return Status::Internal("table count mismatch");
+  for (size_t i = 0; i < reg.in_arrs.size(); ++i) {
+    Edge edge;
+    edge.in_arr = reg.in_arrs[i];
+    edge.out_arr = reg.out_arr;
+    edge.op_name = reg.op_name;
+    edge.table = std::move(tables[i]);
+    if (options_.materialize_forward)
+      edge.forward = std::make_shared<const ForwardTable>(
+          ForwardTable::FromBackward(edge.table));
+    edges_[EdgeKey(reg.in_arrs[i], reg.out_arr)] = std::move(edge);
+  }
+  return outcome;
+}
+
+const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
+                                       const std::string& out_arr) const {
+  auto it = edges_.find(EdgeKey(in_arr, out_arr));
+  return it == edges_.end() ? nullptr : &it->second.table;
+}
+
+Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
+                                  const BoxTable& query,
+                                  const QueryOptions& options) const {
+  if (path.size() < 2)
+    return Status::InvalidArgument("query path needs >= 2 arrays");
+  std::vector<QueryHop> hops;
+  for (size_t k = 0; k + 1 < path.size(); ++k) {
+    // Forward hop: path[k] is the relation's input array.
+    auto fwd_it = edges_.find(EdgeKey(path[k], path[k + 1]));
+    if (fwd_it != edges_.end()) {
+      hops.push_back({&fwd_it->second.table, /*forward=*/true,
+                      fwd_it->second.forward.get()});
+      continue;
+    }
+    // Backward hop: path[k] is the relation's output array.
+    const CompressedTable* bwd = FindEdge(path[k + 1], path[k]);
+    if (bwd != nullptr) {
+      hops.push_back({bwd, /*forward=*/false, nullptr});
+      continue;
+    }
+    return Status::NotFound("no lineage between " + path[k] + " and " +
+                            path[k + 1]);
+  }
+  return InSituQuery(hops, query, options);
+}
+
+int64_t DSLog::StorageFootprintBytes() const {
+  int64_t total = 0;
+  for (const auto& [key, edge] : edges_)
+    total += static_cast<int64_t>(SerializeCompressedTableGzip(edge.table).size());
+  return total;
+}
+
+Status DSLog::Save(const std::string& dir) const {
+  DSLOG_RETURN_IF_ERROR(CreateDirs(dir));
+  // Catalog file: arrays and edge index.
+  std::string catalog;
+  PutVarint64(&catalog, arrays_.size());
+  for (const auto& [name, shape] : arrays_) {
+    PutVarint64(&catalog, name.size());
+    catalog += name;
+    PutVarint64(&catalog, shape.size());
+    for (int64_t d : shape) PutVarint64(&catalog, static_cast<uint64_t>(d));
+  }
+  PutVarint64(&catalog, edges_.size());
+  int file_id = 0;
+  for (const auto& [key, edge] : edges_) {
+    PutVarint64(&catalog, edge.in_arr.size());
+    catalog += edge.in_arr;
+    PutVarint64(&catalog, edge.out_arr.size());
+    catalog += edge.out_arr;
+    PutVarint64(&catalog, edge.op_name.size());
+    catalog += edge.op_name;
+    std::string file = Format("edge_%04d.prc", file_id++);
+    PutVarint64(&catalog, file.size());
+    catalog += file;
+    DSLOG_RETURN_IF_ERROR(WriteFile(
+        dir + "/" + file, SerializeCompressedTableGzip(edge.table)));
+  }
+  return WriteFile(dir + "/catalog.bin", catalog);
+}
+
+Status DSLog::Load(const std::string& dir) {
+  DSLOG_ASSIGN_OR_RETURN(std::string catalog,
+                         ReadFileToString(dir + "/catalog.bin"));
+  arrays_.clear();
+  edges_.clear();
+  size_t pos = 0;
+  auto read_string = [&](std::string* out) {
+    uint64_t n;
+    if (!GetVarint64(catalog, &pos, &n)) return false;
+    if (pos + n > catalog.size()) return false;
+    *out = catalog.substr(pos, n);
+    pos += n;
+    return true;
+  };
+  uint64_t num_arrays;
+  if (!GetVarint64(catalog, &pos, &num_arrays))
+    return Status::Corruption("catalog: array count");
+  for (uint64_t i = 0; i < num_arrays; ++i) {
+    std::string name;
+    if (!read_string(&name)) return Status::Corruption("catalog: array name");
+    uint64_t nd;
+    if (!GetVarint64(catalog, &pos, &nd))
+      return Status::Corruption("catalog: ndim");
+    std::vector<int64_t> shape(nd);
+    for (auto& d : shape) {
+      uint64_t v;
+      if (!GetVarint64(catalog, &pos, &v))
+        return Status::Corruption("catalog: shape");
+      d = static_cast<int64_t>(v);
+    }
+    arrays_[name] = std::move(shape);
+  }
+  uint64_t num_edges;
+  if (!GetVarint64(catalog, &pos, &num_edges))
+    return Status::Corruption("catalog: edge count");
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    Edge edge;
+    std::string file;
+    if (!read_string(&edge.in_arr) || !read_string(&edge.out_arr) ||
+        !read_string(&edge.op_name) || !read_string(&file))
+      return Status::Corruption("catalog: edge entry");
+    DSLOG_ASSIGN_OR_RETURN(std::string data, ReadFileToString(dir + "/" + file));
+    DSLOG_ASSIGN_OR_RETURN(edge.table, DeserializeCompressedTableGzip(data));
+    std::string key = EdgeKey(edge.in_arr, edge.out_arr);
+    edges_[key] = std::move(edge);
+  }
+  return Status::OK();
+}
+
+}  // namespace dslog

@@ -1,0 +1,152 @@
+#include "storage/signatures.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dslog {
+
+std::string ReusePredictor::DimKey(
+    const std::string& op_name, const OpArgs& args,
+    const std::vector<std::vector<int64_t>>& in_shapes) {
+  std::ostringstream os;
+  os << op_name << "#" << args.Hash();
+  for (const auto& s : in_shapes) os << "|" << JoinInts(s, ",");
+  return os.str();
+}
+
+std::string ReusePredictor::GenKey(const std::string& op_name,
+                                   const OpArgs& args) {
+  // Shape-bearing arguments stay in the key (they define the lineage
+  // pattern "up to pseudo-randomness", §VI.A).
+  return op_name + "#" + std::to_string(args.Hash());
+}
+
+std::string ReusePredictor::BaseKey(const std::string& op_name,
+                                    const OpArgs& args, uint64_t content_hash) {
+  return op_name + "#" + std::to_string(args.Hash()) + "#" +
+         std::to_string(content_hash);
+}
+
+std::vector<CompressedTable> ReusePredictor::Predict(
+    const std::string& op_name, const OpArgs& args,
+    const std::vector<std::vector<int64_t>>& in_shapes,
+    const std::vector<int64_t>& out_shape) const {
+  auto dim_it = dim_sig_.find(DimKey(op_name, args, in_shapes));
+  if (dim_it != dim_sig_.end() && dim_it->second.state == State::kPromoted)
+    return dim_it->second.tables;
+  auto gen_it = gen_sig_.find(GenKey(op_name, args));
+  if (gen_it != gen_sig_.end() && gen_it->second.state == State::kPromoted) {
+    std::vector<CompressedTable> tables;
+    for (size_t i = 0; i < gen_it->second.tables.size(); ++i) {
+      auto t = gen_it->second.tables[i].Instantiate(out_shape, in_shapes[i]);
+      if (!t.ok()) return {};
+      tables.push_back(std::move(t).ValueOrDie());
+    }
+    return tables;
+  }
+  return {};
+}
+
+ReuseOutcome ReusePredictor::ProcessRegistration(
+    const std::string& op_name, const OpArgs& args,
+    const std::vector<std::vector<int64_t>>& in_shapes,
+    const std::vector<int64_t>& out_shape, uint64_t content_hash,
+    const std::vector<CompressedTable>& tables) {
+  ReuseOutcome outcome;
+
+  // ---- base_sig: exact input match (Lima-style). -------------------------
+  std::string base_key = BaseKey(op_name, args, content_hash);
+  auto base_it = base_sig_.find(base_key);
+  if (base_it != base_sig_.end()) {
+    outcome.base_hit = true;
+    ++stats_.base_hits;
+  } else {
+    base_sig_[base_key] = tables;
+  }
+
+  // ---- dim_sig: shape-based reuse. ---------------------------------------
+  std::string dim_key = DimKey(op_name, args, in_shapes);
+  auto [dim_it, dim_new] = dim_sig_.try_emplace(dim_key);
+  DimEntry& dim = dim_it->second;
+  if (dim_new) {
+    dim.tables = tables;
+  } else {
+    switch (dim.state) {
+      case State::kTentative:
+        if (dim.tables == tables) {
+          dim.state = State::kPromoted;
+          ++stats_.dim_promotions;
+          outcome.dim_hit = true;
+          ++stats_.dim_hits;
+        } else {
+          dim.state = State::kRejected;
+          ++stats_.dim_rejections;
+        }
+        break;
+      case State::kPromoted:
+        if (dim.tables == tables) {
+          outcome.dim_hit = true;
+          ++stats_.dim_hits;
+        } else {
+          ++stats_.mispredictions;
+          dim.state = State::kRejected;
+        }
+        break;
+      case State::kRejected:
+        break;
+    }
+  }
+
+  // ---- gen_sig: shape-independent reuse via index reshaping. -------------
+  std::string gen_key = GenKey(op_name, args);
+  auto [gen_it, gen_new] = gen_sig_.try_emplace(gen_key);
+  GenEntry& gen = gen_it->second;
+  if (gen_new) {
+    for (const CompressedTable& t : tables)
+      gen.tables.push_back(GeneralizedTable::Generalize(t));
+    gen.first_shapes = in_shapes;
+    gen.first_out_shape = out_shape;
+  } else {
+    auto verify = [&]() {
+      for (size_t i = 0; i < gen.tables.size() && i < tables.size(); ++i) {
+        auto inst = gen.tables[i].Instantiate(out_shape, in_shapes[i]);
+        if (!inst.ok()) return false;
+        if (!(inst.value() == tables[i])) return false;
+      }
+      return gen.tables.size() == tables.size();
+    };
+    switch (gen.state) {
+      case State::kTentative: {
+        // Promotion requires a *different* shape than the first call.
+        bool different_shape = in_shapes != gen.first_shapes;
+        if (different_shape) {
+          if (verify()) {
+            gen.state = State::kPromoted;
+            ++stats_.gen_promotions;
+            outcome.gen_hit = true;
+            ++stats_.gen_hits;
+          } else {
+            gen.state = State::kRejected;
+            ++stats_.gen_rejections;
+          }
+        }
+        break;
+      }
+      case State::kPromoted:
+        if (verify()) {
+          outcome.gen_hit = true;
+          ++stats_.gen_hits;
+        } else {
+          ++stats_.mispredictions;
+          gen.state = State::kRejected;
+        }
+        break;
+      case State::kRejected:
+        break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace dslog

@@ -1,0 +1,54 @@
+// Kaggle-notebook simulator for the Table X coverage estimate. The paper
+// manually inspected 20 "Trending" notebooks for two datasets (Flight
+// Delays, Netflix Shows) and classified each array operation as
+// ProvRC-compressible. Here notebooks are sampled from two archetypes
+// (data exploration vs. machine learning) whose op-category mixtures are
+// calibrated to the published statistics; each category's compressibility
+// is *measured* by compressing a miniature instance of a representative
+// operation, not hard-coded.
+
+#ifndef DSLOG_WORKLOADS_KAGGLE_SIM_H_
+#define DSLOG_WORKLOADS_KAGGLE_SIM_H_
+
+#include <string>
+#include <vector>
+
+namespace dslog {
+
+/// Dataset archetype: mixture weights between exploration and ML notebooks.
+struct KaggleDatasetProfile {
+  std::string name;
+  /// Probability a sampled notebook is exploration-heavy (vs. ML-heavy).
+  double exploration_share = 0.5;
+};
+
+/// Per-notebook simulation outcome.
+struct NotebookStats {
+  int total_ops = 0;
+  int compressible_ops = 0;
+  int longest_chain = 0;
+};
+
+/// Aggregates over a set of notebooks (Table X row).
+struct KaggleSummary {
+  std::string dataset;
+  double total_mean = 0, total_std = 0;
+  double compressible_mean = 0, compressible_std = 0;
+  double pct_mean = 0, pct_std = 0;
+  double chain_mean = 0, chain_std = 0;
+};
+
+/// Simulates one notebook trace.
+NotebookStats SimulateNotebook(bool exploration_heavy, uint64_t seed);
+
+/// Simulates `notebooks` notebooks for a dataset profile and aggregates.
+KaggleSummary SimulateKaggleDataset(const KaggleDatasetProfile& profile,
+                                    int notebooks, uint64_t seed);
+
+/// The two dataset profiles of Table X.
+KaggleDatasetProfile FlightProfile();
+KaggleDatasetProfile NetflixProfile();
+
+}  // namespace dslog
+
+#endif  // DSLOG_WORKLOADS_KAGGLE_SIM_H_

@@ -1,0 +1,311 @@
+#include "workloads/workflows.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+#include "explain/explain.h"
+#include "relational/relational_ops.h"
+
+namespace dslog {
+
+// --------------------------------------------------------- synthetic data --
+
+NDArray MakeSurveillanceFrame(int64_t h, int64_t w, uint64_t seed) {
+  Rng rng(seed);
+  NDArray frame({h, w});
+  // Textured background.
+  for (int64_t y = 0; y < h; ++y)
+    for (int64_t x = 0; x < w; ++x)
+      frame[y * w + x] =
+          40.0 + 8.0 * std::sin(0.13 * static_cast<double>(x)) +
+          6.0 * std::cos(0.09 * static_cast<double>(y)) + 4.0 * rng.NextDouble();
+  // A few bright rectangular blobs ("cars").
+  int blobs = 3;
+  for (int b = 0; b < blobs; ++b) {
+    int64_t cy = rng.UniformRange(h / 6, 5 * h / 6);
+    int64_t cx = rng.UniformRange(w / 6, 5 * w / 6);
+    int64_t bh = rng.UniformRange(3, std::max<int64_t>(4, h / 10));
+    int64_t bw = rng.UniformRange(4, std::max<int64_t>(5, w / 8));
+    for (int64_t y = std::max<int64_t>(0, cy - bh); y < std::min(h, cy + bh); ++y)
+      for (int64_t x = std::max<int64_t>(0, cx - bw); x < std::min(w, cx + bw); ++x)
+        frame[y * w + x] = 180.0 + 20.0 * rng.NextDouble();
+  }
+  return frame;
+}
+
+NDArray MakeTitleBasics(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  NDArray t({rows, 6});
+  int64_t year = 1950;
+  for (int64_t i = 0; i < rows; ++i) {
+    t[i * 6 + 0] = static_cast<double>(i);  // tconst: sorted unique ids
+    t[i * 6 + 1] = static_cast<double>(rng.Uniform(4));  // titleType
+    t[i * 6 + 2] = static_cast<double>(rng.Bernoulli(0.07));  // isAdult
+    if (rng.Bernoulli(0.02)) ++year;  // startYear: sorted (non-decreasing)
+    t[i * 6 + 3] = static_cast<double>(std::min<int64_t>(year, 2021));
+    // runtime: mostly present, occasionally missing (NaN).
+    t[i * 6 + 4] = rng.Bernoulli(0.02)
+                       ? std::nan("")
+                       : 40.0 + static_cast<double>(rng.Uniform(120));
+    t[i * 6 + 5] = static_cast<double>(rng.Uniform(8));  // genres code
+  }
+  return t;
+}
+
+NDArray MakeTitleEpisode(int64_t rows, int64_t basics_rows, uint64_t seed) {
+  Rng rng(seed + 17);
+  NDArray t({rows, 4});
+  // tconst: sorted subset of the basics ids (episodes reference titles).
+  int64_t id = 0;
+  for (int64_t i = 0; i < rows; ++i) {
+    id += 1 + static_cast<int64_t>(rng.Uniform(
+              std::max<int64_t>(1, 2 * basics_rows / std::max<int64_t>(1, rows))));
+    t[i * 4 + 0] = static_cast<double>(id % basics_rows);
+    t[i * 4 + 1] = static_cast<double>(rng.Uniform(static_cast<uint64_t>(basics_rows)));
+    t[i * 4 + 2] = static_cast<double>(1 + rng.Uniform(12));
+    t[i * 4 + 3] = static_cast<double>(1 + rng.Uniform(24));
+  }
+  // Keep tconst sorted like the real dump.
+  std::vector<std::pair<double, int64_t>> order(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) order[static_cast<size_t>(i)] = {t[i * 4 + 0], i};
+  std::sort(order.begin(), order.end());
+  NDArray sorted({rows, 4});
+  for (int64_t i = 0; i < rows; ++i)
+    for (int64_t c = 0; c < 4; ++c)
+      sorted[i * 4 + c] = t[order[static_cast<size_t>(i)].second * 4 + c];
+  return sorted;
+}
+
+// ------------------------------------------------------ custom capture ops --
+
+Result<std::pair<NDArray, LineageRelation>> ResizeNearest(const NDArray& frame,
+                                                          int64_t out_h,
+                                                          int64_t out_w) {
+  if (frame.ndim() != 2)
+    return Status::InvalidArgument("ResizeNearest: 2-D frame required");
+  int64_t h = frame.shape()[0], w = frame.shape()[1];
+  NDArray out({out_h, out_w});
+  LineageRelation rel(2, 2);
+  rel.set_shapes(out.shape(), frame.shape());
+  rel.Reserve(out.size());
+  for (int64_t y = 0; y < out_h; ++y)
+    for (int64_t x = 0; x < out_w; ++x) {
+      int64_t sy = y * h / out_h;
+      int64_t sx = x * w / out_w;
+      out[y * out_w + x] = frame[sy * w + sx];
+      int64_t o[2] = {y, x};
+      int64_t i[2] = {sy, sx};
+      rel.Add(o, i);
+    }
+  return std::make_pair(std::move(out), std::move(rel));
+}
+
+Result<std::pair<NDArray, LineageRelation>> Conv3x3Same(const NDArray& frame,
+                                                        const double* kernel) {
+  if (frame.ndim() != 2)
+    return Status::InvalidArgument("Conv3x3Same: 2-D frame required");
+  int64_t h = frame.shape()[0], w = frame.shape()[1];
+  NDArray out({h, w});
+  LineageRelation rel(2, 2);
+  rel.set_shapes(out.shape(), frame.shape());
+  rel.Reserve(out.size() * 9);
+  for (int64_t y = 0; y < h; ++y)
+    for (int64_t x = 0; x < w; ++x) {
+      double acc = 0;
+      int64_t o[2] = {y, x};
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          int64_t sy = y + dy, sx = x + dx;
+          if (sy < 0 || sy >= h || sx < 0 || sx >= w) continue;  // zero pad
+          acc += kernel[(dy + 1) * 3 + (dx + 1)] * frame[sy * w + sx];
+          int64_t i[2] = {sy, sx};
+          rel.Add(o, i);
+        }
+      out[y * w + x] = acc;
+    }
+  return std::make_pair(std::move(out), std::move(rel));
+}
+
+// --------------------------------------------------------------- workflows --
+
+namespace {
+
+void AppendStep(Workflow* wf, const std::string& op_name,
+                const NDArray& output, LineageRelation relation) {
+  wf->array_names.push_back(wf->name + "_x" +
+                            std::to_string(wf->array_names.size()));
+  wf->shapes.push_back(output.shape());
+  wf->steps.push_back({op_name, std::move(relation)});
+}
+
+// Applies a registry op to `current`, appending the step. Returns false if
+// the op is inapplicable.
+bool ApplyRegistryStep(Workflow* wf, NDArray* current, const char* op_name,
+                       const OpArgs& args) {
+  const ArrayOp* op = OpRegistry::Global().Find(op_name);
+  if (op == nullptr) return false;
+  auto out = op->Apply({current}, args);
+  if (!out.ok()) return false;
+  auto rels = op->Capture({current}, out.value(), args);
+  if (!rels.ok()) return false;
+  AppendStep(wf, op_name, out.value(), std::move(rels.ValueOrDie()[0]));
+  *current = std::move(out).ValueOrDie();
+  return true;
+}
+
+}  // namespace
+
+Result<Workflow> BuildImageWorkflow(int64_t h, int64_t w, uint64_t seed) {
+  Workflow wf;
+  wf.name = "image";
+  NDArray frame = MakeSurveillanceFrame(h, w, seed);
+  wf.array_names.push_back("image_x0");
+  wf.shapes.push_back(frame.shape());
+
+  // 1. Resize (the paper resizes to YOLOv4's 416x416; scaled down).
+  int64_t rh = h * 3 / 4, rw = w * 3 / 4;
+  DSLOG_ASSIGN_OR_RETURN(auto resized, ResizeNearest(frame, rh, rw));
+  AppendStep(&wf, "resize", resized.first, std::move(resized.second));
+  NDArray current = std::move(resized.first);
+
+  // 2. Increase luminosity (x + 20, element-wise; identity lineage).
+  {
+    NDArray bright = current;
+    for (int64_t i = 0; i < bright.size(); ++i) bright[i] += 20.0;
+    AppendStep(&wf, "luminosity", bright, IdentityLineage(bright, current));
+    current = std::move(bright);
+  }
+
+  // 3. Rotate 90 and 4. horizontal flip via the op catalogue.
+  if (!ApplyRegistryStep(&wf, &current, "rot90", OpArgs()))
+    return Status::Internal("rot90 failed");
+  if (!ApplyRegistryStep(&wf, &current, "fliplr", OpArgs()))
+    return Status::Internal("fliplr failed");
+
+  // 5. LIME over the detector.
+  TinyDetector detector;
+  Rng rng(seed + 1);
+  DSLOG_ASSIGN_OR_RETURN(LineageRelation lime,
+                         LimeCapture(current, detector, LimeOptions{}, &rng));
+  NDArray det({6});
+  wf.array_names.push_back("image_x5");
+  wf.shapes.push_back(det.shape());
+  wf.steps.push_back({"lime", std::move(lime)});
+  // Fix the appended name bookkeeping for step 5 (AppendStep not used).
+  return wf;
+}
+
+Result<Workflow> BuildRelationalWorkflow(int64_t basics_rows,
+                                         int64_t episode_rows, uint64_t seed) {
+  Workflow wf;
+  wf.name = "relational";
+  NDArray basics = MakeTitleBasics(basics_rows, seed);
+  NDArray episode = MakeTitleEpisode(episode_rows, basics_rows, seed);
+  wf.array_names.push_back("rel_x0");
+  wf.shapes.push_back(basics.shape());
+
+  // 1. Inner join on tconst (path follows the basics side).
+  DSLOG_ASSIGN_OR_RETURN(RelationalResult joined,
+                         InnerJoin(basics, episode, 0, 0));
+  AppendStep(&wf, "inner_join", joined.output, std::move(joined.lineage[0]));
+  NDArray current = std::move(joined.output);
+
+  // 2. Filter columns with NaN values.
+  DSLOG_ASSIGN_OR_RETURN(RelationalResult filtered, DropNaNColumns(current));
+  AppendStep(&wf, "drop_nan_columns", filtered.output,
+             std::move(filtered.lineage[0]));
+  current = std::move(filtered.output);
+
+  // 3. Add two columns (isAdult + titleType as a demo derived feature).
+  DSLOG_ASSIGN_OR_RETURN(RelationalResult added, AddColumns(current, 1, 2));
+  AppendStep(&wf, "add_columns", added.output, std::move(added.lineage[0]));
+  current = std::move(added.output);
+
+  // 4. One-hot encode genres (8 codes).
+  DSLOG_ASSIGN_OR_RETURN(RelationalResult onehot, OneHotEncode(current, 4, 8));
+  AppendStep(&wf, "one_hot", onehot.output, std::move(onehot.lineage[0]));
+  current = std::move(onehot.output);
+
+  // 5. Add a constant to one column.
+  DSLOG_ASSIGN_OR_RETURN(RelationalResult shifted, AddConstant(current, 3, 1.0));
+  AppendStep(&wf, "add_constant", shifted.output, std::move(shifted.lineage[0]));
+  return wf;
+}
+
+Result<Workflow> BuildResNetWorkflow(int64_t h, int64_t w, uint64_t seed) {
+  Workflow wf;
+  wf.name = "resnet";
+  Rng rng(seed);
+  NDArray x = NDArray::Random({h, w}, &rng);
+  wf.array_names.push_back("resnet_x0");
+  wf.shapes.push_back(x.shape());
+
+  const double k1[9] = {0.1, 0.2, 0.1, 0.2, 0.4, 0.2, 0.1, 0.2, 0.1};
+  const double k2[9] = {-0.1, 0.0, 0.1, -0.2, 0.0, 0.2, -0.1, 0.0, 0.1};
+  NDArray current = x;
+
+  auto conv_step = [&](const double* k, const char* name) -> Status {
+    auto r = Conv3x3Same(current, k);
+    if (!r.ok()) return r.status();
+    AppendStep(&wf, name, r.value().first, std::move(r.value().second));
+    current = std::move(r.value().first);
+    return Status::OK();
+  };
+  auto elementwise_step = [&](const char* name, double (*fn)(double)) {
+    NDArray out = current;
+    for (int64_t i = 0; i < out.size(); ++i) out[i] = fn(out[i]);
+    AppendStep(&wf, name, out, IdentityLineage(out, current));
+    current = std::move(out);
+  };
+
+  DSLOG_RETURN_IF_ERROR(conv_step(k1, "conv1"));
+  elementwise_step("bn1", [](double v) { return (v - 0.5) * 2.0; });
+  elementwise_step("relu1", [](double v) { return v > 0 ? v : 0.0; });
+  DSLOG_RETURN_IF_ERROR(conv_step(k2, "conv2"));
+  elementwise_step("bn2", [](double v) { return (v - 0.1) * 1.5; });
+  // Skip connection: out = f(x) + x. Along the main path the lineage of the
+  // addition is identity (each cell adds the same-position cells).
+  elementwise_step("add_skip", [](double v) { return v; });
+  elementwise_step("relu2", [](double v) { return v > 0 ? v : 0.0; });
+  return wf;
+}
+
+Result<Workflow> BuildRandomNumpyWorkflow(int num_ops, int64_t cells,
+                                          uint64_t seed) {
+  Workflow wf;
+  wf.name = "numpy_" + std::to_string(seed);
+  Rng rng(seed);
+  NDArray current = NDArray::Random({cells}, &rng);
+  wf.array_names.push_back(wf.name + "_x0");
+  wf.shapes.push_back(current.shape());
+
+  auto pool = OpRegistry::Global().UnaryPipelineNames();
+  int steps = 0, guard = 0;
+  while (steps < num_ops && guard < num_ops * 200) {
+    ++guard;
+    const ArrayOp* op =
+        OpRegistry::Global().Find(pool[rng.Uniform(pool.size())]);
+    if (!op->SupportsUnaryShape(current.shape())) continue;
+    // Avoid lineage blow-ups from quadratic-capture ops on large arrays.
+    OpArgs args = op->SampleArgs(current.shape(), &rng);
+    auto out = op->Apply({&current}, args);
+    if (!out.ok()) continue;
+    NDArray next = std::move(out).ValueOrDie();
+    if (next.size() == 0 || next.size() > 4 * cells) continue;
+    auto rels = op->Capture({&current}, next, args);
+    if (!rels.ok() || rels.value()[0].num_rows() == 0) continue;
+    if (rels.value()[0].num_rows() > 16 * cells) continue;
+    AppendStep(&wf, std::string(op->name()), next,
+               std::move(rels.ValueOrDie()[0]));
+    current = std::move(next);
+    ++steps;
+  }
+  if (steps < num_ops)
+    return Status::Internal("could not assemble random workflow");
+  return wf;
+}
+
+}  // namespace dslog

@@ -1,0 +1,82 @@
+// Workload generators for the evaluation (ICDE'24 §VII): the hand-built
+// image and relational pipelines of Fig 8A/8B (Table VIII), the ResNet
+// block of Fig 8C, the random numpy pipelines of Fig 9, plus the synthetic
+// stand-ins for the paper's external datasets (VIRAT frame, IMDB tables).
+
+#ifndef DSLOG_WORKLOADS_WORKFLOWS_H_
+#define DSLOG_WORKLOADS_WORKFLOWS_H_
+
+#include <string>
+#include <vector>
+
+#include "array/ndarray.h"
+#include "common/result.h"
+#include "lineage/lineage_relation.h"
+
+namespace dslog {
+
+class Rng;
+
+/// A linear chain of operations X0 -> X1 -> ... -> Xn with captured
+/// cell-level lineage per step.
+struct Workflow {
+  std::string name;
+  /// n+1 array names; shapes[i] is the shape of array i.
+  std::vector<std::string> array_names;
+  std::vector<std::vector<int64_t>> shapes;
+  /// steps[i] holds op name + the lineage relation X_i -> X_{i+1}.
+  struct Step {
+    std::string op_name;
+    LineageRelation relation;
+  };
+  std::vector<Step> steps;
+};
+
+// ------------------------------------------------------- synthetic inputs --
+
+/// Synthetic grayscale surveillance frame: textured background plus a few
+/// bright blobs ("cars") — the VIRAT stand-in.
+NDArray MakeSurveillanceFrame(int64_t h, int64_t w, uint64_t seed);
+
+/// Synthetic IMDB-like title.basics table (columns: tconst [sorted ids],
+/// titleType, isAdult [unsorted 0/1], startYear [sorted], runtime, genres
+/// [codes]); rows x 6, dictionary-coded to doubles.
+NDArray MakeTitleBasics(int64_t rows, uint64_t seed);
+
+/// Synthetic IMDB-like title.episode table (columns: tconst, parentTconst,
+/// season, episode); rows x 4. tconst values overlap MakeTitleBasics ids.
+NDArray MakeTitleEpisode(int64_t rows, int64_t basics_rows, uint64_t seed);
+
+// ------------------------------------------------------------- workflows --
+
+/// Fig 8A: resize -> luminosity -> rotate90 -> horizontal flip -> LIME.
+Result<Workflow> BuildImageWorkflow(int64_t h, int64_t w, uint64_t seed);
+
+/// Fig 8B: inner join on tconst -> drop NaN columns -> add two columns ->
+/// one-hot encode genres -> add constant.
+Result<Workflow> BuildRelationalWorkflow(int64_t basics_rows,
+                                         int64_t episode_rows, uint64_t seed);
+
+/// Fig 8C: seven steps of a ResNet block (conv, bn, relu, conv, bn,
+/// +skip [lineage follows the main path], relu).
+Result<Workflow> BuildResNetWorkflow(int64_t h, int64_t w, uint64_t seed);
+
+/// Fig 9: a chain of `num_ops` unary ops sampled from the catalogue's
+/// pipeline-compatible pool, starting from a 1-D array of `cells` cells.
+Result<Workflow> BuildRandomNumpyWorkflow(int num_ops, int64_t cells,
+                                          uint64_t seed);
+
+// --------------------------------------------------- custom capture ops --
+
+/// Nearest-neighbour resize with cell lineage (out <- nearest source cell).
+Result<std::pair<NDArray, LineageRelation>> ResizeNearest(const NDArray& frame,
+                                                          int64_t out_h,
+                                                          int64_t out_w);
+
+/// 3x3 same-padding convolution with window lineage (ResNet conv step).
+Result<std::pair<NDArray, LineageRelation>> Conv3x3Same(const NDArray& frame,
+                                                        const double* kernel);
+
+}  // namespace dslog
+
+#endif  // DSLOG_WORKLOADS_WORKFLOWS_H_

@@ -1,0 +1,453 @@
+// Tests for the ndarray substrate and the 136-operation catalogue: shape
+// arithmetic, value semantics, lineage capture correctness, and the
+// catalogue counts that Table IX depends on.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "array/ndarray.h"
+#include "array/op.h"
+#include "array/op_registry.h"
+#include "common/random.h"
+
+namespace dslog {
+namespace {
+
+// ----------------------------------------------------------------- NDArray --
+
+TEST(NDArrayTest, ZerosShapeAndSize) {
+  NDArray a({3, 4});
+  EXPECT_EQ(a.ndim(), 2);
+  EXPECT_EQ(a.size(), 12);
+  EXPECT_EQ(a.shape(), (std::vector<int64_t>{3, 4}));
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 0.0);
+}
+
+TEST(NDArrayTest, StridesRowMajor) {
+  NDArray a({2, 3, 4});
+  EXPECT_EQ(a.strides(), (std::vector<int64_t>{12, 4, 1}));
+}
+
+TEST(NDArrayTest, FlatAndUnravelInverse) {
+  NDArray a({3, 5, 7});
+  std::vector<int64_t> idx(3);
+  for (int64_t flat = 0; flat < a.size(); ++flat) {
+    a.UnravelIndex(flat, idx);
+    EXPECT_EQ(a.FlatIndex(idx), flat);
+  }
+}
+
+TEST(NDArrayTest, AtAccess) {
+  NDArray a({2, 2});
+  std::vector<int64_t> idx = {1, 0};
+  a.At(idx) = 42.0;
+  EXPECT_EQ(a[2], 42.0);
+}
+
+TEST(NDArrayTest, FromValuesChecksSize) {
+  NDArray a = NDArray::FromValues({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(a.At(std::vector<int64_t>{1, 1}), 4.0);
+}
+
+TEST(NDArrayTest, ContentHashDistinguishesValues) {
+  Rng rng(1);
+  NDArray a = NDArray::Random({4, 4}, &rng);
+  NDArray b = a;
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  b[0] += 1.0;
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+}
+
+TEST(NDArrayTest, ArangeValues) {
+  NDArray a = NDArray::Arange(5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(a[i], static_cast<double>(i));
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(OpRegistryTest, CatalogueCountsMatchTableIX) {
+  const OpRegistry& r = OpRegistry::Global();
+  EXPECT_EQ(r.NamesByCategory(OpCategory::kElementwise).size(), 75u);
+  EXPECT_EQ(r.NamesByCategory(OpCategory::kComplex).size(), 61u);
+  EXPECT_EQ(r.size(), 136);
+}
+
+TEST(OpRegistryTest, FindKnownOps) {
+  const OpRegistry& r = OpRegistry::Global();
+  for (const char* name : {"negative", "add", "sum", "matmul", "sort",
+                           "tile", "cross", "convolve", "transpose"}) {
+    EXPECT_NE(r.Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(r.Find("no_such_op"), nullptr);
+}
+
+TEST(OpRegistryTest, UnaryPipelinePoolIsLarge) {
+  // The paper samples random pipelines from 76 unary-compatible numpy ops.
+  auto names = OpRegistry::Global().UnaryPipelineNames();
+  EXPECT_GE(names.size(), 60u);
+  for (const auto& n : names)
+    EXPECT_EQ(OpRegistry::Global().Find(n)->num_inputs(), 1) << n;
+}
+
+// ------------------------------------------------------- lineage correctness --
+
+LineageRelation CaptureSingle(const char* op_name,
+                              const std::vector<const NDArray*>& inputs,
+                              const OpArgs& args, NDArray* output,
+                              int which = 0) {
+  const ArrayOp* op = OpRegistry::Global().Find(op_name);
+  EXPECT_NE(op, nullptr) << op_name;
+  auto out = op->Apply(inputs, args);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  *output = out.ValueOrDie();
+  auto rels = op->Capture(inputs, *output, args);
+  EXPECT_TRUE(rels.ok()) << rels.status().ToString();
+  return std::move(rels.ValueOrDie()[static_cast<size_t>(which)]);
+}
+
+TEST(OpLineageTest, NegativeIdentity) {
+  Rng rng(2);
+  NDArray x = NDArray::Random({3, 2}, &rng);
+  NDArray out;
+  LineageRelation rel = CaptureSingle("negative", {&x}, OpArgs(), &out);
+  EXPECT_EQ(rel.num_rows(), 6);
+  for (int64_t i = 0; i < rel.num_rows(); ++i) {
+    auto row = rel.Row(i);
+    EXPECT_EQ(row[0], row[2]);  // b1 == a1
+    EXPECT_EQ(row[1], row[3]);  // b2 == a2
+  }
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(out[i], -x[i]);
+}
+
+TEST(OpLineageTest, SumAxis1MatchesPaperFigure1) {
+  // B = sum(A, axis=1) over a 3x2 array: lineage rows (b1, a1, a2) must be
+  // exactly {(i, i, j) : i in 0..2, j in 0..1} (paper Fig 1, 0-based).
+  NDArray a = NDArray::FromValues({3, 2}, {0, 3, 1, 5, 2, 1});
+  OpArgs args;
+  args.SetInt("axis", 1);
+  NDArray out;
+  LineageRelation rel = CaptureSingle("sum", {&a}, args, &out);
+  EXPECT_EQ(out.size(), 3);
+  EXPECT_EQ(out[0], 3.0);
+  EXPECT_EQ(out[1], 6.0);
+  EXPECT_EQ(out[2], 3.0);
+  rel.SortAndDedup();
+  ASSERT_EQ(rel.num_rows(), 6);
+  int64_t want[6][3] = {{0, 0, 0}, {0, 0, 1}, {1, 1, 0},
+                        {1, 1, 1}, {2, 2, 0}, {2, 2, 1}};
+  for (int64_t i = 0; i < 6; ++i) {
+    auto row = rel.Row(i);
+    EXPECT_EQ(row[0], want[i][0]);
+    EXPECT_EQ(row[1], want[i][1]);
+    EXPECT_EQ(row[2], want[i][2]);
+  }
+}
+
+TEST(OpLineageTest, FullSumIsAllToOne) {
+  Rng rng(3);
+  NDArray x = NDArray::Random({4, 4}, &rng);
+  NDArray out;
+  LineageRelation rel = CaptureSingle("sum", {&x}, OpArgs(), &out);
+  EXPECT_EQ(rel.num_rows(), 16);
+  double total = 0;
+  for (int64_t i = 0; i < x.size(); ++i) total += x[i];
+  EXPECT_NEAR(out[0], total, 1e-9);
+}
+
+TEST(OpLineageTest, AmaxOnlyExtremalCells) {
+  NDArray x = NDArray::FromValues({5}, {1, 9, 3, 9, 2});
+  NDArray out;
+  LineageRelation rel = CaptureSingle("amax", {&x}, OpArgs(), &out);
+  EXPECT_EQ(out[0], 9.0);
+  rel.SortAndDedup();
+  ASSERT_EQ(rel.num_rows(), 2);
+  EXPECT_EQ(rel.Row(0)[1], 1);
+  EXPECT_EQ(rel.Row(1)[1], 3);
+}
+
+TEST(OpLineageTest, MedianOddPicksMiddle) {
+  NDArray x = NDArray::FromValues({5}, {5, 1, 4, 2, 3});
+  NDArray out;
+  LineageRelation rel = CaptureSingle("median", {&x}, OpArgs(), &out);
+  EXPECT_EQ(out[0], 3.0);
+  ASSERT_EQ(rel.num_rows(), 1);
+  EXPECT_EQ(rel.Row(0)[1], 4);  // value 3 sits at index 4
+}
+
+TEST(OpLineageTest, SortPermutation) {
+  NDArray x = NDArray::FromValues({4}, {30, 10, 40, 20});
+  NDArray out;
+  LineageRelation rel = CaptureSingle("sort", {&x}, OpArgs(), &out);
+  EXPECT_EQ(out[0], 10.0);
+  EXPECT_EQ(out[3], 40.0);
+  ASSERT_EQ(rel.num_rows(), 4);
+  // out rank -> original position: 0<-1, 1<-3, 2<-0, 3<-2.
+  rel.SortAndDedup();
+  EXPECT_EQ(rel.Row(0)[1], 1);
+  EXPECT_EQ(rel.Row(1)[1], 3);
+  EXPECT_EQ(rel.Row(2)[1], 0);
+  EXPECT_EQ(rel.Row(3)[1], 2);
+}
+
+TEST(OpLineageTest, MatmulBothInputs) {
+  Rng rng(4);
+  NDArray a = NDArray::Random({3, 4}, &rng);
+  NDArray b = NDArray::Random({4, 2}, &rng);
+  const ArrayOp* op = OpRegistry::Global().Find("matmul");
+  NDArray out = op->Apply({&a, &b}, OpArgs()).ValueOrDie();
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{3, 2}));
+  auto rels = op->Capture({&a, &b}, out, OpArgs()).ValueOrDie();
+  ASSERT_EQ(rels.size(), 2u);
+  EXPECT_EQ(rels[0].num_rows(), 3 * 2 * 4);
+  EXPECT_EQ(rels[1].num_rows(), 3 * 2 * 4);
+  // Check numeric correctness of one output cell.
+  double acc = 0;
+  for (int64_t t = 0; t < 4; ++t) acc += a[1 * 4 + t] * b[t * 2 + 1];
+  EXPECT_NEAR(out[1 * 2 + 1], acc, 1e-9);
+}
+
+TEST(OpLineageTest, TransposeMapsIndices) {
+  Rng rng(5);
+  NDArray x = NDArray::Random({2, 3}, &rng);
+  NDArray out;
+  LineageRelation rel = CaptureSingle("transpose", {&x}, OpArgs(), &out);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{3, 2}));
+  for (int64_t i = 0; i < rel.num_rows(); ++i) {
+    auto row = rel.Row(i);
+    EXPECT_EQ(row[0], row[3]);  // out row == in col
+    EXPECT_EQ(row[1], row[2]);  // out col == in row
+  }
+  EXPECT_EQ(out.At(std::vector<int64_t>{2, 1}), x.At(std::vector<int64_t>{1, 2}));
+}
+
+TEST(OpLineageTest, TileWrapsIndices) {
+  NDArray x = NDArray::FromValues({3}, {7, 8, 9});
+  OpArgs args;
+  args.SetInt("reps", 3);
+  NDArray out;
+  LineageRelation rel = CaptureSingle("tile", {&x}, args, &out);
+  EXPECT_EQ(out.size(), 9);
+  for (int64_t i = 0; i < 9; ++i) EXPECT_EQ(out[i], x[i % 3]);
+  for (int64_t i = 0; i < rel.num_rows(); ++i)
+    EXPECT_EQ(rel.Row(i)[1], rel.Row(i)[0] % 3);
+}
+
+TEST(OpLineageTest, RollShiftsLineage) {
+  NDArray x = NDArray::FromValues({5}, {0, 1, 2, 3, 4});
+  OpArgs args;
+  args.SetInt("shift", 2);
+  NDArray out;
+  LineageRelation rel = CaptureSingle("roll", {&x}, args, &out);
+  EXPECT_EQ(out[2], 0.0);
+  EXPECT_EQ(out[0], 3.0);
+  for (int64_t i = 0; i < rel.num_rows(); ++i)
+    EXPECT_EQ((rel.Row(i)[1] + 2) % 5, rel.Row(i)[0]);
+}
+
+TEST(OpLineageTest, ConvolveFullWindow) {
+  NDArray a = NDArray::FromValues({5}, {1, 2, 3, 4, 5});
+  NDArray v = NDArray::FromValues({3}, {1, 0, -1});
+  const ArrayOp* op = OpRegistry::Global().Find("convolve");
+  NDArray out = op->Apply({&a, &v}, OpArgs()).ValueOrDie();
+  EXPECT_EQ(out.size(), 7);
+  auto rels = op->Capture({&a, &v}, out, OpArgs()).ValueOrDie();
+  // out[0] depends only on a[0], v[0].
+  LineageRelation& ra = rels[0];
+  ra.SortAndDedup();
+  EXPECT_EQ(ra.Row(0)[0], 0);
+  EXPECT_EQ(ra.Row(0)[1], 0);
+  // Every (k, i) pair satisfies 0 <= k - i < m.
+  for (int64_t r = 0; r < ra.num_rows(); ++r) {
+    int64_t k = ra.Row(r)[0], i = ra.Row(r)[1];
+    EXPECT_GE(k - i, 0);
+    EXPECT_LT(k - i, 3);
+  }
+}
+
+TEST(OpLineageTest, PadBorderHasNoLineage) {
+  NDArray x = NDArray::FromValues({2, 2}, {1, 2, 3, 4});
+  OpArgs args;
+  args.SetInt("pad_width", 1);
+  NDArray out;
+  LineageRelation rel = CaptureSingle("pad", {&x}, args, &out);
+  EXPECT_EQ(out.shape(), (std::vector<int64_t>{4, 4}));
+  EXPECT_EQ(rel.num_rows(), 4);  // only interior cells have sources
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out.At(std::vector<int64_t>{1, 1}), 1.0);
+}
+
+TEST(OpLineageTest, CrossDim3VersusDim2Patterns) {
+  Rng rng(6);
+  NDArray a3 = NDArray::Random({4, 3}, &rng);
+  NDArray b3 = NDArray::Random({4, 3}, &rng);
+  const ArrayOp* op = OpRegistry::Global().Find("cross");
+  NDArray out3 = op->Apply({&a3, &b3}, OpArgs()).ValueOrDie();
+  EXPECT_EQ(out3.shape(), (std::vector<int64_t>{4, 3}));
+  auto rels3 = op->Capture({&a3, &b3}, out3, OpArgs()).ValueOrDie();
+  EXPECT_EQ(rels3[0].out_ndim(), 2);
+
+  NDArray a2 = NDArray::Random({4, 2}, &rng);
+  NDArray b2 = NDArray::Random({4, 2}, &rng);
+  NDArray out2 = op->Apply({&a2, &b2}, OpArgs()).ValueOrDie();
+  EXPECT_EQ(out2.shape(), (std::vector<int64_t>{4}));
+  auto rels2 = op->Capture({&a2, &b2}, out2, OpArgs()).ValueOrDie();
+  EXPECT_EQ(rels2[0].out_ndim(), 1);  // different pattern => gen_sig trap
+  // Numeric check: z-component of 2-D cross.
+  EXPECT_NEAR(out2[0], a2[0] * b2[1] - a2[1] * b2[0], 1e-12);
+}
+
+TEST(OpLineageTest, WhereSelectsBranch) {
+  NDArray c = NDArray::FromValues({4}, {1, 0, 1, 0});
+  NDArray a = NDArray::FromValues({4}, {10, 11, 12, 13});
+  NDArray b = NDArray::FromValues({4}, {20, 21, 22, 23});
+  const ArrayOp* op = OpRegistry::Global().Find("where");
+  NDArray out = op->Apply({&c, &a, &b}, OpArgs()).ValueOrDie();
+  EXPECT_EQ(out[0], 10.0);
+  EXPECT_EQ(out[1], 21.0);
+  auto rels = op->Capture({&c, &a, &b}, out, OpArgs()).ValueOrDie();
+  EXPECT_EQ(rels[0].num_rows(), 4);  // cond always contributes
+  EXPECT_EQ(rels[1].num_rows(), 2);  // a at cells 0, 2
+  EXPECT_EQ(rels[2].num_rows(), 2);  // b at cells 1, 3
+}
+
+TEST(OpLineageTest, CumsumPrefixLineage) {
+  NDArray x = NDArray::FromValues({4}, {1, 2, 3, 4});
+  NDArray out;
+  LineageRelation rel = CaptureSingle("cumsum", {&x}, OpArgs(), &out);
+  EXPECT_EQ(out[3], 10.0);
+  EXPECT_EQ(rel.num_rows(), 4 + 3 + 2 + 1);
+}
+
+// Every value-independent unary op must produce identical lineage for two
+// different random inputs of the same shape (the dim_sig property).
+class ValueIndependenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ValueIndependenceTest, LineageSameAcrossValues) {
+  const ArrayOp* op = OpRegistry::Global().Find(GetParam());
+  ASSERT_NE(op, nullptr);
+  if (op->value_dependent() || op->num_inputs() != 1) GTEST_SKIP();
+  std::vector<int64_t> shape = op->SupportsUnaryShape({6, 4}) ? std::vector<int64_t>{6, 4}
+                                                              : std::vector<int64_t>{24};
+  if (!op->SupportsUnaryShape(shape)) GTEST_SKIP();
+  Rng rng1(100), rng2(200);
+  NDArray x1 = NDArray::Random(shape, &rng1);
+  NDArray x2 = NDArray::Random(shape, &rng2);
+  OpArgs args = op->SampleArgs(shape, &rng1);
+  auto o1 = op->Apply({&x1}, args);
+  auto o2 = op->Apply({&x2}, args);
+  if (!o1.ok() || !o2.ok()) GTEST_SKIP();
+  auto r1 = op->Capture({&x1}, o1.value(), args).ValueOrDie();
+  auto r2 = op->Capture({&x2}, o2.value(), args).ValueOrDie();
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i)
+    EXPECT_TRUE(r1[i].EqualAsSet(r2[i])) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, ValueIndependenceTest,
+    ::testing::ValuesIn(OpRegistry::Global().UnaryPipelineNames()));
+
+// Lineage indices must always be within the bounds of the participating
+// arrays, for every op in the catalogue.
+class LineageBoundsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LineageBoundsTest, IndicesInBounds) {
+  const ArrayOp* op = OpRegistry::Global().Find(GetParam());
+  ASSERT_NE(op, nullptr);
+  Rng rng(31);
+  std::vector<NDArray> storage;
+  std::vector<const NDArray*> inputs;
+  std::vector<int64_t> shape;
+  if (op->num_inputs() == 1) {
+    shape = op->SupportsUnaryShape({5, 4}) ? std::vector<int64_t>{5, 4}
+                                           : std::vector<int64_t>{20};
+    if (!op->SupportsUnaryShape(shape)) GTEST_SKIP();
+    storage.push_back(NDArray::Random(shape, &rng));
+  } else if (op->num_inputs() == 2) {
+    // Pick shapes compatible with every binary op in the catalogue.
+    if (GetParam() == "matmul" || GetParam() == "kron") {
+      storage.push_back(NDArray::Random({4, 5}, &rng));
+      storage.push_back(NDArray::Random({5, 3}, &rng));
+    } else if (GetParam() == "cross") {
+      storage.push_back(NDArray::Random({4, 3}, &rng));
+      storage.push_back(NDArray::Random({4, 3}, &rng));
+    } else if (GetParam() == "convolve" || GetParam() == "correlate") {
+      storage.push_back(NDArray::Random({16}, &rng));
+      storage.push_back(NDArray::Random({3}, &rng));
+    } else if (GetParam() == "searchsorted") {
+      NDArray s = NDArray::Arange(16);
+      storage.push_back(std::move(s));
+      storage.push_back(NDArray::Random({8}, &rng));
+    } else {
+      storage.push_back(NDArray::Random({12}, &rng));
+      storage.push_back(NDArray::Random({12}, &rng));
+    }
+    shape = storage[0].shape();
+  } else {
+    storage.push_back(NDArray::RandomInts({10}, 0, 1, &rng));
+    storage.push_back(NDArray::Random({10}, &rng));
+    storage.push_back(NDArray::Random({10}, &rng));
+    shape = {10};
+  }
+  for (const auto& s : storage) inputs.push_back(&s);
+  OpArgs args = op->SampleArgs(shape, &rng);
+  auto out = op->Apply(inputs, args);
+  if (!out.ok()) GTEST_SKIP();
+  auto rels = op->Capture(inputs, out.value(), args);
+  ASSERT_TRUE(rels.ok()) << rels.status().ToString();
+  ASSERT_EQ(rels.value().size(), static_cast<size_t>(op->num_inputs()));
+  for (size_t which = 0; which < rels.value().size(); ++which) {
+    const LineageRelation& rel = rels.value()[which];
+    const NDArray& in = *inputs[which];
+    for (int64_t r = 0; r < rel.num_rows(); ++r) {
+      auto row = rel.Row(r);
+      for (int k = 0; k < rel.out_ndim(); ++k) {
+        ASSERT_GE(row[static_cast<size_t>(k)], 0);
+        ASSERT_LT(row[static_cast<size_t>(k)],
+                  out.value().shape()[static_cast<size_t>(k)]);
+      }
+      for (int k = 0; k < rel.in_ndim(); ++k) {
+        ASSERT_GE(row[static_cast<size_t>(rel.out_ndim() + k)], 0);
+        ASSERT_LT(row[static_cast<size_t>(rel.out_ndim() + k)],
+                  in.shape()[static_cast<size_t>(k)]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, LineageBoundsTest,
+    ::testing::ValuesIn(OpRegistry::Global().AllNames()));
+
+// ------------------------------------------------------------- relations --
+
+TEST(LineageRelationTest, SortAndDedupRemovesDuplicates) {
+  LineageRelation rel(1, 1);
+  int64_t a = 1, b = 2;
+  rel.Add({&a, 1}, {&b, 1});
+  rel.Add({&b, 1}, {&a, 1});
+  rel.Add({&a, 1}, {&b, 1});
+  rel.SortAndDedup();
+  EXPECT_EQ(rel.num_rows(), 2);
+  EXPECT_EQ(rel.Row(0)[0], 1);
+  EXPECT_EQ(rel.Row(1)[0], 2);
+}
+
+TEST(LineageRelationTest, EqualAsSetIgnoresOrder) {
+  LineageRelation r1(1, 1), r2(1, 1);
+  for (int64_t i = 0; i < 10; ++i) {
+    int64_t j = 9 - i;
+    r1.Add({&i, 1}, {&i, 1});
+    r2.Add({&j, 1}, {&j, 1});
+  }
+  EXPECT_TRUE(r1.EqualAsSet(r2));
+  int64_t x = 99;
+  r2.Add({&x, 1}, {&x, 1});
+  EXPECT_FALSE(r1.EqualAsSet(r2));
+}
+
+}  // namespace
+}  // namespace dslog

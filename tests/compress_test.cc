@@ -1,0 +1,420 @@
+// Unit and property tests for the compression substrate: varint/zigzag,
+// bit packing, RLE variants, Huffman, Deflate, and the range coder.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "compress/bitpack.h"
+#include "compress/deflate.h"
+#include "compress/huffman.h"
+#include "compress/range_coder.h"
+#include "compress/rle.h"
+#include "compress/varint.h"
+
+namespace dslog {
+namespace {
+
+// ---------------------------------------------------------------- varint --
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,       1,       127,        128,
+                                  16383,   16384,   (1ull << 32) - 1,
+                                  1ull << 32, ~0ull};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(buf, &pos, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, TruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  size_t pos = 0;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &out));
+}
+
+TEST(VarintTest, ZigzagSymmetry) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-2},
+                    int64_t{1} << 62, -(int64_t{1} << 62), INT64_MIN,
+                    INT64_MAX}) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(VarintTest, ZigzagSmallMagnitudesStaySmall) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+}
+
+TEST(VarintTest, SignedRoundTripRandom) {
+  Rng rng(7);
+  std::string buf;
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next());
+    vals.push_back(v);
+    PutVarintSigned(&buf, v);
+  }
+  size_t pos = 0;
+  for (int64_t v : vals) {
+    int64_t got;
+    ASSERT_TRUE(GetVarintSigned(buf, &pos, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(VarintTest, FixedWidthRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  size_t pos = 0;
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(buf, &pos, &v32));
+  ASSERT_TRUE(GetFixed64(buf, &pos, &v64));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefull);
+}
+
+// --------------------------------------------------------------- bitpack --
+
+TEST(BitPackTest, WidthFor) {
+  EXPECT_EQ(BitWidthFor(0), 1);
+  EXPECT_EQ(BitWidthFor(1), 1);
+  EXPECT_EQ(BitWidthFor(2), 2);
+  EXPECT_EQ(BitWidthFor(255), 8);
+  EXPECT_EQ(BitWidthFor(256), 9);
+  EXPECT_EQ(BitWidthFor(~0ull), 64);
+}
+
+class BitPackWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackWidthTest, RoundTripRandom) {
+  int width = GetParam();
+  Rng rng(static_cast<uint64_t>(width) * 977);
+  std::vector<uint64_t> values;
+  uint64_t mask = width == 64 ? ~0ull : ((1ull << width) - 1);
+  for (int i = 0; i < 333; ++i) values.push_back(rng.Next() & mask);
+  std::string buf;
+  BitPack(values, width, &buf);
+  EXPECT_EQ(buf.size(), (values.size() * static_cast<size_t>(width) + 7) / 8);
+  size_t pos = 0;
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(BitUnpack(buf, &pos, values.size(), width, &out));
+  EXPECT_EQ(out, values);
+  EXPECT_EQ(pos, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackWidthTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 9, 13, 16, 21,
+                                           31, 32, 33, 48, 63, 64));
+
+TEST(BitPackTest, TruncatedFails) {
+  std::vector<uint64_t> values(10, 3);
+  std::string buf;
+  BitPack(values, 7, &buf);
+  buf.resize(buf.size() - 1);
+  size_t pos = 0;
+  std::vector<uint64_t> out;
+  EXPECT_FALSE(BitUnpack(buf, &pos, 10, 7, &out));
+}
+
+// ------------------------------------------------------------------- rle --
+
+TEST(RlePairsTest, RoundTripRuns) {
+  std::vector<int64_t> v;
+  for (int i = 0; i < 100; ++i)
+    for (int k = 0; k < 17; ++k) v.push_back(i * 3 - 50);
+  std::string buf;
+  RlePairsEncode(v, &buf);
+  EXPECT_LT(buf.size(), v.size());  // strongly compressible
+  size_t pos = 0;
+  std::vector<int64_t> out;
+  ASSERT_TRUE(RlePairsDecode(buf, &pos, &out));
+  EXPECT_EQ(out, v);
+}
+
+TEST(RlePairsTest, RoundTripRandomNoRuns) {
+  Rng rng(42);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(static_cast<int64_t>(rng.Next() % 1000000));
+  std::string buf;
+  RlePairsEncode(v, &buf);
+  size_t pos = 0;
+  std::vector<int64_t> out;
+  ASSERT_TRUE(RlePairsDecode(buf, &pos, &out));
+  EXPECT_EQ(out, v);
+}
+
+TEST(RlePairsTest, Empty) {
+  std::string buf;
+  RlePairsEncode({}, &buf);
+  size_t pos = 0;
+  std::vector<int64_t> out;
+  ASSERT_TRUE(RlePairsDecode(buf, &pos, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+class HybridRleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridRleTest, RoundTripMixed) {
+  int width = GetParam();
+  Rng rng(static_cast<uint64_t>(width));
+  uint64_t mask = (width == 64) ? ~0ull : ((1ull << width) - 1);
+  std::vector<uint64_t> v;
+  // Alternate runs and noise.
+  for (int block = 0; block < 20; ++block) {
+    if (block % 2 == 0) {
+      uint64_t val = rng.Next() & mask;
+      size_t run = 5 + rng.Uniform(40);
+      for (size_t i = 0; i < run; ++i) v.push_back(val);
+    } else {
+      size_t n = 1 + rng.Uniform(30);
+      for (size_t i = 0; i < n; ++i) v.push_back(rng.Next() & mask);
+    }
+  }
+  std::string buf;
+  HybridRleEncode(v, width, &buf);
+  size_t pos = 0;
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(HybridRleDecode(buf, &pos, v.size(), width, &out));
+  EXPECT_EQ(out, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HybridRleTest,
+                         ::testing::Values(1, 2, 4, 8, 12, 20, 32));
+
+TEST(HybridRleTest, LongRunCompresses) {
+  std::vector<uint64_t> v(100000, 7);
+  std::string buf;
+  HybridRleEncode(v, 4, &buf);
+  EXPECT_LT(buf.size(), 32u);
+}
+
+// --------------------------------------------------------------- huffman --
+
+TEST(HuffmanTest, CodeLengthsRespectLimit) {
+  // Fibonacci-like frequencies force deep optimal trees.
+  std::vector<uint64_t> freqs;
+  uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(a);
+    uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  std::vector<int> lens = BuildHuffmanCodeLengths(freqs, 15);
+  for (int l : lens) EXPECT_LE(l, 15);
+  // Kraft inequality must hold.
+  double kraft = 0;
+  for (int l : lens)
+    if (l > 0) kraft += std::pow(2.0, -l);
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(HuffmanTest, EncodeDecodeAllByteValues) {
+  Rng rng(3);
+  std::vector<uint64_t> freqs(256, 0);
+  std::vector<int> data;
+  for (int i = 0; i < 20000; ++i) {
+    int sym = static_cast<int>(rng.Next() % 256);
+    // Skewed distribution.
+    if (rng.Bernoulli(0.7)) sym = static_cast<int>(rng.Next() % 8);
+    data.push_back(sym);
+    freqs[static_cast<size_t>(sym)]++;
+  }
+  std::vector<int> lens = BuildHuffmanCodeLengths(freqs, 15);
+  std::vector<uint32_t> codes = CanonicalCodes(lens);
+  std::string buf;
+  BitWriter writer(&buf);
+  for (int s : data)
+    writer.Write(codes[static_cast<size_t>(s)], lens[static_cast<size_t>(s)]);
+  writer.Finish();
+
+  HuffmanDecoder dec;
+  ASSERT_TRUE(dec.Init(lens));
+  BitReader reader(buf, 0);
+  for (int expected : data) {
+    int sym;
+    ASSERT_TRUE(dec.Decode(&reader, &sym));
+    ASSERT_EQ(sym, expected);
+  }
+}
+
+TEST(HuffmanTest, SingleSymbolAlphabet) {
+  std::vector<uint64_t> freqs(10, 0);
+  freqs[4] = 99;
+  std::vector<int> lens = BuildHuffmanCodeLengths(freqs, 15);
+  EXPECT_EQ(lens[4], 1);
+  HuffmanDecoder dec;
+  ASSERT_TRUE(dec.Init(lens));
+  std::vector<uint32_t> codes = CanonicalCodes(lens);
+  std::string buf;
+  BitWriter writer(&buf);
+  for (int i = 0; i < 5; ++i) writer.Write(codes[4], lens[4]);
+  writer.Finish();
+  BitReader reader(buf, 0);
+  for (int i = 0; i < 5; ++i) {
+    int sym;
+    ASSERT_TRUE(dec.Decode(&reader, &sym));
+    EXPECT_EQ(sym, 4);
+  }
+}
+
+TEST(HuffmanTest, DecoderRejectsInvalidLengths) {
+  // Over-subscribed: three 1-bit codes.
+  std::vector<int> lens = {1, 1, 1};
+  HuffmanDecoder dec;
+  EXPECT_FALSE(dec.Init(lens));
+}
+
+// --------------------------------------------------------------- deflate --
+
+std::string RandomText(Rng* rng, size_t n, int alphabet) {
+  std::string s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    s.push_back(static_cast<char>('a' + rng->Next() % static_cast<uint64_t>(alphabet)));
+  return s;
+}
+
+TEST(DeflateTest, RoundTripEmpty) {
+  std::string c = DeflateCompress("");
+  auto d = DeflateDecompress(c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), "");
+}
+
+TEST(DeflateTest, RoundTripShort) {
+  for (std::string s : {std::string("a"), std::string("ab"),
+                        std::string("abc"), std::string("aaaa")}) {
+    auto d = DeflateDecompress(DeflateCompress(s));
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d.value(), s);
+  }
+}
+
+TEST(DeflateTest, RoundTripRepetitive) {
+  std::string s;
+  for (int i = 0; i < 5000; ++i) s += "the quick brown fox ";
+  std::string c = DeflateCompress(s);
+  EXPECT_LT(c.size(), s.size() / 20);  // highly compressible
+  auto d = DeflateDecompress(c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), s);
+}
+
+TEST(DeflateTest, RoundTripRandomBinary) {
+  Rng rng(11);
+  std::string s;
+  for (int i = 0; i < 100000; ++i) s.push_back(static_cast<char>(rng.Next() & 0xFF));
+  std::string c = DeflateCompress(s);
+  auto d = DeflateDecompress(c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), s);
+  // Incompressible data must not blow up (stored fallback).
+  EXPECT_LE(c.size(), s.size() + 64);
+}
+
+class DeflateSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DeflateSweepTest, RoundTrip) {
+  auto [size, alphabet] = GetParam();
+  Rng rng(static_cast<uint64_t>(size) * 131 + static_cast<uint64_t>(alphabet));
+  std::string s = RandomText(&rng, static_cast<size_t>(size), alphabet);
+  auto d = DeflateDecompress(DeflateCompress(s));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeflateSweepTest,
+    ::testing::Combine(::testing::Values(1, 10, 100, 1000, 10000, 65537),
+                       ::testing::Values(1, 2, 4, 26)));
+
+TEST(DeflateTest, CorruptionDetected) {
+  std::string c = DeflateCompress("hello world hello world hello world");
+  c[0] = 'X';
+  EXPECT_FALSE(DeflateDecompress(c).ok());
+}
+
+TEST(DeflateTest, TruncationDetected) {
+  std::string s;
+  for (int i = 0; i < 1000; ++i) s += "abcdefgh";
+  std::string c = DeflateCompress(s);
+  c.resize(c.size() / 2);
+  EXPECT_FALSE(DeflateDecompress(c).ok());
+}
+
+// ----------------------------------------------------------- range coder --
+
+TEST(RangeCoderTest, RoundTripEmpty) {
+  auto d = RangeCoderDecompress(RangeCoderCompress(""));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), "");
+}
+
+TEST(RangeCoderTest, RoundTripSkewed) {
+  Rng rng(5);
+  std::string s;
+  for (int i = 0; i < 50000; ++i)
+    s.push_back(rng.Bernoulli(0.9) ? 'x' : static_cast<char>(rng.Next() & 0xFF));
+  std::string c = RangeCoderCompress(s);
+  EXPECT_LT(c.size(), s.size());  // entropy < 8 bits/byte
+  auto d = RangeCoderDecompress(c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), s);
+}
+
+TEST(RangeCoderTest, RoundTripUniformRandom) {
+  Rng rng(6);
+  std::string s;
+  for (int i = 0; i < 30000; ++i) s.push_back(static_cast<char>(rng.Next() & 0xFF));
+  auto d = RangeCoderDecompress(RangeCoderCompress(s));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), s);
+}
+
+TEST(RangeCoderTest, RoundTripAllSameByte) {
+  std::string s(100000, 'z');
+  std::string c = RangeCoderCompress(s);
+  EXPECT_LT(c.size(), s.size() / 50);
+  auto d = RangeCoderDecompress(c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), s);
+}
+
+class RangeCoderSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeCoderSweepTest, RoundTripSizes) {
+  int size = GetParam();
+  Rng rng(static_cast<uint64_t>(size) + 99);
+  std::string s;
+  for (int i = 0; i < size; ++i)
+    s.push_back(static_cast<char>('A' + rng.Next() % 7));
+  auto d = RangeCoderDecompress(RangeCoderCompress(s));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RangeCoderSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 17, 255, 256, 4096,
+                                           100000));
+
+}  // namespace
+}  // namespace dslog

@@ -1,0 +1,117 @@
+// Unit tests for the interval primitive and the compressed-table cell
+// types — the foundations every θ-join property rests on.
+
+#include <gtest/gtest.h>
+
+#include "provrc/compressed_table.h"
+#include "provrc/interval.h"
+
+namespace dslog {
+namespace {
+
+TEST(IntervalTest, PointAndWidth) {
+  Interval p = Interval::Point(7);
+  EXPECT_EQ(p.lo, 7);
+  EXPECT_EQ(p.hi, 7);
+  EXPECT_EQ(p.width(), 1);
+  EXPECT_EQ((Interval{3, 9}).width(), 7);
+}
+
+TEST(IntervalTest, Contains) {
+  Interval iv{2, 5};
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(6));
+}
+
+TEST(IntervalTest, IntersectSymmetric) {
+  Interval a{0, 10}, b{5, 20};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_EQ(a.Intersect(b), (Interval{5, 10}));
+  EXPECT_EQ(b.Intersect(a), (Interval{5, 10}));
+}
+
+TEST(IntervalTest, DisjointIntersectionInvalid) {
+  Interval a{0, 3}, b{5, 9};
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersect(b).valid());
+}
+
+TEST(IntervalTest, SinglePointOverlap) {
+  Interval a{0, 5}, b{5, 9};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Intersect(b), (Interval{5, 5}));
+}
+
+TEST(IntervalTest, AdjacentBefore) {
+  Interval a{0, 4};
+  EXPECT_TRUE(a.AdjacentBefore({5, 9}));
+  EXPECT_FALSE(a.AdjacentBefore({4, 9}));  // overlapping, not adjacent
+  EXPECT_FALSE(a.AdjacentBefore({6, 9}));  // gap
+}
+
+TEST(IntervalTest, ShiftByMinkowski) {
+  // {a + d : a in [2,4], d in [-1,1]} = [1, 5].
+  EXPECT_EQ((Interval{2, 4}).ShiftBy({-1, 1}), (Interval{1, 5}));
+  // Degenerate delta shifts rigidly.
+  EXPECT_EQ((Interval{2, 4}).ShiftBy({10, 10}), (Interval{12, 14}));
+}
+
+TEST(IntervalTest, CompareLexicographic) {
+  EXPECT_LT(CompareIntervals({1, 5}, {2, 3}), 0);
+  EXPECT_GT(CompareIntervals({2, 3}, {1, 5}), 0);
+  EXPECT_LT(CompareIntervals({1, 3}, {1, 5}), 0);
+  EXPECT_EQ(CompareIntervals({1, 5}, {1, 5}), 0);
+}
+
+TEST(IntervalTest, ToStringForms) {
+  EXPECT_EQ(Interval::Point(4).ToString(), "4");
+  EXPECT_EQ((Interval{1, 9}).ToString(), "[1,9]");
+}
+
+TEST(InputCellTest, FactoryInvariants) {
+  InputCell abs = InputCell::Absolute({3, 8});
+  EXPECT_FALSE(abs.is_relative());
+  EXPECT_EQ(abs.iv, (Interval{3, 8}));
+  InputCell rel = InputCell::Relative(1, {-2, 0});
+  EXPECT_TRUE(rel.is_relative());
+  EXPECT_EQ(rel.ref, 1);
+}
+
+TEST(CompressedTableTest, NumPairsCountsAllToAll) {
+  CompressedTable t({4}, {4});
+  CompressedRow row;
+  row.out = {{0, 3}};
+  row.in = {InputCell::Absolute({0, 3})};
+  t.AddRow(row);
+  EXPECT_EQ(t.NumPairsRepresented(), 16);
+  // Relative rows count delta width per output point.
+  CompressedTable t2({4}, {4});
+  CompressedRow row2;
+  row2.out = {{0, 3}};
+  row2.in = {InputCell::Relative(0, {0, 0})};
+  t2.AddRow(row2);
+  EXPECT_EQ(t2.NumPairsRepresented(), 4);
+}
+
+TEST(CompressedTableTest, DecompressRelativeRow) {
+  // out [1,2], in = out + [0,1]  ->  pairs (1,1),(1,2),(2,2),(2,3).
+  CompressedTable t({4}, {4});
+  CompressedRow row;
+  row.out = {{1, 2}};
+  row.in = {InputCell::Relative(0, {0, 1})};
+  t.AddRow(row);
+  LineageRelation rel = t.Decompress();
+  rel.SortAndDedup();
+  ASSERT_EQ(rel.num_rows(), 4);
+  int64_t want[4][2] = {{1, 1}, {1, 2}, {2, 2}, {2, 3}};
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rel.Row(i)[0], want[i][0]);
+    EXPECT_EQ(rel.Row(i)[1], want[i][1]);
+  }
+}
+
+}  // namespace
+}  // namespace dslog

@@ -1,0 +1,77 @@
+// Tests for the sort-sweep interval-join kernel: exhaustive equivalence
+// against the quadratic nested-loop reference on randomized interval sets.
+
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/interval_sweep.h"
+
+namespace dslog {
+namespace {
+
+std::set<std::pair<int64_t, int64_t>> SweepPairs(
+    const std::vector<Interval>& left, const std::vector<Interval>& right) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  ForEachOverlappingPair(left, right, [&](int64_t i, int64_t j) {
+    auto [it, inserted] = pairs.insert({i, j});
+    EXPECT_TRUE(inserted) << "pair emitted twice: " << i << "," << j;
+  });
+  return pairs;
+}
+
+std::set<std::pair<int64_t, int64_t>> ReferencePairs(
+    const std::vector<Interval>& left, const std::vector<Interval>& right) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (size_t i = 0; i < left.size(); ++i)
+    for (size_t j = 0; j < right.size(); ++j)
+      if (left[i].Intersects(right[j]))
+        pairs.insert({static_cast<int64_t>(i), static_cast<int64_t>(j)});
+  return pairs;
+}
+
+TEST(IntervalSweepTest, EmptySides) {
+  EXPECT_TRUE(SweepPairs({}, {}).empty());
+  EXPECT_TRUE(SweepPairs({{0, 5}}, {}).empty());
+  EXPECT_TRUE(SweepPairs({}, {{0, 5}}).empty());
+}
+
+TEST(IntervalSweepTest, TouchingEndpointsCount) {
+  // [0,5] and [5,9] overlap at exactly one point.
+  auto pairs = SweepPairs({{0, 5}}, {{5, 9}});
+  EXPECT_EQ(pairs.size(), 1u);
+  // [0,4] and [5,9] do not.
+  EXPECT_TRUE(SweepPairs({{0, 4}}, {{5, 9}}).empty());
+}
+
+TEST(IntervalSweepTest, DuplicateIntervalsAllPaired) {
+  std::vector<Interval> left = {{2, 4}, {2, 4}, {2, 4}};
+  std::vector<Interval> right = {{3, 3}, {3, 3}};
+  EXPECT_EQ(SweepPairs(left, right).size(), 6u);
+}
+
+class IntervalSweepRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSweepRandomTest, MatchesNestedLoop) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  std::vector<Interval> left, right;
+  int n = 5 + static_cast<int>(rng.Uniform(120));
+  int m = 5 + static_cast<int>(rng.Uniform(120));
+  for (int i = 0; i < n; ++i) {
+    int64_t lo = rng.UniformRange(0, 200);
+    left.push_back({lo, lo + rng.UniformRange(0, 30)});
+  }
+  for (int j = 0; j < m; ++j) {
+    int64_t lo = rng.UniformRange(0, 200);
+    right.push_back({lo, lo + rng.UniformRange(0, 30)});
+  }
+  EXPECT_EQ(SweepPairs(left, right), ReferencePairs(left, right));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSweepRandomTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dslog

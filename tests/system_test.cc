@@ -1,0 +1,442 @@
+// System-level tests: relational capture ops, explainable-AI capture, the
+// DSLog storage manager (registration, path queries, reuse prediction,
+// persistence), and the workload generators — the full
+// capture -> compress -> store -> query integration.
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "array/ndarray.h"
+#include "array/op_registry.h"
+#include "common/io.h"
+#include "common/random.h"
+#include "explain/explain.h"
+#include "provrc/provrc.h"
+#include "query/query_engine.h"
+#include "relational/relational_ops.h"
+#include "storage/dslog.h"
+#include "workloads/kaggle_sim.h"
+#include "workloads/workflows.h"
+
+namespace dslog {
+namespace {
+
+std::set<std::vector<int64_t>> ToTupleSet(const std::vector<int64_t>& flat,
+                                          int arity) {
+  std::set<std::vector<int64_t>> out;
+  for (size_t off = 0; off < flat.size(); off += static_cast<size_t>(arity))
+    out.insert(std::vector<int64_t>(flat.begin() + static_cast<long>(off),
+                                    flat.begin() + static_cast<long>(off) +
+                                        arity));
+  return out;
+}
+
+// -------------------------------------------------------------- relational --
+
+TEST(RelationalOpsTest, InnerJoinMatchesAndLineage) {
+  // A: ids {0,1,2}, B: ids {1,2,2,5}: matches (1,1), (2,2) twice.
+  NDArray a = NDArray::FromValues({3, 2}, {0, 10, 1, 11, 2, 12});
+  NDArray b = NDArray::FromValues({4, 2}, {1, 21, 2, 22, 2, 23, 5, 25});
+  auto r = InnerJoin(a, b, 0, 0).ValueOrDie();
+  EXPECT_EQ(r.output.shape()[0], 3);  // (1,1), (2,2), (2,2')
+  EXPECT_EQ(r.output.shape()[1], 3);  // a's 2 cols + b's non-key col
+  // Every output row's key must exist in both inputs.
+  for (int64_t k = 0; k < r.output.shape()[0]; ++k) {
+    double key = r.output[k * 3];
+    EXPECT_TRUE(key == 1.0 || key == 2.0);
+  }
+  // Lineage: key column cells trace to B as well.
+  EXPECT_GT(r.lineage[1].num_rows(), r.output.shape()[0]);
+  EXPECT_EQ(r.lineage.size(), 2u);
+}
+
+TEST(RelationalOpsTest, InnerJoinSortedKeysProduceStructuredLineage) {
+  // Sorted keys on both sides give near-diagonal match lineage that ProvRC
+  // compresses well (Table VII "Inner Join" behaviour).
+  int64_t n = 2000;
+  NDArray a({n, 2});
+  NDArray b({n, 2});
+  for (int64_t i = 0; i < n; ++i) {
+    a[i * 2] = static_cast<double>(i);
+    a[i * 2 + 1] = static_cast<double>(i % 7);
+    b[i * 2] = static_cast<double>(i);
+    b[i * 2 + 1] = static_cast<double>(i % 5);
+  }
+  auto r = InnerJoin(a, b, 0, 0).ValueOrDie();
+  CompressedTable t = ProvRcCompress(r.lineage[0]);
+  EXPECT_LT(t.num_rows(), r.lineage[0].num_rows() / 100);
+  EXPECT_TRUE(t.Decompress().EqualAsSet(r.lineage[0]));
+}
+
+TEST(RelationalOpsTest, GroupByAllToAllWithinGroups) {
+  NDArray t = NDArray::FromValues({6, 2}, {1, 10, 0, 20, 1, 30,
+                                           0, 40, 1, 50, 0, 60});
+  auto r = GroupByAggregate(t, 0, 1).ValueOrDie();
+  ASSERT_EQ(r.output.shape()[0], 2);
+  EXPECT_EQ(r.output[0], 0.0);
+  EXPECT_EQ(r.output[1], 120.0);  // 20+40+60
+  EXPECT_EQ(r.output[2], 1.0);
+  EXPECT_EQ(r.output[3], 90.0);  // 10+30+50
+  EXPECT_EQ(r.lineage[0].num_rows(), 12);  // 6 rows x 2 output cells
+}
+
+TEST(RelationalOpsTest, DropNaNColumnsKeepsClean) {
+  NDArray t = NDArray::FromValues({2, 3}, {1, std::nan(""), 3, 4, 5, 6});
+  auto r = DropNaNColumns(t).ValueOrDie();
+  EXPECT_EQ(r.output.shape()[1], 2);
+  EXPECT_EQ(r.output[0], 1.0);
+  EXPECT_EQ(r.output[1], 3.0);
+}
+
+TEST(RelationalOpsTest, OneHotAppendsIndicators) {
+  NDArray t = NDArray::FromValues({2, 1}, {0, 2});
+  auto r = OneHotEncode(t, 0, 3).ValueOrDie();
+  EXPECT_EQ(r.output.shape()[1], 4);
+  EXPECT_EQ(r.output[1], 1.0);  // row 0 one-hot position 0
+  EXPECT_EQ(r.output[4 + 3], 1.0);  // row 1 one-hot position 2
+}
+
+TEST(RelationalOpsTest, AddColumnsAndConstant) {
+  NDArray t = NDArray::FromValues({2, 2}, {1, 2, 3, 4});
+  auto r1 = AddColumns(t, 0, 1).ValueOrDie();
+  EXPECT_EQ(r1.output[2], 3.0);
+  auto r2 = AddConstant(r1.output, 0, 10).ValueOrDie();
+  EXPECT_EQ(r2.output[0], 11.0);
+}
+
+// ----------------------------------------------------------------- explain --
+
+TEST(ExplainTest, DetectorFindsBrightBlob) {
+  NDArray frame = NDArray::Zeros({32, 32});
+  for (int64_t y = 10; y < 14; ++y)
+    for (int64_t x = 20; x < 24; ++x) frame[y * 32 + x] = 200.0;
+  TinyDetector det;
+  NDArray d = det.Evaluate(frame).ValueOrDie();
+  EXPECT_NEAR(d[0], 22, 2);  // x near the blob
+  EXPECT_NEAR(d[1], 12, 2);  // y near the blob
+  EXPECT_GT(d[4], 1.0);      // confident
+}
+
+TEST(ExplainTest, LimeLineageCoversDetectionCells) {
+  NDArray frame = MakeSurveillanceFrame(48, 48, 5);
+  TinyDetector det;
+  Rng rng(6);
+  LimeOptions opts;
+  opts.num_samples = 64;
+  LineageRelation rel = LimeCapture(frame, det, opts, &rng).ValueOrDie();
+  EXPECT_GT(rel.num_rows(), 0);
+  EXPECT_EQ(rel.out_ndim(), 1);
+  EXPECT_EQ(rel.in_ndim(), 2);
+  // Indices in bounds; lineage compresses to far fewer rows (segments are
+  // rectangles).
+  for (int64_t r = 0; r < rel.num_rows(); ++r) {
+    EXPECT_LT(rel.Row(r)[0], 6);
+    EXPECT_LT(rel.Row(r)[1], 48);
+    EXPECT_LT(rel.Row(r)[2], 48);
+  }
+  CompressedTable t = ProvRcCompress(rel);
+  EXPECT_LT(t.num_rows() * 20, rel.num_rows());
+  EXPECT_TRUE(t.Decompress().EqualAsSet(rel));
+}
+
+TEST(ExplainTest, DRiseLineageThresholded) {
+  NDArray frame = MakeSurveillanceFrame(40, 40, 7);
+  TinyDetector det;
+  Rng rng(8);
+  DRiseOptions opts;
+  opts.num_masks = 48;
+  LineageRelation rel = DRiseCapture(frame, det, opts, &rng).ValueOrDie();
+  EXPECT_GT(rel.num_rows(), 0);
+  // Thresholding keeps well under the full bipartite size.
+  EXPECT_LT(rel.num_rows(), 6 * 40 * 40);
+  CompressedTable t = ProvRcCompress(rel);
+  EXPECT_TRUE(t.Decompress().EqualAsSet(rel));
+}
+
+// ------------------------------------------------------------------ DSLog --
+
+TEST(DSLogTest, DefineAndRegisterAndQuery) {
+  DSLog log;
+  ASSERT_TRUE(log.DefineArray("x", {16}).ok());
+  ASSERT_TRUE(log.DefineArray("y", {16}).ok());
+  ASSERT_TRUE(log.DefineArray("z", {1}).ok());
+  EXPECT_FALSE(log.DefineArray("x", {2}).ok());  // duplicate
+
+  Rng rng(9);
+  NDArray x = NDArray::Random({16}, &rng);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  NDArray y = neg->Apply({&x}, OpArgs()).ValueOrDie();
+  auto rel1 = neg->Capture({&x}, y, OpArgs()).ValueOrDie();
+  const ArrayOp* sum = OpRegistry::Global().Find("sum");
+  NDArray z = sum->Apply({&y}, OpArgs()).ValueOrDie();
+  auto rel2 = sum->Capture({&y}, z, OpArgs()).ValueOrDie();
+
+  OperationRegistration r1{"negative", {"x"}, "y", {rel1[0]}, OpArgs(), 1, true};
+  OperationRegistration r2{"sum", {"y"}, "z", {rel2[0]}, OpArgs(), 2, true};
+  ASSERT_TRUE(log.RegisterOperation(std::move(r1)).ok());
+  ASSERT_TRUE(log.RegisterOperation(std::move(r2)).ok());
+
+  // Forward x -> z.
+  BoxTable q = BoxTable::FromCells(1, {3});
+  auto fwd = log.ProvQuery({"x", "y", "z"}, q);
+  ASSERT_TRUE(fwd.ok()) << fwd.status().ToString();
+  EXPECT_EQ(fwd.value().NumDistinctCells(), 1);  // the single sum cell
+  // Backward z -> x: everything contributed.
+  BoxTable qz = BoxTable::FromCells(1, {0});
+  auto bwd = log.ProvQuery({"z", "y", "x"}, qz);
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_EQ(bwd.value().NumDistinctCells(), 16);
+  // Unknown path segment.
+  EXPECT_FALSE(log.ProvQuery({"x", "nope"}, q).ok());
+}
+
+TEST(DSLogTest, DimSigReuseAfterOneVerification) {
+  DSLog log;
+  Rng rng(10);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  for (int call = 0; call < 3; ++call) {
+    std::string x = "x" + std::to_string(call);
+    std::string y = "y" + std::to_string(call);
+    ASSERT_TRUE(log.DefineArray(x, {32}).ok());
+    ASSERT_TRUE(log.DefineArray(y, {32}).ok());
+    NDArray xv = NDArray::Random({32}, &rng);
+    NDArray yv = neg->Apply({&xv}, OpArgs()).ValueOrDie();
+    auto rels = neg->Capture({&xv}, yv, OpArgs()).ValueOrDie();
+    OperationRegistration reg{"negative", {x},     y,
+                              {rels[0]},  OpArgs(), xv.ContentHash(),
+                              true};
+    auto outcome = log.RegisterOperation(std::move(reg));
+    ASSERT_TRUE(outcome.ok());
+    if (call >= 1) EXPECT_TRUE(outcome.value().dim_hit) << call;
+  }
+  EXPECT_EQ(log.reuse_stats().dim_promotions, 1);
+  EXPECT_GE(log.reuse_stats().gen_promotions, 0);
+}
+
+TEST(DSLogTest, ReuseServesLineageWithoutCapture) {
+  DSLog log;
+  Rng rng(11);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  // Two captured calls promote the dim_sig mapping.
+  for (int call = 0; call < 2; ++call) {
+    std::string x = "a" + std::to_string(call);
+    std::string y = "b" + std::to_string(call);
+    ASSERT_TRUE(log.DefineArray(x, {24}).ok());
+    ASSERT_TRUE(log.DefineArray(y, {24}).ok());
+    NDArray xv = NDArray::Random({24}, &rng);
+    NDArray yv = neg->Apply({&xv}, OpArgs()).ValueOrDie();
+    auto rels = neg->Capture({&xv}, yv, OpArgs()).ValueOrDie();
+    OperationRegistration reg{"negative", {x}, y, {rels[0]}, OpArgs(),
+                              xv.ContentHash(), true};
+    ASSERT_TRUE(log.RegisterOperation(std::move(reg)).ok());
+  }
+  // Third call: no capture provided; lineage served from the index.
+  ASSERT_TRUE(log.DefineArray("a2", {24}).ok());
+  ASSERT_TRUE(log.DefineArray("b2", {24}).ok());
+  OperationRegistration reg{"negative", {"a2"}, "b2", {}, OpArgs(), 0, true};
+  auto outcome = log.RegisterOperation(std::move(reg));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome.value().dim_hit);
+  // The served lineage answers queries correctly.
+  auto fwd = log.ProvQuery({"a2", "b2"}, BoxTable::FromCells(1, {5}));
+  ASSERT_TRUE(fwd.ok());
+  auto cells = fwd.value().ExpandToCells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], 5);
+}
+
+TEST(DSLogTest, GenSigServesDifferentShape) {
+  DSLog log;
+  Rng rng(12);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  // Calls with two different shapes promote gen_sig.
+  int64_t sizes[2] = {16, 28};
+  for (int call = 0; call < 2; ++call) {
+    std::string x = "g" + std::to_string(call);
+    std::string y = "h" + std::to_string(call);
+    ASSERT_TRUE(log.DefineArray(x, {sizes[call]}).ok());
+    ASSERT_TRUE(log.DefineArray(y, {sizes[call]}).ok());
+    NDArray xv = NDArray::Random({sizes[call]}, &rng);
+    NDArray yv = neg->Apply({&xv}, OpArgs()).ValueOrDie();
+    auto rels = neg->Capture({&xv}, yv, OpArgs()).ValueOrDie();
+    OperationRegistration reg{"negative", {x}, y, {rels[0]}, OpArgs(),
+                              xv.ContentHash(), true};
+    ASSERT_TRUE(log.RegisterOperation(std::move(reg)).ok());
+  }
+  EXPECT_EQ(log.reuse_stats().gen_promotions, 1);
+  // A third, previously-unseen shape is served without capture.
+  ASSERT_TRUE(log.DefineArray("g2", {99}).ok());
+  ASSERT_TRUE(log.DefineArray("h2", {99}).ok());
+  OperationRegistration reg{"negative", {"g2"}, "h2", {}, OpArgs(), 0, true};
+  auto outcome = log.RegisterOperation(std::move(reg));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  auto fwd = log.ProvQuery({"g2", "h2"}, BoxTable::FromCells(1, {98}));
+  ASSERT_TRUE(fwd.ok());
+  auto cells = fwd.value().ExpandToCells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], 98);
+}
+
+TEST(DSLogTest, MaterializedForwardMatchesDirect) {
+  // The §IV.C forward representation must answer every query identically
+  // to the direct join over the backward representation.
+  auto wfr = BuildRandomNumpyWorkflow(4, 400, 97);
+  ASSERT_TRUE(wfr.ok());
+  const Workflow& wf = wfr.value();
+  DSLogOptions fwd_opts;
+  fwd_opts.materialize_forward = true;
+  DSLog direct;
+  DSLog materialized(fwd_opts);
+  for (DSLog* log : {&direct, &materialized}) {
+    for (size_t i = 0; i < wf.array_names.size(); ++i)
+      ASSERT_TRUE(log->DefineArray(wf.array_names[i], wf.shapes[i]).ok());
+    for (size_t i = 0; i < wf.steps.size(); ++i) {
+      OperationRegistration reg;
+      reg.op_name = wf.steps[i].op_name;
+      reg.in_arrs = {wf.array_names[i]};
+      reg.out_arr = wf.array_names[i + 1];
+      reg.captured = {wf.steps[i].relation};
+      ASSERT_TRUE(log->RegisterOperation(std::move(reg)).ok());
+    }
+  }
+  std::vector<std::string> path(wf.array_names.begin(), wf.array_names.end());
+  for (int64_t cell : {int64_t{0}, int64_t{17}, int64_t{399}}) {
+    BoxTable q = BoxTable::FromCells(1, {cell});
+    auto r1 = direct.ProvQuery(path, q);
+    auto r2 = materialized.ProvQuery(path, q);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    EXPECT_EQ(ToTupleSet(r1.value().ExpandToCells(),
+                         static_cast<int>(wf.shapes.back().size())),
+              ToTupleSet(r2.value().ExpandToCells(),
+                         static_cast<int>(wf.shapes.back().size())));
+  }
+}
+
+TEST(DSLogTest, SaveLoadRoundTrip) {
+  std::string dir = ScratchDir() + "/dslog_saveload";
+  DSLog log;
+  ASSERT_TRUE(log.DefineArray("x", {8}).ok());
+  ASSERT_TRUE(log.DefineArray("y", {8}).ok());
+  Rng rng(13);
+  NDArray xv = NDArray::Random({8}, &rng);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  NDArray yv = neg->Apply({&xv}, OpArgs()).ValueOrDie();
+  auto rels = neg->Capture({&xv}, yv, OpArgs()).ValueOrDie();
+  OperationRegistration reg{"negative", {"x"}, "y", {rels[0]}, OpArgs(), 1,
+                            true};
+  ASSERT_TRUE(log.RegisterOperation(std::move(reg)).ok());
+  ASSERT_TRUE(log.Save(dir).ok());
+
+  DSLog restored;
+  ASSERT_TRUE(restored.Load(dir).ok());
+  EXPECT_TRUE(restored.HasArray("x"));
+  auto q = restored.ProvQuery({"y", "x"}, BoxTable::FromCells(1, {2}));
+  ASSERT_TRUE(q.ok());
+  auto cells = q.value().ExpandToCells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], 2);
+}
+
+// -------------------------------------------------------------- workflows --
+
+TEST(WorkflowTest, ImageWorkflowShape) {
+  auto wf = BuildImageWorkflow(48, 48, 3);
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  EXPECT_EQ(wf.value().steps.size(), 5u);
+  EXPECT_EQ(wf.value().array_names.size(), 6u);
+  // Final array is the 6-cell detection vector.
+  EXPECT_EQ(wf.value().shapes.back(), (std::vector<int64_t>{6}));
+}
+
+TEST(WorkflowTest, RelationalWorkflowShape) {
+  auto wf = BuildRelationalWorkflow(400, 200, 4);
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  EXPECT_EQ(wf.value().steps.size(), 5u);
+  for (const auto& step : wf.value().steps)
+    EXPECT_GT(step.relation.num_rows(), 0) << step.op_name;
+}
+
+TEST(WorkflowTest, ResNetWorkflowSevenSteps) {
+  auto wf = BuildResNetWorkflow(24, 24, 5);
+  ASSERT_TRUE(wf.ok());
+  EXPECT_EQ(wf.value().steps.size(), 7u);
+  // Conv lineage has ~9 entries per cell; elementwise exactly 1.
+  EXPECT_GT(wf.value().steps[0].relation.num_rows(),
+            wf.value().steps[1].relation.num_rows() * 7);
+}
+
+TEST(WorkflowTest, RandomNumpyWorkflowChains) {
+  auto wf = BuildRandomNumpyWorkflow(5, 500, 77);
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  EXPECT_EQ(wf.value().steps.size(), 5u);
+}
+
+TEST(WorkflowTest, WorkflowQueriesMatchGroundTruthEndToEnd) {
+  auto wfr = BuildRandomNumpyWorkflow(4, 300, 11);
+  ASSERT_TRUE(wfr.ok());
+  const Workflow& wf = wfr.value();
+  std::vector<CompressedTable> tables;
+  std::vector<QueryHop> hops;
+  std::vector<RelationHop> rhops;
+  for (const auto& step : wf.steps) tables.push_back(ProvRcCompress(step.relation));
+  for (size_t i = 0; i < tables.size(); ++i) {
+    hops.push_back({&tables[i], true});
+    rhops.push_back({&wf.steps[i].relation, true});
+  }
+  std::vector<int64_t> cells = {0, 5, 42, 299};
+  BoxTable q = BoxTable::FromCells(1, cells);
+  BoxTable got = InSituQuery(hops, q);
+  std::vector<int64_t> want = UncompressedQuery(rhops, cells);
+  int arity = wf.steps.back().relation.out_ndim();
+  EXPECT_EQ(ToTupleSet(got.ExpandToCells(), arity), ToTupleSet(want, arity));
+}
+
+TEST(WorkflowTest, SurveillanceFrameStatistics) {
+  NDArray f = MakeSurveillanceFrame(64, 64, 9);
+  double lo = 1e300, hi = -1e300;
+  for (int64_t i = 0; i < f.size(); ++i) {
+    lo = std::min(lo, f[i]);
+    hi = std::max(hi, f[i]);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_GT(hi, 150.0);  // blobs present
+}
+
+TEST(WorkflowTest, TitleBasicsSchemaProperties) {
+  NDArray t = MakeTitleBasics(500, 1);
+  // tconst sorted; startYear non-decreasing; isAdult in {0, 1}.
+  for (int64_t i = 1; i < 500; ++i) {
+    EXPECT_LT(t[(i - 1) * 6 + 0], t[i * 6 + 0]);
+    EXPECT_LE(t[(i - 1) * 6 + 3], t[i * 6 + 3]);
+  }
+  for (int64_t i = 0; i < 500; ++i)
+    EXPECT_TRUE(t[i * 6 + 2] == 0.0 || t[i * 6 + 2] == 1.0);
+}
+
+// -------------------------------------------------------------- kaggle sim --
+
+TEST(KaggleSimTest, SummaryInPlausibleBands) {
+  KaggleSummary flight = SimulateKaggleDataset(FlightProfile(), 20, 1);
+  KaggleSummary netflix = SimulateKaggleDataset(NetflixProfile(), 20, 2);
+  // Compressible share should land in the paper's 60-85% region.
+  EXPECT_GT(flight.pct_mean, 55.0);
+  EXPECT_LT(flight.pct_mean, 90.0);
+  EXPECT_GT(netflix.pct_mean, 50.0);
+  EXPECT_LT(netflix.pct_mean, 90.0);
+  EXPECT_GT(flight.chain_mean, 4.0);
+  EXPECT_GT(flight.total_mean, 20.0);
+}
+
+TEST(KaggleSimTest, NotebooksDeterministicPerSeed) {
+  NotebookStats a = SimulateNotebook(true, 42);
+  NotebookStats b = SimulateNotebook(true, 42);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.compressible_ops, b.compressible_ops);
+  EXPECT_EQ(a.longest_chain, b.longest_chain);
+}
+
+}  // namespace
+}  // namespace dslog
