@@ -2,7 +2,7 @@
 // operation, compares (1) multi-attribute range encoding alone (step 1),
 // (2) full ProvRC (+ relative transform, step 2), and (3) ProvRC-GZip,
 // in both compressed row counts and serialized bytes. Quantifies the
-// design choice DESIGN.md calls out: the relative transform is what
+// design choice docs/ARCHITECTURE.md calls out: the relative transform is what
 // collapses one-to-one and matmul-style patterns.
 
 #include <cstdio>

@@ -1,7 +1,7 @@
 // Reproduces ICDE'24 Table VII: lineage storage size on disk for the twelve
 // evaluation operations under every format (Raw, Array, Parquet,
 // Parquet-GZip, Turbo-RC, ProvRC, ProvRC-GZip), with ratios relative to
-// Raw. Workloads are scaled to laptop size (see EXPERIMENTS.md); the
+// Raw. Workloads are scaled to laptop size (see docs/ARCHITECTURE.md); the
 // comparison shape — who wins where, by how many orders of magnitude — is
 // the reproduced quantity.
 

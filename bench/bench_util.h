@@ -1,6 +1,6 @@
 // Shared helpers for the benchmark harnesses: the twelve Table VII
-// operations (scaled to laptop size; see EXPERIMENTS.md for the mapping),
-// format size/latency measurement, and table printing.
+// operations (scaled to laptop size; see docs/ARCHITECTURE.md for the
+// mapping), format size/latency measurement, and table printing.
 
 #ifndef DSLOG_BENCH_BENCH_UTIL_H_
 #define DSLOG_BENCH_BENCH_UTIL_H_

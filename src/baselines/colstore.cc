@@ -44,7 +44,7 @@ bool DecodePlain(const std::string& buf, size_t count,
   return true;
 }
 
-std::string EncodeDelta(const std::vector<int64_t>& col) {
+[[maybe_unused]] std::string EncodeDelta(const std::vector<int64_t>& col) {
   std::string out;
   int64_t prev = 0;
   for (int64_t v : col) {

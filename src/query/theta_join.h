@@ -8,8 +8,8 @@
 // directly against the backward representation or against a materialized
 // ForwardTable (the §IV.C alternative representation), using the clamped
 // rel_for de-relativization. (The published rel_for formula is garbled; see
-// DESIGN.md for the derivation used here, which property tests validate
-// against the uncompressed ground truth.)
+// docs/ARCHITECTURE.md for the derivation used here, which property tests
+// validate against the uncompressed ground truth.)
 
 #ifndef DSLOG_QUERY_THETA_JOIN_H_
 #define DSLOG_QUERY_THETA_JOIN_H_

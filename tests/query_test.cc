@@ -142,20 +142,6 @@ TEST(ThetaJoinTest, ForwardClampsToRowBound) {
 
 // ----------------------------------------- equivalence with ground truth --
 
-struct CapturedOp {
-  LineageRelation relation;
-  CompressedTable compressed;
-};
-
-CapturedOp MakeCaptured(const char* op_name,
-                        const std::vector<const NDArray*>& inputs,
-                        const OpArgs& args, NDArray* output, int which = 0) {
-  CapturedOp c;
-  c.relation = CaptureOp(op_name, inputs, args, output, which);
-  c.compressed = ProvRcCompress(c.relation);
-  return c;
-}
-
 // For each single-op lineage: random queries, both directions, in-situ
 // result must equal the uncompressed natural-join result.
 class SingleHopEquivalenceTest : public ::testing::TestWithParam<std::string> {

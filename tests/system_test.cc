@@ -210,7 +210,9 @@ TEST(DSLogTest, DimSigReuseAfterOneVerification) {
                               true};
     auto outcome = log.RegisterOperation(std::move(reg));
     ASSERT_TRUE(outcome.ok());
-    if (call >= 1) EXPECT_TRUE(outcome.value().dim_hit) << call;
+    if (call >= 1) {
+      EXPECT_TRUE(outcome.value().dim_hit) << call;
+    }
   }
   EXPECT_EQ(log.reuse_stats().dim_promotions, 1);
   EXPECT_GE(log.reuse_stats().gen_promotions, 0);
