@@ -12,7 +12,8 @@
 using namespace dslog;
 using namespace dslog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("ablation_merge", argc, argv);
   std::printf("=== Ablation: θ-join merge step (on vs off) ===\n\n");
   std::printf("%-10s %6s | %14s %14s | %12s %12s %8s\n", "workflow", "ops",
               "boxes(merge)", "boxes(no-merge)", "merge (s)", "no-merge (s)",
@@ -47,6 +48,13 @@ int main() {
                 wf.steps.size(), static_cast<long long>(with_merge.num_boxes()),
                 static_cast<long long>(without_merge.num_boxes()), merge_s,
                 no_merge_s, no_merge_s / std::max(1e-9, merge_s));
+    json.Add()
+        .Num("workflow", w)
+        .Num("ops", static_cast<double>(wf.steps.size()))
+        .Num("boxes_merge", static_cast<double>(with_merge.num_boxes()))
+        .Num("boxes_no_merge", static_cast<double>(without_merge.num_boxes()))
+        .Num("merge_s", merge_s)
+        .Num("no_merge_s", no_merge_s);
   }
   PrintRule(100);
   std::printf(

@@ -12,7 +12,8 @@
 using namespace dslog;
 using namespace dslog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("ablation_stages", argc, argv);
   std::printf("=== Ablation: ProvRC stages (step 1 only vs full vs +gzip) ===\n\n");
   std::printf("%-14s %10s | %12s %12s | %12s %12s %12s\n", "Name", "Rows",
               "rows(step1)", "rows(full)", "KB(step1)", "KB(full)", "KB(gzip)");
@@ -35,6 +36,14 @@ int main() {
                 w.name.c_str(), static_cast<long long>(w.TotalRows()),
                 static_cast<long long>(rows1), static_cast<long long>(rows2),
                 b1 / 1024.0, b2 / 1024.0, b3 / 1024.0);
+    json.Add()
+        .Str("workload", w.name)
+        .Num("raw_rows", static_cast<double>(w.TotalRows()))
+        .Num("rows_step1", static_cast<double>(rows1))
+        .Num("rows_full", static_cast<double>(rows2))
+        .Num("bytes_step1", static_cast<double>(b1))
+        .Num("bytes_full", static_cast<double>(b2))
+        .Num("bytes_gzip", static_cast<double>(b3));
   }
   PrintRule(104);
   std::printf(

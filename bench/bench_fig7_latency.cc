@@ -34,7 +34,7 @@ double MeasureProvRcLatency(const LineageRelation& rel, bool gzip,
   return timer.ElapsedSeconds();
 }
 
-void RunSweep(const char* title,
+void RunSweep(const char* title, JsonReporter* json,
               const std::function<LineageRelation(int64_t)>& make) {
   std::printf("--- %s ---\n", title);
   std::printf("%12s |", "cells");
@@ -46,28 +46,37 @@ void RunSweep(const char* title,
   for (int64_t cells : {1000, 10000, 100000, 1000000}) {
     LineageRelation rel = make(cells);
     std::printf("%12lld |", static_cast<long long>(cells));
-    for (const auto& f : formats)
-      std::printf(" %12.4f", MeasureFormatLatency(*f, rel, path));
-    std::printf(" %12.4f", MeasureProvRcLatency(rel, false, path));
-    std::printf(" %12.4f\n", MeasureProvRcLatency(rel, true, path));
+    auto& rec = json->Add().Str("sweep", title).Num(
+        "cells", static_cast<double>(cells));
+    for (const auto& f : formats) {
+      double s = MeasureFormatLatency(*f, rel, path);
+      std::printf(" %12.4f", s);
+      rec.Num(f->name() + "_s", s);
+    }
+    double provrc_s = MeasureProvRcLatency(rel, false, path);
+    double provrc_gz_s = MeasureProvRcLatency(rel, true, path);
+    std::printf(" %12.4f", provrc_s);
+    std::printf(" %12.4f\n", provrc_gz_s);
+    rec.Num("ProvRC_s", provrc_s).Num("ProvRC-GZip_s", provrc_gz_s);
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig7_latency", argc, argv);
   std::printf("=== Fig 7: compression latency vs input size (seconds) ===\n\n");
   Rng rng(7);
 
   // (A) one-to-one element-wise lineage.
-  RunSweep("(A) element-wise (one-to-one)", [&rng](int64_t cells) {
+  RunSweep("(A) element-wise (one-to-one)", &json, [&rng](int64_t cells) {
     NDArray a = NDArray::Random({cells}, &rng);
     return CaptureRegistryOp("negative", {&a}, OpArgs());
   });
 
   // (B) one-axis aggregation lineage (rows x 1000 summed over axis 1).
-  RunSweep("(B) one-axis aggregation", [&rng](int64_t cells) {
+  RunSweep("(B) one-axis aggregation", &json, [&rng](int64_t cells) {
     int64_t rows = std::max<int64_t>(1, cells / 1000);
     NDArray a = NDArray::Random({rows, 1000}, &rng);
     OpArgs args;

@@ -16,7 +16,7 @@ namespace {
 
 constexpr double kTimeoutSeconds = 30.0;
 
-void RunWorkflow(const Workflow& wf) {
+void RunWorkflow(const Workflow& wf, JsonReporter* json) {
   std::printf("--- %s workflow (%zu steps, first array %s cells) ---\n",
               wf.name.c_str(), wf.steps.size(),
               JoinInts(wf.shapes[0], "x").c_str());
@@ -59,26 +59,36 @@ void RunWorkflow(const Workflow& wf) {
     print(turbo_s);
     print(array_s);
     std::printf("\n");
+    json->Add()
+        .Str("workflow", wf.name)
+        .Num("selectivity", sel)
+        .Num("query_cells", static_cast<double>(count))
+        .Num("dslog_s", dslog_s)
+        .Num("parquet_s", parquet_s)
+        .Num("parquet_gzip_s", pgzip_s)
+        .Num("turbo_rc_s", turbo_s)
+        .Num("array_s", array_s);
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig8_workflows", argc, argv);
   std::printf("=== Fig 8: query latency vs selectivity (seconds) ===\n\n");
 
   auto image = BuildImageWorkflow(128, 128, 81);
   DSLOG_CHECK(image.ok()) << image.status().ToString();
-  RunWorkflow(image.value());
+  RunWorkflow(image.value(), &json);
 
   auto relational = BuildRelationalWorkflow(40000, 25000, 82);
   DSLOG_CHECK(relational.ok()) << relational.status().ToString();
-  RunWorkflow(relational.value());
+  RunWorkflow(relational.value(), &json);
 
   auto resnet = BuildResNetWorkflow(48, 48, 83);
   DSLOG_CHECK(resnet.ok()) << resnet.status().ToString();
-  RunWorkflow(resnet.value());
+  RunWorkflow(resnet.value(), &json);
 
   std::printf(
       "Expected shape (paper): DSLog lowest latency except possibly the most\n"

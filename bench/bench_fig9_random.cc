@@ -38,7 +38,7 @@ struct Series {
   }
 };
 
-void RunExperiment(int num_ops) {
+void RunExperiment(int num_ops, JsonReporter* json) {
   std::printf("--- (%s) random numpy workflows, %d operations each ---\n",
               num_ops == 5 ? "A" : "B", num_ops);
   auto formats = MakeAllBaselineFormats();
@@ -75,21 +75,30 @@ void RunExperiment(int num_ops) {
   std::printf("%-14s %12s %12s %12s  (over %d workflows)\n", "method",
               "mean (s)", "min (s)", "max (s)", built);
   PrintRule(66);
-  for (int i = 0; i < 7; ++i)
+  for (int i = 0; i < 7; ++i) {
     std::printf("%-14s %12.4f %12.4f %12.4f\n", names[i], series[i].Mean(),
                 series[i].Min(), series[i].Max());
+    json->Add()
+        .Num("num_ops", num_ops)
+        .Str("method", names[i])
+        .Num("workflows", built)
+        .Num("mean_s", series[i].Mean())
+        .Num("min_s", series[i].Min())
+        .Num("max_s", series[i].Max());
+  }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("fig9_random", argc, argv);
   std::printf("=== Fig 9: query latency on random numpy workflows ===\n");
   std::printf("(initial arrays: %lld cells; query: %lld-cell random range)\n\n",
               static_cast<long long>(kInitialCells),
               static_cast<long long>(kQueryCells));
-  RunExperiment(5);
-  RunExperiment(10);
+  RunExperiment(5, &json);
+  RunExperiment(10, &json);
   std::printf(
       "Expected shape (paper): DSLog at or near the best latency with a\n"
       "smaller advantage than Fig 8 (up to ~20x over the next baseline);\n"

@@ -14,11 +14,21 @@ using namespace dslog::bench;
 
 namespace {
 
-void PrintRow(const KaggleSummary& s) {
+void PrintRow(const KaggleSummary& s, JsonReporter* json) {
   std::printf("%-10s %8.1f +- %-6.1f %8.1f +- %-6.1f %7.1f +- %-5.1f %8.1f +- %-6.1f\n",
               s.dataset.c_str(), s.total_mean, s.total_std,
               s.compressible_mean, s.compressible_std, s.pct_mean, s.pct_std,
               s.chain_mean, s.chain_std);
+  json->Add()
+      .Str("dataset", s.dataset)
+      .Num("total_mean", s.total_mean)
+      .Num("total_std", s.total_std)
+      .Num("compressible_mean", s.compressible_mean)
+      .Num("compressible_std", s.compressible_std)
+      .Num("pct_mean", s.pct_mean)
+      .Num("pct_std", s.pct_std)
+      .Num("chain_mean", s.chain_mean)
+      .Num("chain_std", s.chain_std);
 }
 
 KaggleSummary Combine(const KaggleSummary& a, const KaggleSummary& b) {
@@ -37,7 +47,8 @@ KaggleSummary Combine(const KaggleSummary& a, const KaggleSummary& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("table10_workflows", argc, argv);
   std::printf("=== Table X: compressible operations in Kaggle workflows ===\n");
   std::printf("(20 simulated notebooks per dataset archetype)\n\n");
   std::printf("%-10s %18s %18s %16s %18s\n", "Dataset", "Total Op.",
@@ -45,9 +56,9 @@ int main() {
   PrintRule(86);
   KaggleSummary flight = SimulateKaggleDataset(FlightProfile(), 20, 1);
   KaggleSummary netflix = SimulateKaggleDataset(NetflixProfile(), 20, 2);
-  PrintRow(flight);
-  PrintRow(netflix);
-  PrintRow(Combine(flight, netflix));
+  PrintRow(flight, &json);
+  PrintRow(netflix, &json);
+  PrintRow(Combine(flight, netflix), &json);
   PrintRule(86);
   std::printf(
       "\nExpected shape (paper): ~55-60 total ops with large variance,\n"

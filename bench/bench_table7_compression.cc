@@ -12,7 +12,8 @@
 using namespace dslog;
 using namespace dslog::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("table7_compression", argc, argv);
   std::printf("=== Table VII: lineage storage size by format ===\n");
   std::printf("(sizes in KB; Rel%% = size / Raw size * 100)\n\n");
 
@@ -45,6 +46,13 @@ int main() {
                 100.0 * static_cast<double>(provrc) / static_cast<double>(raw_bytes),
                 provrc_gz / 1024.0,
                 100.0 * static_cast<double>(provrc_gz) / static_cast<double>(raw_bytes));
+    auto& rec = json.Add()
+                    .Str("workload", w.name)
+                    .Num("rows", static_cast<double>(w.TotalRows()));
+    for (size_t f = 0; f < formats.size(); ++f)
+      rec.Num(formats[f]->name() + "_bytes", static_cast<double>(sizes[f]));
+    rec.Num("ProvRC_bytes", static_cast<double>(provrc))
+        .Num("ProvRC-GZip_bytes", static_cast<double>(provrc_gz));
   }
   PrintRule(160);
   std::printf(

@@ -145,7 +145,8 @@ OpOutcome EvaluateOp(const ArrayOp& op, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json("table9_coverage", argc, argv);
   std::printf("=== Table IX: numpy API coverage of compression and reuse ===\n");
   std::printf("(%d runs per op; shapes vary across runs)\n\n", kRuns);
 
@@ -169,12 +170,19 @@ int main() {
     if (o.errors > 0) error_ops.push_back(name);
   }
 
-  auto row = [](const char* label, const Tally& t) {
+  auto row = [&json](const char* label, const Tally& t) {
     std::printf("%-10s %5d %10d %6.1f%% %8d %6.1f%% %8d %6.1f%% %8lld\n",
                 label, t.total, t.compressed,
                 100.0 * t.compressed / t.total, t.dim, 100.0 * t.dim / t.total,
                 t.gen, 100.0 * t.gen / t.total,
                 static_cast<long long>(t.errors));
+    json.Add()
+        .Str("category", label)
+        .Num("ops", t.total)
+        .Num("compressed", t.compressed)
+        .Num("dim_sig", t.dim)
+        .Num("gen_sig", t.gen)
+        .Num("errors", static_cast<double>(t.errors));
   };
   std::printf("%-10s %5s %10s %7s %8s %7s %8s %7s %8s\n", "Op.", "Tot.",
               "ProvRC", "%", "dim_sig", "%", "gen_sig", "%", "Error");

@@ -1,10 +1,119 @@
 #include "bench_util.h"
 
+#include <cmath>
+#include <cstring>
+
+#include "common/io.h"
 #include "query/box.h"
 #include "query/query_engine.h"
 
 namespace dslog {
 namespace bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Integral values render without an exponent/fraction for readability.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+JsonReporter::Record& JsonReporter::Record::Str(const std::string& key,
+                                                const std::string& value) {
+  fields_.push_back({key, JsonEscape(value)});
+  return *this;
+}
+
+JsonReporter::Record& JsonReporter::Record::Num(const std::string& key,
+                                                double value) {
+  fields_.push_back({key, JsonNumber(value)});
+  return *this;
+}
+
+JsonReporter::JsonReporter(std::string bench_name, int argc, char** argv,
+                           std::string default_path)
+    : bench_name_(std::move(bench_name)), path_(std::move(default_path)) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr,
+                   "JsonReporter: --json requires a path argument; no JSON "
+                   "will be written\n");
+      break;
+    }
+    path_ = argv[i + 1];
+    break;
+  }
+}
+
+JsonReporter::~JsonReporter() { Write(); }
+
+JsonReporter::Record& JsonReporter::Add() {
+  records_.emplace_back();
+  return records_.back();
+}
+
+void JsonReporter::Write() {
+  if (written_ || path_.empty()) return;
+  written_ = true;
+  std::string doc = "{\"bench\": " + JsonEscape(bench_name_) +
+                    ", \"records\": [";
+  bool first_record = true;
+  for (const Record& r : records_) {
+    if (!first_record) doc += ',';
+    first_record = false;
+    doc += "\n  {";
+    bool first_field = true;
+    for (const auto& [key, value] : r.fields_) {
+      if (!first_field) doc += ", ";
+      first_field = false;
+      doc += JsonEscape(key) + ": " + value;
+    }
+    doc += '}';
+  }
+  doc += "\n]}\n";
+  Status st = WriteFile(path_, doc);
+  if (!st.ok()) {
+    std::fprintf(stderr, "JsonReporter: cannot write %s: %s\n", path_.c_str(),
+                 st.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "[json] wrote %zu record(s) to %s\n", records_.size(),
+                 path_.c_str());
+  }
+}
 
 double QueryBaselineFormat(const StorageFormat& format,
                            const std::vector<std::string>& buffers,

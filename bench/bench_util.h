@@ -6,8 +6,10 @@
 #define DSLOG_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "array/ndarray.h"
@@ -168,6 +170,59 @@ inline void PrintRule(int width = 118) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+// --------------------------------------------------- machine-readable out --
+
+/// Structured benchmark output, shared by every bench harness. Construct one
+/// in main:
+///
+///   JsonReporter json("fig8_workflows", argc, argv);
+///   json.Add().Str("workflow", name).Num("selectivity", sel).Num("s", t);
+///
+/// Passing `--json <path>` on the command line (or a non-empty
+/// `default_path`) enables it; on destruction the accumulated records are
+/// written as one JSON document:
+///   {"bench": "<name>", "records": [{...}, ...]}
+/// so successive runs can be archived as a perf trajectory.
+class JsonReporter {
+ public:
+  /// One flat record of string/number fields, insertion-ordered.
+  class Record {
+   public:
+    Record& Str(const std::string& key, const std::string& value);
+    Record& Num(const std::string& key, double value);
+
+   private:
+    friend class JsonReporter;
+    /// key -> already-rendered JSON literal.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// Parses `--json <path>` out of argv. Unrecognized arguments are left
+  /// for the bench's own parsing.
+  JsonReporter(std::string bench_name, int argc, char** argv,
+               std::string default_path = "");
+  ~JsonReporter();
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  /// Starts a new record. The reference stays valid for the reporter's
+  /// lifetime (deque-backed), so it can be filled incrementally.
+  Record& Add();
+
+  /// Writes the document now; otherwise the destructor does. No-op when
+  /// disabled or already written.
+  void Write();
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::deque<Record> records_;
+  bool written_ = false;
+};
 
 // ------------------------------------------------------- query measurement --
 

@@ -66,6 +66,12 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Returns a copy with `prefix` prepended to the message, keeping the
+  /// code. No-op on OK statuses.
+  Status WithMessagePrefix(const std::string& prefix) const {
+    return ok() ? *this : Status(code_, prefix + message_);
+  }
+
   /// "<CodeName>: <message>" or "OK".
   std::string ToString() const;
 

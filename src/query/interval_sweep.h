@@ -8,7 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "provrc/interval.h"
@@ -16,12 +16,19 @@
 namespace dslog {
 
 /// Calls fn(left_index, right_index) for every pair with
-/// left[i].Intersects(right[j]). Both vectors may be in any order.
+/// left[i].Intersects(right[j]). Both vectors may be in any order. Pairs
+/// are emitted in no particular order.
 template <typename Fn>
 void ForEachOverlappingPair(const std::vector<Interval>& left,
                             const std::vector<Interval>& right, Fn&& fn) {
-  // Event sweep over interval low endpoints with lazily-pruned active sets
-  // ordered by high endpoint.
+  // Event sweep over interval low endpoints. The active sets are flat
+  // (hi, index) vectors pruned in the same pass that emits pairs: events
+  // arrive in nondecreasing lo order, so an active entry whose hi falls
+  // below the current event's lo can never overlap anything again and is
+  // swap-erased on sight. This replaces the former std::multiset active
+  // sets — the emission scan already visits every live entry per event, so
+  // ordered-container node allocation and rebalancing bought nothing and
+  // dominated the join inner loop's allocator traffic.
   struct Item {
     int64_t lo;
     int64_t hi;
@@ -38,26 +45,27 @@ void ForEachOverlappingPair(const std::vector<Interval>& left,
   std::sort(ls.begin(), ls.end(), by_lo);
   std::sort(rs.begin(), rs.end(), by_lo);
 
-  // Active sets ordered by (hi, index) for range pruning.
-  std::multiset<std::pair<int64_t, int64_t>> active_left, active_right;
+  std::vector<std::pair<int64_t, int64_t>> active_left, active_right;
   size_t li = 0, ri = 0;
   while (li < ls.size() || ri < rs.size()) {
     bool take_left =
         ri >= rs.size() || (li < ls.size() && ls[li].lo <= rs[ri].lo);
-    if (take_left) {
-      const Item& item = ls[li++];
-      // Drop right intervals that end before this left interval starts.
-      active_right.erase(active_right.begin(),
-                         active_right.lower_bound({item.lo, INT64_MIN}));
-      for (const auto& [hi, j] : active_right) fn(item.index, j);
-      active_left.insert({item.hi, item.index});
-    } else {
-      const Item& item = rs[ri++];
-      active_left.erase(active_left.begin(),
-                        active_left.lower_bound({item.lo, INT64_MIN}));
-      for (const auto& [hi, i] : active_left) fn(i, item.index);
-      active_right.insert({item.hi, item.index});
+    const Item& item = take_left ? ls[li++] : rs[ri++];
+    auto& opposite = take_left ? active_right : active_left;
+    auto& own = take_left ? active_left : active_right;
+    for (size_t k = 0; k < opposite.size();) {
+      if (opposite[k].first < item.lo) {  // expired: ends before we start
+        opposite[k] = opposite.back();
+        opposite.pop_back();
+      } else {
+        if (take_left)
+          fn(item.index, opposite[k].second);
+        else
+          fn(opposite[k].second, item.index);
+        ++k;
+      }
     }
+    own.push_back({item.hi, item.index});
   }
 }
 

@@ -12,14 +12,15 @@ namespace dslog {
 BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
                      const QueryOptions& options) {
   DSLOG_CHECK(!hops.empty());
+  const int num_threads = std::max(1, options.num_threads);
   BoxTable current = query;
   for (const QueryHop& hop : hops) {
     if (hop.forward) {
       current = hop.forward_table != nullptr
-                    ? hop.forward_table->Join(current)
-                    : ForwardThetaJoin(current, *hop.table);
+                    ? hop.forward_table->Join(current, num_threads)
+                    : ForwardThetaJoin(current, *hop.table, num_threads);
     } else {
-      current = BackwardThetaJoin(current, *hop.table);
+      current = BackwardThetaJoin(current, *hop.table, num_threads);
     }
     if (options.merge_between_hops) current.Merge();
     if (current.empty()) break;

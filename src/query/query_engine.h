@@ -31,6 +31,13 @@ struct QueryOptions {
   /// Projection + adjacent-interval merge between hops (§V.B.3). Disabling
   /// reproduces the DSLog-NoMerge baseline of Fig 9.
   bool merge_between_hops = true;
+  /// Threads used to evaluate each θ-join: >= 2 partitions the hop's
+  /// query-box table across the shared ThreadPool (per-worker results
+  /// concatenated, then the usual Merge() applied once); 1 is the paper's
+  /// single-threaded plan. Results are set-equivalent across settings.
+  /// DSLog::ProvQueryBatch also uses this as the fan-out width across
+  /// batch entries.
+  int num_threads = 1;
 };
 
 /// Evaluates a multi-hop in-situ query: `query` holds boxes over the first

@@ -1,6 +1,9 @@
 #include "query/theta_join.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "query/interval_sweep.h"
 
 namespace dslog {
@@ -16,11 +19,42 @@ std::vector<Interval> QueryAttr0(const BoxTable& query) {
   return ivs;
 }
 
+// Partitioned θ-join driver: splits the query boxes into `num_threads`
+// contiguous slices, runs `join` (the single-threaded join closed over the
+// stored table) per slice on the shared pool, and concatenates the partial
+// BoxTables. Set-equivalent to join(query); the caller applies Merge()
+// once on the concatenation, exactly as in the single-threaded plan.
+template <typename JoinFn>
+BoxTable PartitionedJoin(const BoxTable& query, int result_ndim,
+                         int num_threads, JoinFn&& join) {
+  const int64_t nq = query.num_boxes();
+  const int64_t chunks = std::min<int64_t>(num_threads, nq);
+  if (chunks <= 1) return join(query);
+  std::vector<BoxTable> parts(static_cast<size_t>(chunks));
+  ThreadPool::Shared().ParallelFor(
+      chunks,
+      [&](int64_t c) {
+        parts[static_cast<size_t>(c)] =
+            join(query.Slice(c * nq / chunks, (c + 1) * nq / chunks));
+      },
+      num_threads);
+  BoxTable result(result_ndim);
+  for (const BoxTable& part : parts) result.Append(part);
+  return result;
+}
+
 }  // namespace
 
-BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table) {
+BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
+                           int num_threads) {
   DSLOG_CHECK(query.ndim() == table.out_ndim())
       << "backward query arity mismatch";
+  if (num_threads > 1) {
+    return PartitionedJoin(query, table.in_ndim(), num_threads,
+                           [&table](const BoxTable& q) {
+                             return BackwardThetaJoin(q, table, 1);
+                           });
+  }
   const int l = table.out_ndim();
   const int m = table.in_ndim();
   BoxTable result(m);
@@ -61,9 +95,16 @@ BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table) 
   return result;
 }
 
-BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table) {
+BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
+                          int num_threads) {
   DSLOG_CHECK(query.ndim() == table.in_ndim())
       << "forward query arity mismatch";
+  if (num_threads > 1) {
+    return PartitionedJoin(query, table.out_ndim(), num_threads,
+                           [&table](const BoxTable& q) {
+                             return ForwardThetaJoin(q, table, 1);
+                           });
+  }
   const int l = table.out_ndim();
   const int m = table.in_ndim();
   BoxTable result(l);
@@ -144,8 +185,13 @@ ForwardTable ForwardTable::FromBackward(const CompressedTable& table) {
   return fwd;
 }
 
-BoxTable ForwardTable::Join(const BoxTable& query) const {
+BoxTable ForwardTable::Join(const BoxTable& query, int num_threads) const {
   DSLOG_CHECK(query.ndim() == in_ndim()) << "forward query arity mismatch";
+  if (num_threads > 1) {
+    return PartitionedJoin(
+        query, out_ndim(), num_threads,
+        [this](const BoxTable& q) { return Join(q, 1); });
+  }
   const int l = out_ndim();
   const int m = in_ndim();
   BoxTable result(l);

@@ -21,12 +21,20 @@
 
 namespace dslog {
 
+// All three joins accept a `num_threads` knob: when >= 2 the query-box
+// table is partitioned into contiguous slices evaluated on the shared
+// ThreadPool and the per-worker results are concatenated. The output is
+// set-equivalent to the single-threaded join (box order may differ; the
+// caller's Merge() pass canonicalizes as usual).
+
 /// Backward θ-join: query boxes over output attributes -> input-cell boxes.
-BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table);
+BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
+                           int num_threads = 1);
 
 /// Forward θ-join evaluated directly on the backward representation:
 /// query boxes over input attributes -> output-cell boxes.
-BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table);
+BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
+                          int num_threads = 1);
 
 /// Materialized forward representation (inputs absolute, outputs possibly
 /// relative with clamping bounds) as described in §IV.C / Table III.
@@ -51,7 +59,7 @@ class ForwardTable {
   const std::vector<Row>& rows() const { return rows_; }
 
   /// Forward θ-join over the materialized representation.
-  BoxTable Join(const BoxTable& query) const;
+  BoxTable Join(const BoxTable& query, int num_threads = 1) const;
 
  private:
   std::vector<int64_t> out_shape_;

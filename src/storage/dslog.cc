@@ -1,49 +1,103 @@
 #include "storage/dslog.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <mutex>
 
 #include "common/io.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "compress/varint.h"
 #include "provrc/provrc.h"
 #include "provrc/serialize.h"
 
 namespace dslog {
 
+DSLog::DSLog(DSLog&& other) noexcept {
+  std::unique_lock lock(other.mu_);
+  options_ = other.options_;
+  arrays_ = std::move(other.arrays_);
+  edges_ = std::move(other.edges_);
+  predictor_ = std::move(other.predictor_);
+}
+
+DSLog& DSLog::operator=(DSLog&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  options_ = other.options_;
+  arrays_ = std::move(other.arrays_);
+  edges_ = std::move(other.edges_);
+  predictor_ = std::move(other.predictor_);
+  return *this;
+}
+
 Status DSLog::DefineArray(const std::string& name, std::vector<int64_t> shape) {
   if (name.empty()) return Status::InvalidArgument("array name empty");
+  std::unique_lock lock(mu_);
   auto [it, inserted] = arrays_.try_emplace(name, std::move(shape));
   if (!inserted) return Status::AlreadyExists("array already defined: " + name);
   return Status::OK();
 }
 
 bool DSLog::HasArray(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return arrays_.count(name) > 0;
 }
 
 Result<std::vector<int64_t>> DSLog::ArrayShape(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = arrays_.find(name);
   if (it == arrays_.end()) return Status::NotFound("array not defined: " + name);
   return it->second;
 }
 
 Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
-  if (!HasArray(reg.out_arr))
-    return Status::NotFound("output array not defined: " + reg.out_arr);
-  for (const auto& in : reg.in_arrs)
-    if (!HasArray(in)) return Status::NotFound("input array not defined: " + in);
+  if (!reg.captured.empty() && reg.captured.size() != reg.in_arrs.size())
+    return Status::InvalidArgument("one captured relation per input required");
+  // Fast-fail on unknown arrays before paying for compression. Advisory
+  // only: a concurrent Load() can replace the catalog, so the same check is
+  // repeated under the writer lock below.
+  {
+    std::shared_lock lock(mu_);
+    if (arrays_.count(reg.out_arr) == 0)
+      return Status::NotFound("output array not defined: " + reg.out_arr);
+    for (const auto& in : reg.in_arrs)
+      if (arrays_.count(in) == 0)
+        return Status::NotFound("input array not defined: " + in);
+  }
 
+  // Compress the captured lineage — and materialize its forward
+  // representation when configured — before taking the writer lock: these
+  // are the expensive parts of ingest and touch no shared state, so
+  // concurrent readers are only blocked for the catalog update.
+  std::vector<CompressedTable> captured_tables;
+  std::vector<std::shared_ptr<const ForwardTable>> captured_forward;
+  captured_tables.reserve(reg.captured.size());
+  for (const LineageRelation& rel : reg.captured) {
+    captured_tables.push_back(ProvRcCompress(rel));
+    if (options_.materialize_forward)
+      captured_forward.push_back(std::make_shared<const ForwardTable>(
+          ForwardTable::FromBackward(captured_tables.back())));
+  }
+
+  std::unique_lock lock(mu_);
+  auto out_it = arrays_.find(reg.out_arr);
+  if (out_it == arrays_.end())
+    return Status::NotFound("output array not defined: " + reg.out_arr);
   std::vector<std::vector<int64_t>> in_shapes;
-  for (const auto& in : reg.in_arrs) in_shapes.push_back(arrays_.at(in));
-  const std::vector<int64_t>& out_shape = arrays_.at(reg.out_arr);
+  for (const auto& in : reg.in_arrs) {
+    auto in_it = arrays_.find(in);
+    if (in_it == arrays_.end())
+      return Status::NotFound("input array not defined: " + in);
+    in_shapes.push_back(in_it->second);
+  }
+  const std::vector<int64_t>& out_shape = out_it->second;
 
   std::vector<CompressedTable> tables;
+  std::vector<std::shared_ptr<const ForwardTable>> forward = captured_forward;
   ReuseOutcome outcome;
   if (!reg.captured.empty()) {
-    if (reg.captured.size() != reg.in_arrs.size())
-      return Status::InvalidArgument("one captured relation per input required");
-    for (const LineageRelation& rel : reg.captured)
-      tables.push_back(ProvRcCompress(rel));
+    tables = std::move(captured_tables);
     if (reg.reuse) {
       outcome = predictor_.ProcessRegistration(reg.op_name, reg.args, in_shapes,
                                                out_shape, reg.content_hash,
@@ -57,6 +111,12 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
     if (tables.empty())
       return Status::NotFound("no promoted reuse mapping for " + reg.op_name);
     outcome.dim_hit = true;  // served from the reuse index
+    if (options_.materialize_forward) {
+      forward.clear();
+      for (const CompressedTable& table : tables)
+        forward.push_back(std::make_shared<const ForwardTable>(
+            ForwardTable::FromBackward(table)));
+    }
   }
 
   if (tables.size() != reg.in_arrs.size())
@@ -67,9 +127,7 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
     edge.out_arr = reg.out_arr;
     edge.op_name = reg.op_name;
     edge.table = std::move(tables[i]);
-    if (options_.materialize_forward)
-      edge.forward = std::make_shared<const ForwardTable>(
-          ForwardTable::FromBackward(edge.table));
+    if (options_.materialize_forward) edge.forward = std::move(forward[i]);
     edges_[EdgeKey(reg.in_arrs[i], reg.out_arr)] = std::move(edge);
   }
   return outcome;
@@ -77,6 +135,7 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
 
 const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
                                        const std::string& out_arr) const {
+  std::shared_lock lock(mu_);
   auto it = edges_.find(EdgeKey(in_arr, out_arr));
   return it == edges_.end() ? nullptr : &it->second.table;
 }
@@ -84,6 +143,13 @@ const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
 Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
                                   const BoxTable& query,
                                   const QueryOptions& options) const {
+  std::shared_lock lock(mu_);
+  return ProvQueryLocked(path, query, options);
+}
+
+Result<BoxTable> DSLog::ProvQueryLocked(const std::vector<std::string>& path,
+                                        const BoxTable& query,
+                                        const QueryOptions& options) const {
   if (path.size() < 2)
     return Status::InvalidArgument("query path needs >= 2 arrays");
   std::vector<QueryHop> hops;
@@ -96,9 +162,9 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
       continue;
     }
     // Backward hop: path[k] is the relation's output array.
-    const CompressedTable* bwd = FindEdge(path[k + 1], path[k]);
-    if (bwd != nullptr) {
-      hops.push_back({bwd, /*forward=*/false, nullptr});
+    auto bwd_it = edges_.find(EdgeKey(path[k + 1], path[k]));
+    if (bwd_it != edges_.end()) {
+      hops.push_back({&bwd_it->second.table, /*forward=*/false, nullptr});
       continue;
     }
     return Status::NotFound("no lineage between " + path[k] + " and " +
@@ -107,14 +173,65 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
   return InSituQuery(hops, query, options);
 }
 
+Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
+    const std::vector<std::vector<std::string>>& paths,
+    const std::vector<BoxTable>& queries, const QueryOptions& options) const {
+  if (paths.size() != queries.size())
+    return Status::InvalidArgument(
+        "ProvQueryBatch: paths/queries size mismatch (" +
+        std::to_string(paths.size()) + " vs " +
+        std::to_string(queries.size()) + ")");
+  const int64_t n = static_cast<int64_t>(paths.size());
+  if (n == 0) return std::vector<BoxTable>{};
+
+  const int num_threads = std::max(1, options.num_threads);
+  QueryOptions per_query = options;
+  // Batch-level parallelism first: with enough entries to occupy every
+  // thread, each query's joins run single-threaded. For smaller batches the
+  // entries still fan out (n-way), and the leftover threads additionally
+  // serve the caller-executed entries' partitioned joins; entries that land
+  // on pool workers keep single-threaded joins, since the fixed pool cannot
+  // be re-entered (a nested ParallelFor from a worker runs inline).
+  if (n >= num_threads) per_query.num_threads = 1;
+
+  std::vector<BoxTable> results(paths.size());
+  std::vector<Status> statuses(paths.size(), Status::OK());
+  ThreadPool::Shared().ParallelFor(
+      n,
+      [&](int64_t i) {
+        const size_t idx = static_cast<size_t>(i);
+        // Each entry takes the catalog lock shared on its own thread, so a
+        // writer can make progress between entries of a long batch.
+        auto r = ProvQuery(paths[idx], queries[idx], per_query);
+        if (r.ok())
+          results[idx] = std::move(r).value();
+        else
+          statuses[idx] = r.status();
+      },
+      num_threads);
+
+  for (size_t i = 0; i < statuses.size(); ++i)
+    if (!statuses[i].ok())
+      return statuses[i].WithMessagePrefix("batch entry " +
+                                           std::to_string(i) + ": ");
+  return results;
+}
+
 int64_t DSLog::StorageFootprintBytes() const {
+  std::shared_lock lock(mu_);
   int64_t total = 0;
   for (const auto& [key, edge] : edges_)
     total += static_cast<int64_t>(SerializeCompressedTableGzip(edge.table).size());
   return total;
 }
 
+ReuseStats DSLog::reuse_stats() const {
+  std::shared_lock lock(mu_);
+  return predictor_.stats();
+}
+
 Status DSLog::Save(const std::string& dir) const {
+  std::shared_lock lock(mu_);
   DSLOG_RETURN_IF_ERROR(CreateDirs(dir));
   // Catalog file: arrays and edge index.
   std::string catalog;
@@ -146,6 +263,7 @@ Status DSLog::Save(const std::string& dir) const {
 Status DSLog::Load(const std::string& dir) {
   DSLOG_ASSIGN_OR_RETURN(std::string catalog,
                          ReadFileToString(dir + "/catalog.bin"));
+  std::unique_lock lock(mu_);
   arrays_.clear();
   edges_.clear();
   size_t pos = 0;

@@ -2,6 +2,12 @@
 // Tracks named arrays, ingests per-operation cell-level lineage (compressed
 // with ProvRC on ingest), answers forward/backward path queries in situ,
 // reuses lineage across repeated operations, and persists the catalog.
+//
+// Thread-safety: a DSLog is safe for any number of concurrent readers
+// (ProvQuery, ProvQueryBatch, and the const accessors) interleaved with
+// writers (DefineArray, RegisterOperation, Load). Reads take the catalog
+// lock shared; ingest and reuse-predictor updates take it exclusive. See
+// docs/ARCHITECTURE.md ("Concurrency model") for the full contract.
 
 #ifndef DSLOG_STORAGE_DSLOG_H_
 #define DSLOG_STORAGE_DSLOG_H_
@@ -9,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +60,12 @@ class DSLog {
   DSLog() = default;
   explicit DSLog(DSLogOptions options) : options_(options) {}
 
+  /// Movable (each instance keeps its own lock; the catalog state moves).
+  /// Moving a DSLog that other threads are still using is a data race, as
+  /// with any container.
+  DSLog(DSLog&& other) noexcept;
+  DSLog& operator=(DSLog&& other) noexcept;
+
   /// Defines a tracked array with a fixed shape (the Array() API of §III.A).
   Status DefineArray(const std::string& name, std::vector<int64_t> shape);
 
@@ -73,14 +86,31 @@ class DSLog {
                              const BoxTable& query,
                              const QueryOptions& options = {}) const;
 
+  /// Answers a batch of path queries (`paths[i]` evaluated against
+  /// `queries[i]`), fanning the entries across the shared ThreadPool with
+  /// up to `options.num_threads` concurrent workers. Entry i of the result
+  /// equals ProvQuery(paths[i], queries[i]) exactly; on any entry failure
+  /// the first (lowest-index) error is returned, annotated with its index.
+  /// When the batch is smaller than num_threads, entries still fan out and
+  /// the leftover threads serve the caller-executed entries' partitioned
+  /// θ-joins.
+  Result<std::vector<BoxTable>> ProvQueryBatch(
+      const std::vector<std::vector<std::string>>& paths,
+      const std::vector<BoxTable>& queries,
+      const QueryOptions& options = {}) const;
+
   /// Direct access to a stored edge's compressed table (bench/test hook).
+  /// The pointer is only stable while no writer runs; callers that overlap
+  /// writers should treat it as a presence check.
   const CompressedTable* FindEdge(const std::string& in_arr,
                                   const std::string& out_arr) const;
 
   /// Total serialized size of all stored lineage tables (ProvRC-GZip).
   int64_t StorageFootprintBytes() const;
 
-  const ReuseStats& reuse_stats() const { return predictor_.stats(); }
+  /// Snapshot of the reuse-predictor counters. Returned by value: a
+  /// reference would race concurrent RegisterOperation updates.
+  ReuseStats reuse_stats() const;
 
   /// Persists the catalog (arrays + compressed tables) to a directory.
   Status Save(const std::string& dir) const;
@@ -103,7 +133,17 @@ class DSLog {
     return in_arr + "\x1f" + out_arr;
   }
 
+  /// ProvQuery body; caller must hold mu_ (shared or exclusive).
+  Result<BoxTable> ProvQueryLocked(const std::vector<std::string>& path,
+                                   const BoxTable& query,
+                                   const QueryOptions& options) const;
+
   DSLogOptions options_;
+  /// Guards every member below. Readers (queries, const accessors) hold it
+  /// shared for their whole duration — including θ-join evaluation, so the
+  /// compressed tables they reference cannot be replaced mid-query;
+  /// writers (ingest, predictor updates, Load) hold it exclusive.
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::vector<int64_t>> arrays_;
   std::map<std::string, Edge> edges_;
   ReusePredictor predictor_;

@@ -73,5 +73,53 @@ TEST_P(IntervalSweepRandomTest, MatchesNestedLoop) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSweepRandomTest,
                          ::testing::Range(0, 20));
 
+// Skewed-input stress for the lazily-pruned flat active sets: distributions
+// chosen to exercise the swap-erase pruning path (many expirations per
+// event), long-lived intervals (active sets that only grow), clustered low
+// endpoints (many lo ties between the two sides), and lopsided sizes.
+class IntervalSweepStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSweepStressTest, MatchesNestedLoopOnSkewedInputs) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 101 + 13);
+  const int distribution = seed % 4;
+  auto make_side = [&](int n) {
+    std::vector<Interval> side;
+    for (int i = 0; i < n; ++i) {
+      int64_t lo, span;
+      switch (distribution) {
+        case 0:  // points only: every insertion expires almost immediately
+          lo = rng.UniformRange(0, 500);
+          span = 0;
+          break;
+        case 1:  // long intervals: active sets grow large, little pruning
+          lo = rng.UniformRange(0, 1000);
+          span = rng.UniformRange(200, 600);
+          break;
+        case 2:  // clustered lows: heavy lo ties across both sides
+          lo = 100 + rng.UniformRange(0, 8);
+          span = rng.UniformRange(0, 40);
+          break;
+        default:  // mixed points and wide spans
+          lo = rng.UniformRange(0, 300);
+          span = rng.Bernoulli(0.5) ? 0 : rng.UniformRange(0, 250);
+          break;
+      }
+      side.push_back({lo, lo + span});
+    }
+    return side;
+  };
+  // Lopsided sizes included (one side may be empty or a singleton).
+  const int n = static_cast<int>(rng.Uniform(400));
+  const int m = seed % 5 == 0 ? static_cast<int>(rng.Uniform(2))
+                              : static_cast<int>(rng.Uniform(400));
+  std::vector<Interval> left = make_side(n);
+  std::vector<Interval> right = make_side(m);
+  EXPECT_EQ(SweepPairs(left, right), ReferencePairs(left, right));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSweepStressTest,
+                         ::testing::Range(0, 24));
+
 }  // namespace
 }  // namespace dslog

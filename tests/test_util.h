@@ -1,0 +1,49 @@
+// Shared helpers for the query-equivalence test suites: flat-tuple set
+// conversion (for set-semantics comparison against the uncompressed
+// oracle) and random cell sampling over an array shape.
+
+#ifndef DSLOG_TESTS_TEST_UTIL_H_
+#define DSLOG_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "array/ndarray.h"
+#include "common/random.h"
+
+namespace dslog {
+namespace test_util {
+
+using TupleSet = std::set<std::vector<int64_t>>;
+
+/// Groups a flattened tuple stream into a set of `arity`-length tuples.
+inline TupleSet ToTupleSet(const std::vector<int64_t>& flat, int arity) {
+  TupleSet out;
+  for (size_t off = 0; off < flat.size(); off += static_cast<size_t>(arity))
+    out.insert(std::vector<int64_t>(
+        flat.begin() + static_cast<long>(off),
+        flat.begin() + static_cast<long>(off) + arity));
+  return out;
+}
+
+/// Samples up to `count` distinct cells of `shape`, as flattened index
+/// tuples.
+inline std::vector<int64_t> SampleCells(const std::vector<int64_t>& shape,
+                                        int64_t count, Rng* rng) {
+  NDArray probe(shape);
+  count = std::min(count, probe.size());
+  std::vector<int64_t> cells;
+  std::vector<int64_t> idx(shape.size());
+  for (int64_t flat : rng->SampleWithoutReplacement(probe.size(), count)) {
+    probe.UnravelIndex(flat, idx);
+    cells.insert(cells.end(), idx.begin(), idx.end());
+  }
+  return cells;
+}
+
+}  // namespace test_util
+}  // namespace dslog
+
+#endif  // DSLOG_TESTS_TEST_UTIL_H_
