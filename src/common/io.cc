@@ -1,11 +1,15 @@
 #include "common/io.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <system_error>
+#include <utility>
 
 namespace dslog {
 
@@ -17,6 +21,70 @@ Status WriteFile(const std::string& path, const std::string& data) {
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
   out.flush();
   if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+namespace io_testing {
+
+namespace {
+std::function<Status(const std::string&)>& CrashHook() {
+  static std::function<Status(const std::string&)> hook;
+  return hook;
+}
+}  // namespace
+
+void SetAtomicWriteCrashHook(
+    std::function<Status(const std::string& path)> hook) {
+  CrashHook() = std::move(hook);
+}
+
+}  // namespace io_testing
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  // pid + process-wide counter: concurrent writers of the same path (e.g.
+  // two threads saving one catalog directory) get distinct temp files, so
+  // their writes cannot interleave into the published file.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  // write + fsync the temp file, so the data is on disk before the rename
+  // can make it visible (otherwise a power loss shortly after the rename
+  // could expose an empty or partial destination file).
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot open for write: " + tmp);
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("write failed: " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("fsync failed: " + tmp);
+  }
+  ::close(fd);
+  if (auto& hook = io_testing::CrashHook()) {
+    Status simulated = hook(path);
+    // A simulated crash stops here: tmp file written, rename never issued.
+    if (!simulated.ok()) return simulated;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  // fsync the containing directory so the rename itself is durable.
+  std::string dir = fs::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,76 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/io.h"
+
+namespace dslog {
+
+MmapFile::~MmapFile() { Reset(); }
+
+void MmapFile::Reset() noexcept {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+  addr_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  fallback_.clear();
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  Reset();
+  addr_ = std::exchange(other.addr_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  fallback_ = std::move(other.fallback_);
+  // data_ points into the mapping or into fallback_, which just moved here.
+  data_ = addr_ != nullptr ? static_cast<const char*>(addr_)
+                           : fallback_.data();
+  other.data_ = nullptr;
+  other.fallback_.clear();
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path, bool allow_mmap) {
+  MmapFile file;
+  if (allow_mmap) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+      return Status::IOError("open failed: " + path + ": " +
+                             std::strerror(errno));
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("fstat failed: " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      file.data_ = file.fallback_.data();
+      return file;
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping outlives the descriptor
+    if (addr != MAP_FAILED) {
+      file.addr_ = addr;
+      file.data_ = static_cast<const char*>(addr);
+      file.size_ = size;
+      return file;
+    }
+    // Fall through to the read path (e.g. filesystems without mmap).
+  }
+  DSLOG_ASSIGN_OR_RETURN(file.fallback_, ReadFileToString(path));
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+  return file;
+}
+
+}  // namespace dslog

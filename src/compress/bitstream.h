@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/check.h"
 
@@ -42,10 +43,11 @@ class BitWriter {
   int filled_ = 0;
 };
 
-/// Reads bit fields LSB-first from a byte buffer.
+/// Reads bit fields LSB-first from a byte view (the caller keeps the bytes
+/// alive — e.g. a std::string or a memory-mapped file range).
 class BitReader {
  public:
-  BitReader(const std::string& src, size_t byte_pos)
+  BitReader(std::string_view src, size_t byte_pos)
       : src_(src), pos_(byte_pos) {}
 
   /// Reads `nbits` bits; returns false past end of buffer.
@@ -69,7 +71,7 @@ class BitReader {
   size_t ByteAlignedPos() const { return pos_; }
 
  private:
-  const std::string& src_;
+  std::string_view src_;
   size_t pos_;
   uint64_t acc_ = 0;
   int filled_ = 0;

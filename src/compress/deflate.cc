@@ -1,5 +1,7 @@
 #include "compress/deflate.h"
 
+#include <string_view>
+
 #include <algorithm>
 #include <cstring>
 #include <vector>
@@ -137,7 +139,7 @@ void WriteCodeLengths(const std::vector<int>& lengths, std::string* out) {
   }
 }
 
-bool ReadCodeLengths(const std::string& src, size_t* pos, size_t count,
+bool ReadCodeLengths(std::string_view src, size_t* pos, size_t count,
                      std::vector<int>* lengths) {
   size_t bytes = (count + 1) / 2;
   if (*pos + bytes > src.size()) return false;
@@ -223,7 +225,7 @@ std::string DeflateCompress(const std::string& input) {
   return out;
 }
 
-Result<std::string> DeflateDecompress(const std::string& input) {
+Result<std::string> DeflateDecompress(std::string_view input) {
   size_t pos = 0;
   if (input.size() < 5 || std::memcmp(input.data(), kMagic, 4) != 0)
     return Status::Corruption("DSLZ: bad magic");
@@ -239,7 +241,7 @@ Result<std::string> DeflateDecompress(const std::string& input) {
   if (format == kFormatStored) {
     if (input.size() - pos != raw_size)
       return Status::Corruption("DSLZ: stored size mismatch");
-    return input.substr(pos);
+    return std::string(input.substr(pos));
   }
   if (format != kFormatHuffman) return Status::Corruption("DSLZ: bad format");
 

@@ -8,6 +8,7 @@
 #define DSLOG_COMPRESS_DEFLATE_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 
@@ -16,8 +17,9 @@ namespace dslog {
 /// Compresses `input` into the DSLZ container format.
 std::string DeflateCompress(const std::string& input);
 
-/// Decompresses a DSLZ buffer. Fails with Corruption on malformed input.
-Result<std::string> DeflateDecompress(const std::string& input);
+/// Decompresses a DSLZ buffer (any contiguous byte view, e.g. a mapped
+/// file range). Fails with Corruption on malformed input.
+Result<std::string> DeflateDecompress(std::string_view input);
 
 }  // namespace dslog
 

@@ -1,5 +1,7 @@
 #include "compress/varint.h"
 
+#include <string_view>
+
 namespace dslog {
 
 void PutVarint64(std::string* dst, uint64_t v) {
@@ -10,7 +12,7 @@ void PutVarint64(std::string* dst, uint64_t v) {
   dst->push_back(static_cast<char>(v));
 }
 
-bool GetVarint64(const std::string& src, size_t* pos, uint64_t* out) {
+bool GetVarint64(std::string_view src, size_t* pos, uint64_t* out) {
   uint64_t v = 0;
   int shift = 0;
   size_t p = *pos;
@@ -35,7 +37,7 @@ void PutFixed64(std::string* dst, uint64_t v) {
   for (int i = 0; i < 8; ++i) dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
 }
 
-bool GetFixed32(const std::string& src, size_t* pos, uint32_t* out) {
+bool GetFixed32(std::string_view src, size_t* pos, uint32_t* out) {
   if (*pos + 4 > src.size()) return false;
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i)
@@ -45,13 +47,26 @@ bool GetFixed32(const std::string& src, size_t* pos, uint32_t* out) {
   return true;
 }
 
-bool GetFixed64(const std::string& src, size_t* pos, uint64_t* out) {
+bool GetFixed64(std::string_view src, size_t* pos, uint64_t* out) {
   if (*pos + 8 > src.size()) return false;
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i)
     v |= static_cast<uint64_t>(static_cast<uint8_t>(src[*pos + i])) << (8 * i);
   *pos += 8;
   *out = v;
+  return true;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s);
+}
+
+bool GetLengthPrefixed(std::string_view src, size_t* pos, std::string* out) {
+  uint64_t n;
+  if (!GetVarint64(src, pos, &n) || n > src.size() - *pos) return false;
+  out->assign(src.substr(*pos, n));
+  *pos += n;
   return true;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace dslog {
 
@@ -13,7 +14,9 @@ namespace dslog {
 void PutVarint64(std::string* dst, uint64_t v);
 
 /// Decodes a varint at `*pos`, advancing it. Returns false on truncation.
-bool GetVarint64(const std::string& src, size_t* pos, uint64_t* out);
+/// Accepts any contiguous byte view (std::string converts implicitly), so
+/// decoders can run directly over memory-mapped file ranges.
+bool GetVarint64(std::string_view src, size_t* pos, uint64_t* out);
 
 /// Zigzag maps signed to unsigned so small magnitudes stay small.
 inline uint64_t ZigzagEncode(int64_t v) {
@@ -28,7 +31,7 @@ inline void PutVarintSigned(std::string* dst, int64_t v) {
   PutVarint64(dst, ZigzagEncode(v));
 }
 /// Decodes a zigzag-varint signed value.
-inline bool GetVarintSigned(const std::string& src, size_t* pos, int64_t* out) {
+inline bool GetVarintSigned(std::string_view src, size_t* pos, int64_t* out) {
   uint64_t u;
   if (!GetVarint64(src, pos, &u)) return false;
   *out = ZigzagDecode(u);
@@ -38,8 +41,15 @@ inline bool GetVarintSigned(const std::string& src, size_t* pos, int64_t* out) {
 /// Appends a fixed-width little-endian integer.
 void PutFixed32(std::string* dst, uint32_t v);
 void PutFixed64(std::string* dst, uint64_t v);
-bool GetFixed32(const std::string& src, size_t* pos, uint32_t* out);
-bool GetFixed64(const std::string& src, size_t* pos, uint64_t* out);
+bool GetFixed32(std::string_view src, size_t* pos, uint32_t* out);
+bool GetFixed64(std::string_view src, size_t* pos, uint64_t* out);
+
+/// Appends a varint length followed by the raw bytes (the shared
+/// string-field encoding of the storage formats).
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+/// Decodes one length-prefixed string at `*pos`, advancing it. Returns
+/// false on truncation.
+bool GetLengthPrefixed(std::string_view src, size_t* pos, std::string* out);
 
 }  // namespace dslog
 

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "compress/varint.h"
+#include "provrc/serialize.h"
+
 namespace dslog {
 
 namespace {
@@ -84,6 +87,39 @@ Result<CompressedTable> GeneralizedTable::Instantiate(
     out.AddRow(std::move(nr));
   }
   return out;
+}
+
+void GeneralizedTable::AppendTo(std::string* dst) const {
+  PutLengthPrefixed(dst, SerializeCompressedTable(template_));
+  // marks_ dimensions are implied by the template (rows x (l + m)); each
+  // mark is a small dimension id or -1, so zigzag varints stay one byte.
+  for (const std::vector<int32_t>& row : marks_)
+    for (int32_t mark : row) PutVarintSigned(dst, mark);
+}
+
+Result<GeneralizedTable> GeneralizedTable::ParseFrom(std::string_view src,
+                                                     size_t* pos) {
+  std::string table_bytes;
+  if (!GetLengthPrefixed(src, pos, &table_bytes))
+    return Status::Corruption("GeneralizedTable: truncated template");
+  GeneralizedTable gen;
+  DSLOG_ASSIGN_OR_RETURN(gen.template_,
+                         DeserializeCompressedTable(table_bytes));
+  const size_t arity = static_cast<size_t>(gen.template_.out_ndim()) +
+                       static_cast<size_t>(gen.template_.in_ndim());
+  gen.marks_.reserve(static_cast<size_t>(gen.template_.num_rows()));
+  for (int64_t r = 0; r < gen.template_.num_rows(); ++r) {
+    std::vector<int32_t> row(arity, -1);
+    for (size_t k = 0; k < arity; ++k) {
+      int64_t mark;
+      if (!GetVarintSigned(src, pos, &mark))
+        return Status::Corruption("GeneralizedTable: truncated marks");
+      row[k] = static_cast<int32_t>(mark);
+      if (row[k] >= 0) gen.has_symbolic_ = true;
+    }
+    gen.marks_.push_back(std::move(row));
+  }
+  return gen;
 }
 
 std::string GeneralizedTable::DebugString() const {

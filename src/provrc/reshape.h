@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -39,6 +40,13 @@ class GeneralizedTable {
   /// True when at least one cell is symbolic (otherwise the generalized
   /// table is trivially shape-independent).
   bool has_symbolic_cells() const { return has_symbolic_; }
+
+  /// Appends a self-delimiting binary encoding (template table + symbolic
+  /// marks) to `dst`. Used to persist gen_sig reuse state.
+  void AppendTo(std::string* dst) const;
+
+  /// Inverse of AppendTo: parses one encoded table at `*pos`, advancing it.
+  static Result<GeneralizedTable> ParseFrom(std::string_view src, size_t* pos);
 
   int out_ndim() const { return static_cast<int>(template_.out_shape().size()); }
   int in_ndim() const { return static_cast<int>(template_.in_shape().size()); }

@@ -1,6 +1,7 @@
 #include "provrc/serialize.h"
 
 #include <cstring>
+#include <string_view>
 
 #include "compress/deflate.h"
 #include "compress/varint.h"
@@ -16,7 +17,7 @@ void PutInterval(std::string* dst, const Interval& iv, int64_t* prev_lo) {
   *prev_lo = iv.lo;
 }
 
-bool GetInterval(const std::string& src, size_t* pos, Interval* iv,
+bool GetInterval(std::string_view src, size_t* pos, Interval* iv,
                  int64_t* prev_lo) {
   int64_t dlo;
   uint64_t w;
@@ -58,7 +59,7 @@ std::string SerializeCompressedTable(const CompressedTable& table) {
   return out;
 }
 
-Result<CompressedTable> DeserializeCompressedTable(const std::string& data) {
+Result<CompressedTable> DeserializeCompressedTable(std::string_view data) {
   if (data.size() < 4 || std::memcmp(data.data(), kMagic, 4) != 0)
     return Status::Corruption("PRC1: bad magic");
   size_t pos = 4;
@@ -114,7 +115,7 @@ std::string SerializeCompressedTableGzip(const CompressedTable& table) {
   return DeflateCompress(SerializeCompressedTable(table));
 }
 
-Result<CompressedTable> DeserializeCompressedTableGzip(const std::string& data) {
+Result<CompressedTable> DeserializeCompressedTableGzip(std::string_view data) {
   DSLOG_ASSIGN_OR_RETURN(std::string raw, DeflateDecompress(data));
   return DeserializeCompressedTable(raw);
 }

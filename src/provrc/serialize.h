@@ -6,6 +6,7 @@
 #define DSLOG_PROVRC_SERIALIZE_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "provrc/compressed_table.h"
@@ -17,14 +18,16 @@ namespace dslog {
 /// close to entropy).
 std::string SerializeCompressedTable(const CompressedTable& table);
 
-/// Inverse of SerializeCompressedTable.
-Result<CompressedTable> DeserializeCompressedTable(const std::string& data);
+/// Inverse of SerializeCompressedTable. Takes any contiguous byte view
+/// (std::string converts implicitly), so segments of a memory-mapped
+/// LogStore file decode without an intermediate copy.
+Result<CompressedTable> DeserializeCompressedTable(std::string_view data);
 
 /// Deflate-wrapped serialization (ProvRC-GZip).
 std::string SerializeCompressedTableGzip(const CompressedTable& table);
 
 /// Inverse of SerializeCompressedTableGzip.
-Result<CompressedTable> DeserializeCompressedTableGzip(const std::string& data);
+Result<CompressedTable> DeserializeCompressedTableGzip(std::string_view data);
 
 }  // namespace dslog
 

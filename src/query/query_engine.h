@@ -6,6 +6,7 @@
 #ifndef DSLOG_QUERY_QUERY_ENGINE_H_
 #define DSLOG_QUERY_QUERY_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "lineage/lineage_relation.h"
@@ -22,9 +23,18 @@ class ForwardTable;
 /// `forward_table` and is used for forward hops instead of the direct join
 /// over the backward representation.
 struct QueryHop {
+  QueryHop() = default;
+  QueryHop(const CompressedTable* table, bool forward,
+           const ForwardTable* forward_table = nullptr)
+      : table(table), forward(forward), forward_table(forward_table) {}
+
   const CompressedTable* table = nullptr;
   bool forward = false;
   const ForwardTable* forward_table = nullptr;
+  /// Optional ownership of `table`: hops over lazily-decoded LogStore
+  /// segments pin the decoded table here so a concurrent cache eviction
+  /// cannot free it mid-query. Catalog-resident tables leave it null.
+  std::shared_ptr<const CompressedTable> pin;
 };
 
 struct QueryOptions {

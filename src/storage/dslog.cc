@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <filesystem>
 #include <mutex>
+#include <set>
 
+#include "common/hash.h"
 #include "common/io.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -19,6 +21,8 @@ DSLog::DSLog(DSLog&& other) noexcept {
   arrays_ = std::move(other.arrays_);
   edges_ = std::move(other.edges_);
   predictor_ = std::move(other.predictor_);
+  store_ = std::move(other.store_);
+  findedge_pins_ = std::move(other.findedge_pins_);
 }
 
 DSLog& DSLog::operator=(DSLog&& other) noexcept {
@@ -28,6 +32,8 @@ DSLog& DSLog::operator=(DSLog&& other) noexcept {
   arrays_ = std::move(other.arrays_);
   edges_ = std::move(other.edges_);
   predictor_ = std::move(other.predictor_);
+  store_ = std::move(other.store_);
+  findedge_pins_ = std::move(other.findedge_pins_);
   return *this;
 }
 
@@ -133,11 +139,36 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
   return outcome;
 }
 
+Result<std::shared_ptr<const CompressedTable>> DSLog::ResolveEdgeTable(
+    const Edge& edge) const {
+  if (edge.segment < 0) {
+    // Resident edge: alias into the catalog; mu_ (held by the caller)
+    // keeps the Edge alive for the pointer's useful lifetime.
+    return std::shared_ptr<const CompressedTable>(
+        std::shared_ptr<const void>(), &edge.table);
+  }
+  return store_->Table(static_cast<size_t>(edge.segment));
+}
+
 const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
                                        const std::string& out_arr) const {
   std::shared_lock lock(mu_);
   auto it = edges_.find(EdgeKey(in_arr, out_arr));
-  return it == edges_.end() ? nullptr : &it->second.table;
+  if (it == edges_.end()) return nullptr;
+  if (it->second.segment < 0) return &it->second.table;
+  // Lazy edge: one pin per segment, reused on repeat calls, so the
+  // returned pointer stays valid without growing per call.
+  {
+    std::lock_guard<std::mutex> pins_lock(findedge_pins_mu_);
+    auto pin_it = findedge_pins_.find(it->second.segment);
+    if (pin_it != findedge_pins_.end()) return pin_it->second.get();
+  }
+  auto table = ResolveEdgeTable(it->second);
+  if (!table.ok()) return nullptr;
+  std::lock_guard<std::mutex> pins_lock(findedge_pins_mu_);
+  return findedge_pins_
+      .emplace(it->second.segment, std::move(table).ValueOrDie())
+      .first->second.get();
 }
 
 Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
@@ -157,14 +188,24 @@ Result<BoxTable> DSLog::ProvQueryLocked(const std::vector<std::string>& path,
     // Forward hop: path[k] is the relation's input array.
     auto fwd_it = edges_.find(EdgeKey(path[k], path[k + 1]));
     if (fwd_it != edges_.end()) {
-      hops.push_back({&fwd_it->second.table, /*forward=*/true,
-                      fwd_it->second.forward.get()});
+      DSLOG_ASSIGN_OR_RETURN(auto table, ResolveEdgeTable(fwd_it->second));
+      QueryHop hop;
+      hop.table = table.get();
+      hop.forward = true;
+      hop.forward_table = fwd_it->second.forward.get();
+      hop.pin = std::move(table);
+      hops.push_back(std::move(hop));
       continue;
     }
     // Backward hop: path[k] is the relation's output array.
     auto bwd_it = edges_.find(EdgeKey(path[k + 1], path[k]));
     if (bwd_it != edges_.end()) {
-      hops.push_back({&bwd_it->second.table, /*forward=*/false, nullptr});
+      DSLOG_ASSIGN_OR_RETURN(auto table, ResolveEdgeTable(bwd_it->second));
+      QueryHop hop;
+      hop.table = table.get();
+      hop.forward = false;
+      hop.pin = std::move(table);
+      hops.push_back(std::move(hop));
       continue;
     }
     return Status::NotFound("no lineage between " + path[k] + " and " +
@@ -220,8 +261,14 @@ Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
 int64_t DSLog::StorageFootprintBytes() const {
   std::shared_lock lock(mu_);
   int64_t total = 0;
-  for (const auto& [key, edge] : edges_)
-    total += static_cast<int64_t>(SerializeCompressedTableGzip(edge.table).size());
+  for (const auto& [key, edge] : edges_) {
+    if (edge.segment >= 0)
+      total += static_cast<int64_t>(
+          store_->segments()[static_cast<size_t>(edge.segment)].length);
+    else
+      total += static_cast<int64_t>(
+          SerializeCompressedTableGzip(edge.table).size());
+  }
   return total;
 }
 
@@ -229,6 +276,21 @@ ReuseStats DSLog::reuse_stats() const {
   std::shared_lock lock(mu_);
   return predictor_.stats();
 }
+
+namespace {
+
+/// The serialized (ProvRC-GZip) bytes of an edge, without decompressing
+/// lazy segments: in-situ edges are copied straight out of the mapping.
+std::string EdgeSegmentBytes(const LogStore* store, int32_t segment,
+                             const CompressedTable& table) {
+  if (segment >= 0)
+    return std::string(store->SegmentView(static_cast<size_t>(segment)));
+  return SerializeCompressedTableGzip(table);
+}
+
+constexpr char kPredictorFile[] = "predictor.bin";
+
+}  // namespace
 
 Status DSLog::Save(const std::string& dir) const {
   std::shared_lock lock(mu_);
@@ -243,7 +305,7 @@ Status DSLog::Save(const std::string& dir) const {
     for (int64_t d : shape) PutVarint64(&catalog, static_cast<uint64_t>(d));
   }
   PutVarint64(&catalog, edges_.size());
-  int file_id = 0;
+  std::set<std::string> referenced;
   for (const auto& [key, edge] : edges_) {
     PutVarint64(&catalog, edge.in_arr.size());
     catalog += edge.in_arr;
@@ -251,21 +313,50 @@ Status DSLog::Save(const std::string& dir) const {
     catalog += edge.out_arr;
     PutVarint64(&catalog, edge.op_name.size());
     catalog += edge.op_name;
-    std::string file = Format("edge_%04d.prc", file_id++);
+    // File names are content-addressed: an updated edge lands in a *new*
+    // file while the file the previous catalog.bin references keeps its
+    // bytes, so a crash anywhere mid-save restores the previous catalog
+    // exactly (never a rebound or updated table). Identical tables dedup
+    // to one file as a side effect.
+    std::string bytes = EdgeSegmentBytes(store_.get(), edge.segment, edge.table);
+    std::string file = Format(
+        "edge_%016llx.prc", static_cast<unsigned long long>(Hash64(bytes)));
+    referenced.insert(file);
     PutVarint64(&catalog, file.size());
     catalog += file;
-    DSLOG_RETURN_IF_ERROR(WriteFile(
-        dir + "/" + file, SerializeCompressedTableGzip(edge.table)));
+    DSLOG_RETURN_IF_ERROR(WriteFileAtomic(dir + "/" + file, bytes));
   }
-  return WriteFile(dir + "/catalog.bin", catalog);
+  DSLOG_RETURN_IF_ERROR(WriteFileAtomic(dir + "/" + kPredictorFile,
+                                        predictor_.SerializeState()));
+  // The catalog commits last: a crash before this point leaves the previous
+  // catalog.bin (if any) intact and loadable.
+  DSLOG_RETURN_IF_ERROR(WriteFileAtomic(dir + "/catalog.bin", catalog));
+  // Only after the commit: garbage-collect edge files no catalog references
+  // (leftovers of earlier saves of a catalog that since dropped or renamed
+  // edges). A crash here merely leaves unreferenced files for next time.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.starts_with("edge_") && name.ends_with(".prc") &&
+        referenced.count(name) == 0)
+      (void)RemoveFileIfExists(entry.path().string());
+  }
+  return Status::OK();
 }
 
-Status DSLog::Load(const std::string& dir) {
-  DSLOG_ASSIGN_OR_RETURN(std::string catalog,
-                         ReadFileToString(dir + "/catalog.bin"));
-  std::unique_lock lock(mu_);
-  arrays_.clear();
-  edges_.clear();
+namespace {
+
+/// One edge entry of a legacy catalog.bin: names plus the blob file name.
+struct LegacyEdgeRef {
+  std::string in_arr;
+  std::string out_arr;
+  std::string op_name;
+  std::string file;
+};
+
+Status ParseLegacyCatalog(const std::string& catalog,
+                          std::map<std::string, std::vector<int64_t>>* arrays,
+                          std::vector<LegacyEdgeRef>* edges) {
   size_t pos = 0;
   auto read_string = [&](std::string* out) {
     uint64_t n;
@@ -291,23 +382,140 @@ Status DSLog::Load(const std::string& dir) {
         return Status::Corruption("catalog: shape");
       d = static_cast<int64_t>(v);
     }
-    arrays_[name] = std::move(shape);
+    (*arrays)[name] = std::move(shape);
   }
   uint64_t num_edges;
   if (!GetVarint64(catalog, &pos, &num_edges))
     return Status::Corruption("catalog: edge count");
   for (uint64_t i = 0; i < num_edges; ++i) {
-    Edge edge;
-    std::string file;
+    LegacyEdgeRef edge;
     if (!read_string(&edge.in_arr) || !read_string(&edge.out_arr) ||
-        !read_string(&edge.op_name) || !read_string(&file))
+        !read_string(&edge.op_name) || !read_string(&edge.file))
       return Status::Corruption("catalog: edge entry");
-    DSLOG_ASSIGN_OR_RETURN(std::string data, ReadFileToString(dir + "/" + file));
-    DSLOG_ASSIGN_OR_RETURN(edge.table, DeserializeCompressedTableGzip(data));
-    std::string key = EdgeKey(edge.in_arr, edge.out_arr);
-    edges_[key] = std::move(edge);
+    edges->push_back(std::move(edge));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status DSLog::Load(const std::string& dir) {
+  DSLOG_ASSIGN_OR_RETURN(std::string catalog,
+                         ReadFileToString(dir + "/catalog.bin"));
+  std::map<std::string, std::vector<int64_t>> arrays;
+  std::vector<LegacyEdgeRef> refs;
+  DSLOG_RETURN_IF_ERROR(ParseLegacyCatalog(catalog, &arrays, &refs));
+
+  std::map<std::string, Edge> edges;
+  for (const LegacyEdgeRef& ref : refs) {
+    Edge edge;
+    edge.in_arr = ref.in_arr;
+    edge.out_arr = ref.out_arr;
+    edge.op_name = ref.op_name;
+    DSLOG_ASSIGN_OR_RETURN(std::string data,
+                           ReadFileToString(dir + "/" + ref.file));
+    DSLOG_ASSIGN_OR_RETURN(edge.table, DeserializeCompressedTableGzip(data));
+    edges[EdgeKey(edge.in_arr, edge.out_arr)] = std::move(edge);
+  }
+
+  // Reuse-predictor state rides in a sibling file; directories written
+  // before predictor persistence simply reset the predictor.
+  ReusePredictor predictor;
+  auto predictor_blob = ReadFileToString(dir + "/" + kPredictorFile);
+  if (predictor_blob.ok())
+    DSLOG_RETURN_IF_ERROR(predictor.RestoreState(predictor_blob.value()));
+
+  std::unique_lock lock(mu_);
+  arrays_ = std::move(arrays);
+  edges_ = std::move(edges);
+  predictor_ = std::move(predictor);
+  store_.reset();
+  return Status::OK();
+}
+
+// ------------------------------------------------- single-file LogStore --
+
+Result<DSLog> DSLog::OpenInSitu(const std::string& path,
+                                const InSituOptions& options) {
+  DSLOG_ASSIGN_OR_RETURN(std::unique_ptr<LogStore> store,
+                         LogStore::Open(path, options.store));
+  DSLog log;
+  log.arrays_ = store->arrays();
+  for (size_t i = 0; i < store->segments().size(); ++i) {
+    const LogStore::SegmentInfo& seg = store->segments()[i];
+    Edge edge;
+    edge.in_arr = seg.in_arr;
+    edge.out_arr = seg.out_arr;
+    edge.op_name = seg.op_name;
+    edge.segment = static_cast<int32_t>(i);
+    log.edges_[EdgeKey(seg.in_arr, seg.out_arr)] = std::move(edge);
+  }
+  if (!store->predictor_state().empty())
+    DSLOG_RETURN_IF_ERROR(
+        log.predictor_.RestoreState(store->predictor_state()));
+  log.store_ = std::move(store);
+  return log;
+}
+
+Status DSLog::SaveLogStore(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer, LogStoreWriter::Create(path));
+  for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
+  for (const auto& [key, edge] : edges_)
+    DSLOG_RETURN_IF_ERROR(writer.AppendRawSegment(
+        edge.in_arr, edge.out_arr, edge.op_name,
+        EdgeSegmentBytes(store_.get(), edge.segment, edge.table)));
+  writer.SetPredictorState(predictor_.SerializeState());
+  return writer.Finish();
+}
+
+Status DSLog::AppendLogStore(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer,
+                         LogStoreWriter::OpenForAppend(path));
+  for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
+  for (const auto& [key, edge] : edges_) {
+    std::string bytes =
+        EdgeSegmentBytes(store_.get(), edge.segment, edge.table);
+    // Skip only byte-identical segments: a re-registered edge whose
+    // lineage changed must be re-persisted, not silently kept stale.
+    const LogStore::SegmentInfo* existing =
+        writer.FindSegment(edge.in_arr, edge.out_arr);
+    if (existing != nullptr && existing->length == bytes.size() &&
+        existing->checksum == Hash64(bytes))
+      continue;
+    DSLOG_RETURN_IF_ERROR(writer.AppendRawSegment(
+        edge.in_arr, edge.out_arr, edge.op_name, bytes));
+  }
+  writer.SetPredictorState(predictor_.SerializeState());
+  return writer.Finish();
+}
+
+std::shared_ptr<const LogStore> DSLog::log_store() const {
+  std::shared_lock lock(mu_);
+  return store_;
+}
+
+Status ConvertLegacyDirToLogStore(const std::string& dir,
+                                  const std::string& path) {
+  DSLOG_ASSIGN_OR_RETURN(std::string catalog,
+                         ReadFileToString(dir + "/catalog.bin"));
+  std::map<std::string, std::vector<int64_t>> arrays;
+  std::vector<LegacyEdgeRef> refs;
+  DSLOG_RETURN_IF_ERROR(ParseLegacyCatalog(catalog, &arrays, &refs));
+  DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer, LogStoreWriter::Create(path));
+  for (const auto& [name, shape] : arrays) writer.PutArray(name, shape);
+  for (const LegacyEdgeRef& ref : refs) {
+    // Legacy edge blobs are already ProvRC-GZip — shuttle the bytes as-is.
+    DSLOG_ASSIGN_OR_RETURN(std::string data,
+                           ReadFileToString(dir + "/" + ref.file));
+    DSLOG_RETURN_IF_ERROR(
+        writer.AppendRawSegment(ref.in_arr, ref.out_arr, ref.op_name, data));
+  }
+  auto predictor_blob = ReadFileToString(dir + "/" + kPredictorFile);
+  if (predictor_blob.ok())
+    writer.SetPredictorState(std::move(predictor_blob).ValueOrDie());
+  return writer.Finish();
 }
 
 }  // namespace dslog

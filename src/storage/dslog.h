@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -26,6 +27,7 @@
 #include "query/box.h"
 #include "query/query_engine.h"
 #include "query/theta_join.h"
+#include "storage/logstore.h"
 #include "storage/signatures.h"
 
 namespace dslog {
@@ -52,6 +54,12 @@ struct DSLogOptions {
   /// paper stores "either or both versions depending on the distribution of
   /// forward and reverse queries"; this flag is the "both" configuration.
   bool materialize_forward = false;
+};
+
+/// Configuration of DSLog::OpenInSitu.
+struct InSituOptions {
+  /// Mapping, checksum, and decode-cache behaviour of the backing LogStore.
+  LogStoreOptions store;
 };
 
 /// The DSLog storage manager.
@@ -101,21 +109,56 @@ class DSLog {
 
   /// Direct access to a stored edge's compressed table (bench/test hook).
   /// The pointer is only stable while no writer runs; callers that overlap
-  /// writers should treat it as a presence check.
+  /// writers should treat it as a presence check. On an in-situ catalog
+  /// this decodes the edge's segment on first call and keeps the decoded
+  /// table pinned for the catalog's lifetime (nullptr if the segment is
+  /// corrupt).
   const CompressedTable* FindEdge(const std::string& in_arr,
                                   const std::string& out_arr) const;
 
   /// Total serialized size of all stored lineage tables (ProvRC-GZip).
+  /// In-situ edges report their on-disk segment length (no decode).
   int64_t StorageFootprintBytes() const;
 
   /// Snapshot of the reuse-predictor counters. Returned by value: a
   /// reference would race concurrent RegisterOperation updates.
   ReuseStats reuse_stats() const;
 
-  /// Persists the catalog (arrays + compressed tables) to a directory.
+  /// Persists the catalog (arrays + compressed tables + reuse-predictor
+  /// state) to a directory, one gzip blob per edge. Every file is written
+  /// atomically (temp + rename), so a crash mid-save never leaves a torn
+  /// file; catalog.bin is committed last.
   Status Save(const std::string& dir) const;
-  /// Restores a catalog persisted by Save.
+  /// Restores a catalog persisted by Save. Reuse-predictor state is
+  /// restored when the directory carries it (directories written before
+  /// predictor persistence load with an empty predictor).
   Status Load(const std::string& dir);
+
+  // ---------------------------------------------- single-file LogStore --
+
+  /// Opens a LogStore file for in-situ querying: the file is mapped, the
+  /// edge index and reuse-predictor state are restored, and edge tables
+  /// are decompressed lazily — a path query only decodes the segments it
+  /// traverses (LRU-cached, size-bounded). The catalog stays writable:
+  /// RegisterOperation adds ordinary in-memory edges next to the mapped
+  /// ones (persist them with AppendLogStore). materialize_forward is not
+  /// applied to mapped edges; forward hops run directly on the backward
+  /// representation.
+  static Result<DSLog> OpenInSitu(const std::string& path,
+                                  const InSituOptions& options = {});
+
+  /// Writes the catalog as a single LogStore file (atomic: temp + rename).
+  /// In-situ edges are shuttled as raw segments without re-compression.
+  Status SaveLogStore(const std::string& path) const;
+
+  /// Incremental persistence: appends edges not yet present in the file at
+  /// `path` (plus new arrays and the current predictor state) through
+  /// LogStoreWriter::OpenForAppend. Existing segments are not rewritten.
+  Status AppendLogStore(const std::string& path) const;
+
+  /// The backing LogStore of an in-situ catalog (decode/cache stats), or
+  /// nullptr for a fully in-memory catalog.
+  std::shared_ptr<const LogStore> log_store() const;
 
  private:
   struct Edge {
@@ -126,17 +169,27 @@ class DSLog {
     /// Forward representation (§IV.C), present when
     /// options_.materialize_forward is set.
     std::shared_ptr<const ForwardTable> forward;
+    /// LogStore segment id backing this edge, or -1 when the table is
+    /// resident in `table`. Lazy edges keep `table` empty and resolve
+    /// through store_ on first touch.
+    int32_t segment = -1;
   };
 
   static std::string EdgeKey(const std::string& in_arr,
                              const std::string& out_arr) {
-    return in_arr + "\x1f" + out_arr;
+    return EdgeStoreKey(in_arr, out_arr);
   }
 
   /// ProvQuery body; caller must hold mu_ (shared or exclusive).
   Result<BoxTable> ProvQueryLocked(const std::vector<std::string>& path,
                                    const BoxTable& query,
                                    const QueryOptions& options) const;
+
+  /// The edge's decoded table, as an owning pointer: resident edges alias
+  /// into the catalog (non-owning), lazy edges decode through the store's
+  /// cache. Caller must hold mu_ (shared suffices).
+  Result<std::shared_ptr<const CompressedTable>> ResolveEdgeTable(
+      const Edge& edge) const;
 
   DSLogOptions options_;
   /// Guards every member below. Readers (queries, const accessors) hold it
@@ -147,7 +200,24 @@ class DSLog {
   std::map<std::string, std::vector<int64_t>> arrays_;
   std::map<std::string, Edge> edges_;
   ReusePredictor predictor_;
+  /// Backing store of an in-situ catalog (nullptr otherwise). Const: the
+  /// store's decode cache synchronizes internally, so readers holding mu_
+  /// shared can decode concurrently.
+  std::shared_ptr<const LogStore> store_;
+
+  /// Decoded tables handed out by FindEdge on lazy edges, pinned for the
+  /// catalog's lifetime so the returned raw pointers stay valid. Keyed by
+  /// segment id: repeat calls reuse one pin (bounded by segment count).
+  mutable std::mutex findedge_pins_mu_;
+  mutable std::map<int32_t, std::shared_ptr<const CompressedTable>>
+      findedge_pins_;
 };
+
+/// Rewrites a legacy Save() directory as a single LogStore file at `path`
+/// (arrays, every edge blob shuttled without recompression, predictor
+/// state). The directory is left untouched.
+Status ConvertLegacyDirToLogStore(const std::string& dir,
+                                  const std::string& path);
 
 }  // namespace dslog
 

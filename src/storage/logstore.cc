@@ -1,0 +1,348 @@
+#include "storage/logstore.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/io.h"
+#include "compress/varint.h"
+#include "provrc/serialize.h"
+
+namespace dslog {
+
+namespace {
+
+constexpr char kHeaderMagic[8] = {'D', 'S', 'L', 'S', 'T', 'O', 'R', '1'};
+constexpr char kTrailerMagic[4] = {'D', 'S', 'L', 'F'};
+constexpr size_t kHeaderSize = sizeof(kHeaderMagic);
+// fixed64 footer_offset + fixed64 footer checksum + trailer magic.
+constexpr size_t kTrailerSize = 8 + 8 + sizeof(kTrailerMagic);
+constexpr uint32_t kFormatVersion = 1;
+
+struct ParsedFooter {
+  uint32_t format_version = 0;
+  uint64_t footer_offset = 0;
+  std::map<std::string, std::vector<int64_t>> arrays;
+  std::vector<LogStore::SegmentInfo> segments;
+  std::string predictor_state;
+};
+
+/// Validates header + trailer of a whole-file view and decodes the footer.
+Status ParseFile(std::string_view file, const std::string& path,
+                 ParsedFooter* out) {
+  if (file.size() < kHeaderSize + kTrailerSize)
+    return Status::Corruption("logstore too short: " + path);
+  if (std::memcmp(file.data(), kHeaderMagic, kHeaderSize) != 0)
+    return Status::Corruption("logstore bad header magic: " + path);
+  size_t tpos = file.size() - kTrailerSize;
+  uint64_t footer_offset, footer_hash;
+  if (!GetFixed64(file, &tpos, &footer_offset) ||
+      !GetFixed64(file, &tpos, &footer_hash) ||
+      std::memcmp(file.data() + tpos, kTrailerMagic, sizeof(kTrailerMagic)) !=
+          0)
+    return Status::Corruption("logstore bad trailer: " + path);
+  if (footer_offset < kHeaderSize ||
+      footer_offset > file.size() - kTrailerSize)
+    return Status::Corruption("logstore footer offset out of range: " + path);
+  std::string_view footer = file.substr(
+      static_cast<size_t>(footer_offset),
+      file.size() - kTrailerSize - static_cast<size_t>(footer_offset));
+  if (Hash64(footer) != footer_hash)
+    return Status::Corruption("logstore footer checksum mismatch: " + path);
+
+  out->footer_offset = footer_offset;
+  size_t pos = 0;
+  uint64_t version;
+  if (!GetVarint64(footer, &pos, &version) || version == 0 ||
+      version > kFormatVersion)
+    return Status::Corruption("logstore unsupported format version: " + path);
+  out->format_version = static_cast<uint32_t>(version);
+
+  uint64_t num_arrays;
+  if (!GetVarint64(footer, &pos, &num_arrays))
+    return Status::Corruption("logstore footer: array count");
+  for (uint64_t i = 0; i < num_arrays; ++i) {
+    std::string name;
+    uint64_t ndim;
+    if (!GetLengthPrefixed(footer, &pos, &name) ||
+        !GetVarint64(footer, &pos, &ndim) || ndim > 64)
+      return Status::Corruption("logstore footer: array entry");
+    std::vector<int64_t> shape(ndim);
+    for (auto& d : shape) {
+      uint64_t v;
+      if (!GetVarint64(footer, &pos, &v))
+        return Status::Corruption("logstore footer: array shape");
+      d = static_cast<int64_t>(v);
+    }
+    out->arrays[std::move(name)] = std::move(shape);
+  }
+
+  uint64_t num_segments;
+  if (!GetVarint64(footer, &pos, &num_segments))
+    return Status::Corruption("logstore footer: segment count");
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    LogStore::SegmentInfo seg;
+    if (!GetLengthPrefixed(footer, &pos, &seg.in_arr) ||
+        !GetLengthPrefixed(footer, &pos, &seg.out_arr) ||
+        !GetLengthPrefixed(footer, &pos, &seg.op_name) ||
+        !GetVarint64(footer, &pos, &seg.offset) ||
+        !GetVarint64(footer, &pos, &seg.length) ||
+        !GetFixed64(footer, &pos, &seg.checksum))
+      return Status::Corruption("logstore footer: segment entry");
+    if (seg.offset < kHeaderSize || seg.offset > footer_offset ||
+        seg.length > footer_offset - seg.offset)
+      return Status::Corruption("logstore footer: segment out of bounds: " +
+                                seg.in_arr + " -> " + seg.out_arr);
+    out->segments.push_back(std::move(seg));
+  }
+
+  if (!GetLengthPrefixed(footer, &pos, &out->predictor_state))
+    return Status::Corruption("logstore footer: predictor state");
+  return Status::OK();
+}
+
+std::string EncodeFooter(
+    const std::map<std::string, std::vector<int64_t>>& arrays,
+    const std::vector<LogStore::SegmentInfo>& segments,
+    const std::string& predictor_state) {
+  std::string footer;
+  PutVarint64(&footer, kFormatVersion);
+  PutVarint64(&footer, arrays.size());
+  for (const auto& [name, shape] : arrays) {
+    PutLengthPrefixed(&footer, name);
+    PutVarint64(&footer, shape.size());
+    for (int64_t d : shape) PutVarint64(&footer, static_cast<uint64_t>(d));
+  }
+  PutVarint64(&footer, segments.size());
+  for (const LogStore::SegmentInfo& seg : segments) {
+    PutLengthPrefixed(&footer, seg.in_arr);
+    PutLengthPrefixed(&footer, seg.out_arr);
+    PutLengthPrefixed(&footer, seg.op_name);
+    PutVarint64(&footer, seg.offset);
+    PutVarint64(&footer, seg.length);
+    PutFixed64(&footer, seg.checksum);
+  }
+  PutLengthPrefixed(&footer, predictor_state);
+  return footer;
+}
+
+std::string EncodeTrailer(uint64_t footer_offset, const std::string& footer) {
+  std::string trailer;
+  PutFixed64(&trailer, footer_offset);
+  PutFixed64(&trailer, Hash64(footer));
+  trailer.append(kTrailerMagic, sizeof(kTrailerMagic));
+  return trailer;
+}
+
+/// Resident-memory estimate of a decoded table (cache accounting).
+int64_t ApproxDecodedBytes(const CompressedTable& table) {
+  return 64 + table.num_rows() *
+                  (static_cast<int64_t>(table.out_ndim()) * sizeof(Interval) +
+                   static_cast<int64_t>(table.in_ndim()) * sizeof(InputCell));
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- reader --
+
+Result<std::unique_ptr<LogStore>> LogStore::Open(
+    const std::string& path, const LogStoreOptions& options) {
+  DSLOG_ASSIGN_OR_RETURN(MmapFile file,
+                         MmapFile::Open(path, options.use_mmap));
+  ParsedFooter footer;
+  DSLOG_RETURN_IF_ERROR(ParseFile(file.view(), path, &footer));
+  std::unique_ptr<LogStore> store(new LogStore());
+  store->path_ = path;
+  store->file_ = std::move(file);
+  store->options_ = options;
+  store->format_version_ = footer.format_version;
+  store->arrays_ = std::move(footer.arrays);
+  store->segments_ = std::move(footer.segments);
+  store->predictor_state_ = std::move(footer.predictor_state);
+  store->touched_.assign(store->segments_.size(), 0);
+  return store;
+}
+
+Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
+    size_t id) const {
+  if (id >= segments_.size())
+    return Status::InvalidArgument("logstore segment id out of range");
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++stats_.cache_hits;
+      return it->second.table;
+    }
+    ++stats_.cache_misses;
+  }
+
+  // Decode outside the cache lock so cold segments decompress in parallel.
+  const SegmentInfo& seg = segments_[id];
+  std::string_view bytes = SegmentView(id);
+  if (options_.verify_checksums && Hash64(bytes) != seg.checksum)
+    return Status::Corruption("logstore segment checksum mismatch: " +
+                              seg.in_arr + " -> " + seg.out_arr + " in " +
+                              path_);
+  auto decoded = DeserializeCompressedTableGzip(bytes);
+  if (!decoded.ok())
+    return decoded.status().WithMessagePrefix(
+        "logstore segment " + seg.in_arr + " -> " + seg.out_arr + ": ");
+  auto table = std::make_shared<const CompressedTable>(
+      std::move(decoded).ValueOrDie());
+  const int64_t charge = ApproxDecodedBytes(*table);
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  ++stats_.decode_count;
+  stats_.bytes_decompressed += static_cast<int64_t>(bytes.size());
+  if (!touched_[id]) {
+    touched_[id] = 1;
+    ++stats_.segments_touched;
+  }
+  auto it = cache_.find(id);
+  if (it != cache_.end()) return it->second.table;  // lost the decode race
+  lru_.push_front(id);
+  cache_[id] = CacheEntry{table, charge, lru_.begin()};
+  cache_bytes_ += charge;
+  // Evict past the budget, never the entry just inserted (a single table
+  // larger than the whole budget must still be servable).
+  while (cache_bytes_ > options_.cache_capacity_bytes && lru_.size() > 1) {
+    size_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = cache_.find(victim);
+    cache_bytes_ -= vit->second.charge;
+    cache_.erase(vit);
+    ++stats_.evictions;
+  }
+  return table;
+}
+
+LogStoreStats LogStore::stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  LogStoreStats out = stats_;
+  out.segment_count = static_cast<int64_t>(segments_.size());
+  return out;
+}
+
+// ----------------------------------------------------------------- writer --
+
+Result<LogStoreWriter> LogStoreWriter::Create(std::string path) {
+  LogStoreWriter writer;
+  writer.path_ = std::move(path);
+  writer.base_offset_ = kHeaderSize;
+  return writer;
+}
+
+Result<LogStoreWriter> LogStoreWriter::OpenForAppend(std::string path) {
+  DSLOG_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  ParsedFooter footer;
+  DSLOG_RETURN_IF_ERROR(ParseFile(file.view(), path, &footer));
+  LogStoreWriter writer;
+  writer.appending_ = true;
+  writer.path_ = std::move(path);
+  writer.base_offset_ = footer.footer_offset;
+  writer.old_file_size_ = file.size();
+  writer.arrays_ = std::move(footer.arrays);
+  writer.segments_ = std::move(footer.segments);
+  writer.predictor_state_ = std::move(footer.predictor_state);
+  for (size_t i = 0; i < writer.segments_.size(); ++i)
+    writer.edge_index_[EdgeStoreKey(writer.segments_[i].in_arr,
+                               writer.segments_[i].out_arr)] = i;
+  return writer;
+}
+
+void LogStoreWriter::PutArray(const std::string& name,
+                              std::vector<int64_t> shape) {
+  arrays_[name] = std::move(shape);
+}
+
+bool LogStoreWriter::HasEdge(const std::string& in_arr,
+                             const std::string& out_arr) const {
+  return edge_index_.count(EdgeStoreKey(in_arr, out_arr)) > 0;
+}
+
+const LogStore::SegmentInfo* LogStoreWriter::FindSegment(
+    const std::string& in_arr, const std::string& out_arr) const {
+  auto it = edge_index_.find(EdgeStoreKey(in_arr, out_arr));
+  return it == edge_index_.end() ? nullptr : &segments_[it->second];
+}
+
+Status LogStoreWriter::AppendEdge(const std::string& in_arr,
+                                  const std::string& out_arr,
+                                  const std::string& op_name,
+                                  const CompressedTable& table) {
+  return AppendRawSegment(in_arr, out_arr, op_name,
+                          SerializeCompressedTableGzip(table));
+}
+
+Status LogStoreWriter::AppendRawSegment(const std::string& in_arr,
+                                        const std::string& out_arr,
+                                        const std::string& op_name,
+                                        std::string_view gzip_bytes) {
+  if (finished_) return Status::Internal("logstore writer already finished");
+  LogStore::SegmentInfo seg;
+  seg.in_arr = in_arr;
+  seg.out_arr = out_arr;
+  seg.op_name = op_name;
+  seg.offset = base_offset_ + new_bytes_.size();
+  seg.length = gzip_bytes.size();
+  seg.checksum = Hash64(gzip_bytes);
+  new_bytes_.append(gzip_bytes);
+  auto [it, inserted] =
+      edge_index_.try_emplace(EdgeStoreKey(in_arr, out_arr), segments_.size());
+  if (inserted) {
+    segments_.push_back(std::move(seg));
+  } else {
+    // Replacement: newest segment wins; the old bytes become dead space
+    // (reclaimed by a future Create()-based rewrite).
+    segments_[it->second] = std::move(seg);
+  }
+  return Status::OK();
+}
+
+void LogStoreWriter::SetPredictorState(std::string blob) {
+  predictor_state_ = std::move(blob);
+}
+
+Status LogStoreWriter::Finish() {
+  if (finished_) return Status::Internal("logstore writer already finished");
+  finished_ = true;
+  const uint64_t footer_offset = base_offset_ + new_bytes_.size();
+  std::string footer = EncodeFooter(arrays_, segments_, predictor_state_);
+  std::string trailer = EncodeTrailer(footer_offset, footer);
+
+  if (!appending_) {
+    std::string file;
+    file.reserve(kHeaderSize + new_bytes_.size() + footer.size() +
+                 trailer.size());
+    file.append(kHeaderMagic, kHeaderSize);
+    file.append(new_bytes_);
+    file.append(footer);
+    file.append(trailer);
+    return WriteFileAtomic(path_, file);
+  }
+
+  std::fstream out(path_,
+                   std::ios::in | std::ios::out | std::ios::binary);
+  if (!out) return Status::IOError("cannot open for append: " + path_);
+  out.seekp(static_cast<std::streamoff>(base_offset_));
+  out.write(new_bytes_.data(),
+            static_cast<std::streamsize>(new_bytes_.size()));
+  out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  out.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  out.flush();
+  if (!out) return Status::IOError("short append: " + path_);
+  out.close();
+  const uint64_t new_size = footer_offset + footer.size() + trailer.size();
+  if (new_size < old_file_size_) {
+    std::error_code ec;
+    std::filesystem::resize_file(path_, new_size, ec);
+    if (ec) return Status::IOError("truncate failed: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace dslog

@@ -1,0 +1,228 @@
+// LogStore: the single-file, segmented on-disk catalog format behind
+// DSLog::OpenInSitu. Layout:
+//
+//   +------------------+ offset 0
+//   | header  "DSLSTOR1"|  8 bytes
+//   +------------------+ offset 8
+//   | segment 0        |  one ProvRC-GZip-serialized CompressedTable
+//   | segment 1        |  per stored edge, back to back
+//   | ...              |
+//   +------------------+ footer_offset
+//   | footer           |  varint-coded: format version, array catalog,
+//   |                  |  edge index (names, op, offset, length, FNV-64
+//   |                  |  checksum per segment), reuse-predictor blob
+//   +------------------+ file_size - 20
+//   | trailer          |  fixed64 footer_offset | fixed64 footer checksum
+//   |                  |  | magic "DSLF"
+//   +------------------+ file_size
+//
+// A reader maps the file once (mmap, with a whole-file read fallback) and
+// parses only the footer; segment bytes are decompressed lazily on first
+// touch through a size-bounded LRU cache of decoded tables, so a path
+// query pays only for the edges it traverses. Segment checksums are
+// verified at decode time (and the footer checksum at open), turning any
+// flipped byte or truncation into Status::Corruption instead of UB.
+//
+// Thread-safety: LogStore is safe for concurrent readers; the decode cache
+// has its own mutex and decompression runs outside it (two threads racing
+// on the same cold segment may both decode it — both results are valid and
+// one wins the cache slot).
+//
+// Writing goes through LogStoreWriter: Create() builds a fresh file and
+// commits it atomically (temp file + rename) in Finish(); OpenForAppend()
+// extends an existing file in place by overwriting its footer with new
+// segments and writing a fresh footer/trailer — a crash mid-append leaves
+// an invalid trailer, which Open() reports as Corruption (detected, never
+// silently torn), while all previously committed segment bytes remain
+// intact in the file.
+
+#ifndef DSLOG_STORAGE_LOGSTORE_H_
+#define DSLOG_STORAGE_LOGSTORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "provrc/compressed_table.h"
+
+namespace dslog {
+
+/// Canonical map key for an edge in_arr -> out_arr, shared by the DSLog
+/// catalog, the legacy directory format, and the LogStoreWriter index —
+/// one scheme, so dedup/replace decisions always agree.
+inline std::string EdgeStoreKey(const std::string& in_arr,
+                                const std::string& out_arr) {
+  return in_arr + "\x1f" + out_arr;
+}
+
+struct LogStoreOptions {
+  /// Budget for decoded CompressedTables kept resident (approximate decoded
+  /// bytes). Least-recently-used segments are evicted past it; in-flight
+  /// queries keep their pinned tables alive regardless.
+  int64_t cache_capacity_bytes = 64ll << 20;
+  /// Verify the per-segment FNV-64 checksum before decoding a segment.
+  bool verify_checksums = true;
+  /// Map the file (the in-situ fast path). false forces the whole-file
+  /// read fallback — same behaviour, heap-backed.
+  bool use_mmap = true;
+};
+
+/// Decode/cache counters (test + bench observability).
+struct LogStoreStats {
+  int64_t segment_count = 0;
+  /// Distinct segments decoded at least once since open.
+  int64_t segments_touched = 0;
+  /// Total decode events (>= segments_touched when eviction re-decodes).
+  int64_t decode_count = 0;
+  /// Compressed bytes consumed by decode events.
+  int64_t bytes_decompressed = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t evictions = 0;
+};
+
+/// Read side: a mapped log file serving lazily-decoded edge tables.
+class LogStore {
+ public:
+  struct SegmentInfo {
+    std::string in_arr;
+    std::string out_arr;
+    std::string op_name;
+    uint64_t offset = 0;  // absolute file offset of the segment bytes
+    uint64_t length = 0;
+    uint64_t checksum = 0;  // FNV-64 over the segment bytes
+  };
+
+  /// Maps `path`, validates header/trailer/footer (footer checksum
+  /// included), and indexes the segments. No segment is decompressed.
+  static Result<std::unique_ptr<LogStore>> Open(
+      const std::string& path, const LogStoreOptions& options = {});
+
+  const std::map<std::string, std::vector<int64_t>>& arrays() const {
+    return arrays_;
+  }
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+  /// Serialized ReusePredictor state ("" when the file carries none).
+  const std::string& predictor_state() const { return predictor_state_; }
+
+  /// The decoded table of segment `id`, decompressing on first touch and
+  /// serving repeats from the LRU cache. The returned shared_ptr pins the
+  /// table across evictions for as long as the caller holds it.
+  Result<std::shared_ptr<const CompressedTable>> Table(size_t id) const;
+
+  /// Raw (still-compressed) bytes of segment `id` — zero-copy view into
+  /// the mapping. Lets converters/appenders shuttle segments without a
+  /// decompress/recompress round trip.
+  std::string_view SegmentView(size_t id) const {
+    const SegmentInfo& seg = segments_[id];
+    return file_.view(static_cast<size_t>(seg.offset),
+                      static_cast<size_t>(seg.length));
+  }
+
+  LogStoreStats stats() const;
+
+  const std::string& path() const { return path_; }
+  int64_t file_size() const { return static_cast<int64_t>(file_.size()); }
+  uint32_t format_version() const { return format_version_; }
+  bool mapped() const { return file_.mapped(); }
+
+ private:
+  LogStore() = default;
+
+  struct CacheEntry {
+    std::shared_ptr<const CompressedTable> table;
+    int64_t charge = 0;
+    std::list<size_t>::iterator lru_it;
+  };
+
+  std::string path_;
+  MmapFile file_;
+  LogStoreOptions options_;
+  uint32_t format_version_ = 0;
+  std::map<std::string, std::vector<int64_t>> arrays_;
+  std::vector<SegmentInfo> segments_;
+  std::string predictor_state_;
+
+  mutable std::mutex cache_mu_;  // guards everything below
+  mutable std::unordered_map<size_t, CacheEntry> cache_;
+  mutable std::list<size_t> lru_;  // front = most recent
+  mutable int64_t cache_bytes_ = 0;
+  mutable std::vector<uint8_t> touched_;  // per-segment decoded-once flag
+  mutable LogStoreStats stats_;
+};
+
+/// Write side: builds or extends a LogStore file.
+class LogStoreWriter {
+ public:
+  /// Starts a fresh store. Nothing exists at `path` until Finish(), which
+  /// commits the whole file atomically (temp + rename).
+  static Result<LogStoreWriter> Create(std::string path);
+
+  /// Opens an existing store for incremental append: prior arrays, edges,
+  /// and predictor state are retained; new segments are written over the
+  /// old footer and a fresh footer/trailer seals the file in Finish().
+  static Result<LogStoreWriter> OpenForAppend(std::string path);
+
+  /// Registers (or re-registers, idempotently) an array.
+  void PutArray(const std::string& name, std::vector<int64_t> shape);
+
+  /// True when an edge in_arr -> out_arr is already indexed (so appenders
+  /// can skip segments that are already on disk).
+  bool HasEdge(const std::string& in_arr, const std::string& out_arr) const;
+
+  /// The indexed segment for an edge, or nullptr. Appenders compare its
+  /// checksum/length against the candidate bytes to detect (and persist)
+  /// re-registered edges whose lineage changed.
+  const LogStore::SegmentInfo* FindSegment(const std::string& in_arr,
+                                           const std::string& out_arr) const;
+
+  /// Serializes `table` (ProvRC-GZip) and appends it as the segment for
+  /// edge in_arr -> out_arr, replacing any previous index entry for the
+  /// same edge (the older segment's bytes become dead space).
+  Status AppendEdge(const std::string& in_arr, const std::string& out_arr,
+                    const std::string& op_name, const CompressedTable& table);
+
+  /// Same, but with pre-serialized ProvRC-GZip bytes (e.g. another store's
+  /// SegmentView or a legacy edge file) — no decompress/recompress.
+  Status AppendRawSegment(const std::string& in_arr,
+                          const std::string& out_arr,
+                          const std::string& op_name,
+                          std::string_view gzip_bytes);
+
+  /// Attaches the serialized reuse-predictor state ("" to clear).
+  void SetPredictorState(std::string blob);
+
+  /// Writes footer + trailer and commits. The writer is spent afterwards.
+  Status Finish();
+
+  int64_t segment_count() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+
+ private:
+  LogStoreWriter() = default;
+
+  bool appending_ = false;
+  std::string path_;
+  uint64_t base_offset_ = 0;   // file offset where new_bytes_ lands
+  uint64_t old_file_size_ = 0; // append mode: size before reopening
+  std::string new_bytes_;      // segments appended since open
+  std::map<std::string, std::vector<int64_t>> arrays_;
+  std::vector<LogStore::SegmentInfo> segments_;
+  std::map<std::string, size_t> edge_index_;  // EdgeKey -> segments_ index
+  std::string predictor_state_;
+  bool finished_ = false;
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_STORAGE_LOGSTORE_H_

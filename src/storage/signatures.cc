@@ -1,10 +1,179 @@
 #include "storage/signatures.h"
 
+#include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "common/strings.h"
+#include "compress/varint.h"
+#include "provrc/serialize.h"
 
 namespace dslog {
+
+namespace {
+
+// Predictor-state blob format (versioned; see SerializeState).
+constexpr char kStateMagic[4] = {'R', 'P', 'S', '1'};
+
+void PutTable(std::string* dst, const CompressedTable& table) {
+  PutLengthPrefixed(dst, SerializeCompressedTable(table));
+}
+
+Result<CompressedTable> GetTable(std::string_view src, size_t* pos) {
+  std::string bytes;
+  if (!GetLengthPrefixed(src, pos, &bytes))
+    return Status::Corruption("predictor state: truncated table");
+  return DeserializeCompressedTable(bytes);
+}
+
+void PutShape(std::string* dst, const std::vector<int64_t>& shape) {
+  PutVarint64(dst, shape.size());
+  for (int64_t d : shape) PutVarint64(dst, static_cast<uint64_t>(d));
+}
+
+bool GetShape(std::string_view src, size_t* pos, std::vector<int64_t>* out) {
+  uint64_t n;
+  if (!GetVarint64(src, pos, &n) || n > 64) return false;
+  out->resize(n);
+  for (auto& d : *out) {
+    uint64_t v;
+    if (!GetVarint64(src, pos, &v)) return false;
+    d = static_cast<int64_t>(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ReusePredictor::SerializeState() const {
+  std::string out;
+  out.append(kStateMagic, 4);
+  // Counters, in declaration order.
+  PutVarint64(&out, static_cast<uint64_t>(stats_.base_hits));
+  PutVarint64(&out, static_cast<uint64_t>(stats_.dim_hits));
+  PutVarint64(&out, static_cast<uint64_t>(stats_.gen_hits));
+  PutVarint64(&out, static_cast<uint64_t>(stats_.dim_promotions));
+  PutVarint64(&out, static_cast<uint64_t>(stats_.gen_promotions));
+  PutVarint64(&out, static_cast<uint64_t>(stats_.dim_rejections));
+  PutVarint64(&out, static_cast<uint64_t>(stats_.gen_rejections));
+  PutVarint64(&out, static_cast<uint64_t>(stats_.mispredictions));
+
+  PutVarint64(&out, base_sig_.size());
+  for (const auto& [key, tables] : base_sig_) {
+    PutLengthPrefixed(&out, key);
+    PutVarint64(&out, tables.size());
+    for (const CompressedTable& t : tables) PutTable(&out, t);
+  }
+
+  PutVarint64(&out, dim_sig_.size());
+  for (const auto& [key, entry] : dim_sig_) {
+    PutLengthPrefixed(&out, key);
+    out.push_back(static_cast<char>(entry.state));
+    PutVarint64(&out, entry.tables.size());
+    for (const CompressedTable& t : entry.tables) PutTable(&out, t);
+  }
+
+  PutVarint64(&out, gen_sig_.size());
+  for (const auto& [key, entry] : gen_sig_) {
+    PutLengthPrefixed(&out, key);
+    out.push_back(static_cast<char>(entry.state));
+    PutVarint64(&out, entry.tables.size());
+    for (const GeneralizedTable& t : entry.tables) t.AppendTo(&out);
+    PutVarint64(&out, entry.first_shapes.size());
+    for (const auto& shape : entry.first_shapes) PutShape(&out, shape);
+    PutShape(&out, entry.first_out_shape);
+  }
+  return out;
+}
+
+Status ReusePredictor::RestoreState(std::string_view blob) {
+  if (blob.size() < 4 || std::memcmp(blob.data(), kStateMagic, 4) != 0)
+    return Status::Corruption("predictor state: bad magic");
+  size_t pos = 4;
+  ReusePredictor restored;
+  int64_t* counters[] = {
+      &restored.stats_.base_hits,      &restored.stats_.dim_hits,
+      &restored.stats_.gen_hits,       &restored.stats_.dim_promotions,
+      &restored.stats_.gen_promotions, &restored.stats_.dim_rejections,
+      &restored.stats_.gen_rejections, &restored.stats_.mispredictions};
+  for (int64_t* counter : counters) {
+    uint64_t v;
+    if (!GetVarint64(blob, &pos, &v))
+      return Status::Corruption("predictor state: truncated counters");
+    *counter = static_cast<int64_t>(v);
+  }
+
+  auto get_state = [&](State* out) {
+    if (pos >= blob.size()) return false;
+    uint8_t raw = static_cast<uint8_t>(blob[pos++]);
+    if (raw > static_cast<uint8_t>(State::kRejected)) return false;
+    *out = static_cast<State>(raw);
+    return true;
+  };
+
+  uint64_t num_base;
+  if (!GetVarint64(blob, &pos, &num_base))
+    return Status::Corruption("predictor state: base count");
+  for (uint64_t i = 0; i < num_base; ++i) {
+    std::string key;
+    uint64_t num_tables;
+    if (!GetLengthPrefixed(blob, &pos, &key) || !GetVarint64(blob, &pos, &num_tables))
+      return Status::Corruption("predictor state: base entry");
+    std::vector<CompressedTable> tables;
+    for (uint64_t t = 0; t < num_tables; ++t) {
+      DSLOG_ASSIGN_OR_RETURN(CompressedTable table, GetTable(blob, &pos));
+      tables.push_back(std::move(table));
+    }
+    restored.base_sig_[std::move(key)] = std::move(tables);
+  }
+
+  uint64_t num_dim;
+  if (!GetVarint64(blob, &pos, &num_dim))
+    return Status::Corruption("predictor state: dim count");
+  for (uint64_t i = 0; i < num_dim; ++i) {
+    std::string key;
+    DimEntry entry;
+    uint64_t num_tables;
+    if (!GetLengthPrefixed(blob, &pos, &key) || !get_state(&entry.state) ||
+        !GetVarint64(blob, &pos, &num_tables))
+      return Status::Corruption("predictor state: dim entry");
+    for (uint64_t t = 0; t < num_tables; ++t) {
+      DSLOG_ASSIGN_OR_RETURN(CompressedTable table, GetTable(blob, &pos));
+      entry.tables.push_back(std::move(table));
+    }
+    restored.dim_sig_[std::move(key)] = std::move(entry);
+  }
+
+  uint64_t num_gen;
+  if (!GetVarint64(blob, &pos, &num_gen))
+    return Status::Corruption("predictor state: gen count");
+  for (uint64_t i = 0; i < num_gen; ++i) {
+    std::string key;
+    GenEntry entry;
+    uint64_t num_tables;
+    if (!GetLengthPrefixed(blob, &pos, &key) || !get_state(&entry.state) ||
+        !GetVarint64(blob, &pos, &num_tables))
+      return Status::Corruption("predictor state: gen entry");
+    for (uint64_t t = 0; t < num_tables; ++t) {
+      DSLOG_ASSIGN_OR_RETURN(GeneralizedTable table,
+                             GeneralizedTable::ParseFrom(blob, &pos));
+      entry.tables.push_back(std::move(table));
+    }
+    uint64_t num_shapes;
+    if (!GetVarint64(blob, &pos, &num_shapes))
+      return Status::Corruption("predictor state: gen shapes");
+    entry.first_shapes.resize(num_shapes);
+    for (auto& shape : entry.first_shapes)
+      if (!GetShape(blob, &pos, &shape))
+        return Status::Corruption("predictor state: gen shape");
+    if (!GetShape(blob, &pos, &entry.first_out_shape))
+      return Status::Corruption("predictor state: gen out shape");
+    restored.gen_sig_[std::move(key)] = std::move(entry);
+  }
+
+  *this = std::move(restored);
+  return Status::OK();
+}
 
 std::string ReusePredictor::DimKey(
     const std::string& op_name, const OpArgs& args,

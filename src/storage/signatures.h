@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "array/op.h"
+#include "common/status.h"
 #include "provrc/compressed_table.h"
 #include "provrc/reshape.h"
 
@@ -62,6 +64,16 @@ class ReusePredictor {
       const std::vector<int64_t>& out_shape) const;
 
   const ReuseStats& stats() const { return stats_; }
+
+  /// Serializes the full predictor state (signature stores, promotion
+  /// states, counters) into a self-describing binary blob, so persistence
+  /// layers can restore reuse behaviour across process restarts.
+  std::string SerializeState() const;
+
+  /// Inverse of SerializeState: replaces this predictor's state with the
+  /// decoded blob. Returns Corruption on malformed input (state unchanged
+  /// on failure).
+  Status RestoreState(std::string_view blob);
 
  private:
   enum class State { kTentative, kPromoted, kRejected };

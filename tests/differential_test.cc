@@ -15,6 +15,7 @@
 #include "array/ndarray.h"
 #include "array/op.h"
 #include "array/op_registry.h"
+#include "common/io.h"
 #include "common/random.h"
 #include "query/box.h"
 #include "query/query_engine.h"
@@ -127,9 +128,16 @@ void RegisterDag(const RandomDag& dag, DSLog* log) {
   }
 }
 
-// Runs one path query against both catalogs under every knob combination
-// and compares the expanded, deduplicated cell set to the oracle.
-void ExpectMatchesOracle(const DSLog& plain, const DSLog& materialized,
+// Runs one path query against every catalog variant (in-memory, forward-
+// materialized, and the save -> OpenInSitu leg) under every knob
+// combination and compares the expanded, deduplicated cell set to the
+// oracle.
+struct LogVariant {
+  const DSLog* log;
+  const char* name;
+};
+
+void ExpectMatchesOracle(const std::vector<LogVariant>& variants,
                          const std::vector<std::string>& path,
                          const BoxTable& query,
                          const std::vector<RelationHop>& rhops,
@@ -137,17 +145,17 @@ void ExpectMatchesOracle(const DSLog& plain, const DSLog& materialized,
                          int result_arity, const std::string& label) {
   const TupleSet want =
       ToTupleSet(UncompressedQuery(rhops, query_cells), result_arity);
-  for (const DSLog* log : {&plain, &materialized}) {
+  for (const LogVariant& variant : variants) {
     for (bool merge : {true, false}) {
       for (int threads : {1, 4}) {
         QueryOptions options;
         options.merge_between_hops = merge;
         options.num_threads = threads;
-        auto got = log->ProvQuery(path, query, options);
+        auto got = variant.log->ProvQuery(path, query, options);
         ASSERT_TRUE(got.ok()) << label << ": " << got.status().ToString();
         EXPECT_EQ(ToTupleSet(got.value().ExpandToCells(), result_arity), want)
-            << label << " materialized=" << (log == &materialized)
-            << " merge=" << merge << " threads=" << threads;
+            << label << " variant=" << variant.name << " merge=" << merge
+            << " threads=" << threads;
       }
     }
   }
@@ -169,6 +177,18 @@ TEST_P(DifferentialPipelineTest, InSituMatchesUncompressedOracle) {
   RegisterDag(dag, &materialized);
   if (::testing::Test::HasFatalFailure()) return;
 
+  // In-situ leg: persist the catalog as a LogStore file and serve the same
+  // queries through the mapped, lazily-decoded path (at 1 and 4 threads,
+  // like the others).
+  const std::string store_path =
+      ScratchDir() + "/differential_" + std::to_string(seed) + ".dsl";
+  ASSERT_TRUE(plain.SaveLogStore(store_path).ok());
+  auto insitu_opened = DSLog::OpenInSitu(store_path);
+  ASSERT_TRUE(insitu_opened.ok()) << insitu_opened.status().ToString();
+  const DSLog& insitu = insitu_opened.value();
+  const std::vector<LogVariant> variants = {
+      {&plain, "plain"}, {&materialized, "materialized"}, {&insitu, "insitu"}};
+
   Rng rng(seed * 31 + 7);
 
   // Forward: x0 -> xn.
@@ -178,7 +198,7 @@ TEST_P(DifferentialPipelineTest, InSituMatchesUncompressedOracle) {
         BoxTable::FromCells(static_cast<int>(dag.shapes[0].size()), cells);
     std::vector<RelationHop> rhops;
     for (int i = 0; i < n; ++i) rhops.push_back({&dag.rels[i], true});
-    ExpectMatchesOracle(plain, materialized, dag.names, q, rhops, cells,
+    ExpectMatchesOracle(variants, dag.names, q, rhops, cells,
                         static_cast<int>(dag.shapes.back().size()),
                         "forward seed=" + std::to_string(seed));
   }
@@ -191,7 +211,7 @@ TEST_P(DifferentialPipelineTest, InSituMatchesUncompressedOracle) {
     std::vector<std::string> path(dag.names.rbegin(), dag.names.rend());
     std::vector<RelationHop> rhops;
     for (int i = n - 1; i >= 0; --i) rhops.push_back({&dag.rels[i], false});
-    ExpectMatchesOracle(plain, materialized, path, q, rhops, cells,
+    ExpectMatchesOracle(variants, path, q, rhops, cells,
                         static_cast<int>(dag.shapes[0].size()),
                         "backward seed=" + std::to_string(seed));
   }
@@ -209,7 +229,7 @@ TEST_P(DifferentialPipelineTest, InSituMatchesUncompressedOracle) {
       rhops.push_back({&dag.rels[i], true});
     }
     path.push_back(dag.names.back());
-    ExpectMatchesOracle(plain, materialized, path, q, rhops, cells,
+    ExpectMatchesOracle(variants, path, q, rhops, cells,
                         static_cast<int>(dag.shapes.back().size()),
                         "mixed seed=" + std::to_string(seed));
   }

@@ -1,0 +1,509 @@
+// LogStore subsystem tests: the single-file on-disk format (round trip,
+// incremental append, legacy-directory conversion), the lazy in-situ query
+// path (decode counters, LRU bounds, concurrent readers), the mmap
+// abstraction with its read fallback, and corruption handling (flipped
+// segment bytes, truncated footers — every failure must surface as
+// Status::Corruption, never UB; the CI ASan job runs this whole suite).
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "array/ndarray.h"
+#include "array/op_registry.h"
+#include "common/io.h"
+#include "common/mmap_file.h"
+#include "common/random.h"
+#include "lineage/lineage_relation.h"
+#include "provrc/provrc.h"
+#include "query/box.h"
+#include "storage/dslog.h"
+#include "storage/logstore.h"
+#include "test_util.h"
+
+namespace dslog {
+namespace {
+
+using test_util::ToTupleSet;
+
+std::string TestPath(const std::string& name) {
+  return ScratchDir() + "/" + name;
+}
+
+/// Identity lineage over a 1-D array of `n` cells: out i <- in i.
+LineageRelation IdentityRelation(int64_t n) {
+  LineageRelation rel(1, 1);
+  rel.set_shapes({n}, {n});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t tuple[2] = {i, i};
+    rel.AddTuple(tuple);
+  }
+  return rel;
+}
+
+/// Shifted lineage: out i <- in (i + 1) mod n. Distinct per-edge content so
+/// replaced/corrupted segments are distinguishable from identity.
+LineageRelation ShiftRelation(int64_t n) {
+  LineageRelation rel(1, 1);
+  rel.set_shapes({n}, {n});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t tuple[2] = {i, (i + 1) % n};
+    rel.AddTuple(tuple);
+  }
+  return rel;
+}
+
+/// Registers the chain a<first> -> ... -> a<first+num_edges> of identity
+/// edges over {width} arrays (defining all arrays that do not exist yet).
+void BuildChain(DSLog* log, int first, int num_edges, int64_t width) {
+  if (first == 0) {
+    ASSERT_TRUE(log->DefineArray("a0", {width}).ok());
+  }
+  for (int i = first; i < first + num_edges; ++i) {
+    std::string in = "a" + std::to_string(i);
+    std::string out = "a" + std::to_string(i + 1);
+    ASSERT_TRUE(log->DefineArray(out, {width}).ok());
+    OperationRegistration reg;
+    reg.op_name = "chain_step";
+    reg.in_arrs = {in};
+    reg.out_arr = out;
+    reg.captured.push_back(IdentityRelation(width));
+    reg.reuse = false;
+    auto outcome = log->RegisterOperation(std::move(reg));
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+}
+
+std::vector<std::string> ChainPath(int from, int to) {
+  std::vector<std::string> path;
+  const int step = from <= to ? 1 : -1;
+  for (int i = from;; i += step) {
+    path.push_back("a" + std::to_string(i));
+    if (i == to) break;
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------- MmapFile --
+
+TEST(MmapFileTest, MapsAndFallsBackIdentically) {
+  const std::string path = TestPath("mmap_basic.bin");
+  const std::string payload = "hello mapped world";
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  auto mapped = MmapFile::Open(path, /*allow_mmap=*/true);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped.value().mapped());
+  EXPECT_EQ(mapped.value().view(), payload);
+  auto fallback = MmapFile::Open(path, /*allow_mmap=*/false);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_FALSE(fallback.value().mapped());
+  EXPECT_EQ(fallback.value().view(), payload);
+  EXPECT_EQ(fallback.value().view(6, 6), "mapped");
+}
+
+TEST(MmapFileTest, MissingFileIsIOErrorAndEmptyFileIsEmpty) {
+  EXPECT_FALSE(MmapFile::Open(TestPath("nonexistent.bin")).ok());
+  const std::string path = TestPath("mmap_empty.bin");
+  ASSERT_TRUE(WriteFile(path, "").ok());
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value().size(), 0u);
+}
+
+TEST(MmapFileTest, MoveTransfersView) {
+  const std::string path = TestPath("mmap_move.bin");
+  ASSERT_TRUE(WriteFile(path, "payload").ok());
+  for (bool allow_mmap : {true, false}) {
+    auto opened = MmapFile::Open(path, allow_mmap);
+    ASSERT_TRUE(opened.ok());
+    MmapFile moved = std::move(opened).ValueOrDie();
+    MmapFile again = std::move(moved);
+    EXPECT_EQ(again.view(), "payload");
+  }
+}
+
+// -------------------------------------------------------------- round trip --
+
+TEST(LogStoreTest, RoundTripMatchesInMemoryCatalog) {
+  DSLog log;
+  BuildChain(&log, 0, 8, 16);
+  const std::string path = TestPath("roundtrip.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const DSLog& insitu = opened.value();
+  EXPECT_TRUE(insitu.HasArray("a0"));
+  EXPECT_TRUE(insitu.HasArray("a8"));
+  EXPECT_EQ(insitu.ArrayShape("a3").ValueOrDie(), (std::vector<int64_t>{16}));
+
+  for (const auto& path_arrays :
+       {ChainPath(0, 8), ChainPath(8, 0), ChainPath(5, 2)}) {
+    BoxTable q = BoxTable::FromCells(1, {3, 7});
+    auto want = log.ProvQuery(path_arrays, q);
+    auto got = insitu.ProvQuery(path_arrays, q);
+    ASSERT_TRUE(want.ok() && got.ok()) << got.status().ToString();
+    EXPECT_EQ(ToTupleSet(got.value().ExpandToCells(), 1),
+              ToTupleSet(want.value().ExpandToCells(), 1));
+  }
+
+  auto store = insitu.log_store();
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(store->mapped());
+  EXPECT_EQ(store->stats().segment_count, 8);
+  EXPECT_EQ(insitu.StorageFootprintBytes(), log.StorageFootprintBytes());
+}
+
+TEST(LogStoreTest, ReadFallbackServesIdenticalResults) {
+  DSLog log;
+  BuildChain(&log, 0, 4, 8);
+  const std::string path = TestPath("fallback.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  InSituOptions options;
+  options.store.use_mmap = false;
+  auto opened = DSLog::OpenInSitu(path, options);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_FALSE(opened.value().log_store()->mapped());
+  auto got = opened.value().ProvQuery(ChainPath(4, 0), BoxTable::FromCells(1, {5}));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().ExpandToCells(), (std::vector<int64_t>{5}));
+}
+
+// ------------------------------------------------------------- lazy decode --
+
+TEST(LogStoreTest, BackwardQueryDecodesUnderTenPercentOfSegments) {
+  // The issue's acceptance bar: on a >= 500-edge catalog, a backward path
+  // query must decode only the segments on its path (< 10% of the log).
+  DSLog log;
+  BuildChain(&log, 0, 500, 8);
+  const std::string path = TestPath("large_chain.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const DSLog& insitu = opened.value();
+  ASSERT_EQ(insitu.log_store()->stats().segment_count, 500);
+  EXPECT_EQ(insitu.log_store()->stats().segments_touched, 0);
+
+  // Backward over the last five edges of the chain.
+  BoxTable q = BoxTable::FromCells(1, {2});
+  auto got = insitu.ProvQuery(ChainPath(500, 495), q);
+  auto want = log.ProvQuery(ChainPath(500, 495), q);
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ(ToTupleSet(got.value().ExpandToCells(), 1),
+            ToTupleSet(want.value().ExpandToCells(), 1));
+
+  LogStoreStats stats = insitu.log_store()->stats();
+  EXPECT_EQ(stats.segments_touched, 5);  // exactly the path's edges
+  EXPECT_LT(stats.segments_touched, stats.segment_count / 10);
+  EXPECT_GT(stats.bytes_decompressed, 0);
+
+  // Re-running the query is pure cache hits: no new decodes.
+  ASSERT_TRUE(insitu.ProvQuery(ChainPath(500, 495), q).ok());
+  LogStoreStats again = insitu.log_store()->stats();
+  EXPECT_EQ(again.segments_touched, 5);
+  EXPECT_EQ(again.decode_count, stats.decode_count);
+  EXPECT_GT(again.cache_hits, stats.cache_hits);
+}
+
+TEST(LogStoreTest, TinyCacheEvictsButStaysCorrect) {
+  DSLog log;
+  BuildChain(&log, 0, 40, 64);
+  const std::string path = TestPath("tiny_cache.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+
+  InSituOptions options;
+  options.store.cache_capacity_bytes = 2048;  // a handful of decoded tables
+  auto opened = DSLog::OpenInSitu(path, options);
+  ASSERT_TRUE(opened.ok());
+  const DSLog& insitu = opened.value();
+
+  BoxTable q = BoxTable::FromCells(1, {11});
+  for (int rep = 0; rep < 3; ++rep) {
+    auto got = insitu.ProvQuery(ChainPath(0, 40), q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value().ExpandToCells(), (std::vector<int64_t>{11}));
+  }
+  LogStoreStats stats = insitu.log_store()->stats();
+  EXPECT_EQ(stats.segments_touched, 40);
+  EXPECT_GT(stats.evictions, 0);
+  // Eviction forced re-decodes on the later sweeps.
+  EXPECT_GT(stats.decode_count, stats.segments_touched);
+}
+
+TEST(LogStoreTest, FindEdgeDecodesLazilyAndStaysValid) {
+  DSLog log;
+  BuildChain(&log, 0, 3, 8);
+  const std::string path = TestPath("findedge.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok());
+  const CompressedTable* table = opened.value().FindEdge("a0", "a1");
+  ASSERT_NE(table, nullptr);
+  EXPECT_GT(table->num_rows(), 0);
+  EXPECT_EQ(opened.value().FindEdge("a0", "nope"), nullptr);
+}
+
+// ------------------------------------------------------------------ append --
+
+TEST(LogStoreTest, AppendPersistsNewOperationsIncrementally) {
+  DSLog log;
+  BuildChain(&log, 0, 4, 16);
+  const std::string path = TestPath("append.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  const int64_t size_after_save =
+      static_cast<int64_t>(std::filesystem::file_size(path));
+
+  // Register four more operations and append only those.
+  BuildChain(&log, 4, 4, 16);
+  ASSERT_TRUE(log.AppendLogStore(path).ok());
+
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value().log_store()->stats().segment_count, 8);
+  EXPECT_GT(static_cast<int64_t>(std::filesystem::file_size(path)),
+            size_after_save);
+  auto got =
+      opened.value().ProvQuery(ChainPath(0, 8), BoxTable::FromCells(1, {9}));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().ExpandToCells(), (std::vector<int64_t>{9}));
+
+  // A second append with nothing new keeps the file valid and complete.
+  ASSERT_TRUE(log.AppendLogStore(path).ok());
+  auto reopened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().log_store()->stats().segment_count, 8);
+}
+
+TEST(LogStoreTest, AppendRepersistsEdgeWhoseLineageChanged) {
+  // A re-registered edge (same in/out arrays, different lineage) must be
+  // re-persisted by AppendLogStore — only byte-identical segments may be
+  // skipped.
+  const std::string path = TestPath("append_changed.dsl");
+  DSLog log;
+  ASSERT_TRUE(log.DefineArray("u", {8}).ok());
+  ASSERT_TRUE(log.DefineArray("v", {8}).ok());
+  auto register_edge = [&](LineageRelation rel) {
+    OperationRegistration reg;
+    reg.op_name = "step";
+    reg.in_arrs = {"u"};
+    reg.out_arr = "v";
+    reg.captured.push_back(std::move(rel));
+    reg.reuse = false;
+    ASSERT_TRUE(log.RegisterOperation(std::move(reg)).ok());
+  };
+  register_edge(IdentityRelation(8));
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+
+  register_edge(ShiftRelation(8));  // overwrite with different lineage
+  ASSERT_TRUE(log.AppendLogStore(path).ok());
+
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto got = opened.value().ProvQuery({"u", "v"}, BoxTable::FromCells(1, {0}));
+  ASSERT_TRUE(got.ok());
+  // Shifted lineage: input 0 feeds output 7 — not the stale identity's 0.
+  EXPECT_EQ(got.value().ExpandToCells(), (std::vector<int64_t>{7}));
+
+  // Appending again with unchanged content adds no segment bytes.
+  const auto size_before = std::filesystem::file_size(path);
+  ASSERT_TRUE(log.AppendLogStore(path).ok());
+  EXPECT_EQ(std::filesystem::file_size(path), size_before);
+}
+
+TEST(LogStoreTest, WriterReplacementNewestSegmentWins) {
+  const std::string path = TestPath("replace.dsl");
+  {
+    auto writer = LogStoreWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    writer.value().PutArray("x", {8});
+    writer.value().PutArray("y", {8});
+    ASSERT_TRUE(writer.value()
+                    .AppendEdge("x", "y", "op",
+                                ProvRcCompress(IdentityRelation(8)))
+                    .ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  {
+    auto writer = LogStoreWriter::OpenForAppend(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_TRUE(writer.value().HasEdge("x", "y"));
+    ASSERT_TRUE(writer.value()
+                    .AppendEdge("x", "y", "op",
+                                ProvRcCompress(ShiftRelation(8)))
+                    .ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  auto store = LogStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ(store.value()->segments().size(), 1u);
+  auto table = store.value()->Table(0);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table.value()->Decompress().EqualAsSet(ShiftRelation(8)));
+  EXPECT_FALSE(store.value()->Table(7).ok());  // out of range
+}
+
+TEST(LogStoreTest, ConvertedLegacyDirectoryServesQueriesAndPredictor) {
+  // Promote a dim_sig mapping, save legacy, convert, and check both the
+  // lineage and the reuse state crossed over.
+  DSLog log;
+  Rng rng(71);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  for (int call = 0; call < 2; ++call) {
+    std::string x = "cx" + std::to_string(call);
+    std::string y = "cy" + std::to_string(call);
+    ASSERT_TRUE(log.DefineArray(x, {24}).ok());
+    ASSERT_TRUE(log.DefineArray(y, {24}).ok());
+    NDArray xv = NDArray::Random({24}, &rng);
+    NDArray yv = neg->Apply({&xv}, OpArgs()).ValueOrDie();
+    auto rels = neg->Capture({&xv}, yv, OpArgs()).ValueOrDie();
+    OperationRegistration reg{"negative", {x}, y, {rels[0]}, OpArgs(),
+                              xv.ContentHash(), true};
+    ASSERT_TRUE(log.RegisterOperation(std::move(reg)).ok());
+  }
+  ASSERT_EQ(log.reuse_stats().dim_promotions, 1);
+
+  const std::string dir = TestPath("convert_dir");
+  const std::string path = TestPath("converted.dsl");
+  ASSERT_TRUE(log.Save(dir).ok());
+  ASSERT_TRUE(ConvertLegacyDirToLogStore(dir, path).ok());
+
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  DSLog& insitu = opened.value();
+  auto got = insitu.ProvQuery({"cy0", "cx0"}, BoxTable::FromCells(1, {4}));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().ExpandToCells(), (std::vector<int64_t>{4}));
+  EXPECT_EQ(insitu.reuse_stats().dim_promotions, 1);
+
+  // The restored predictor serves a third call without capture.
+  ASSERT_TRUE(insitu.DefineArray("cx2", {24}).ok());
+  ASSERT_TRUE(insitu.DefineArray("cy2", {24}).ok());
+  OperationRegistration reg{"negative", {"cx2"}, "cy2", {}, OpArgs(), 0, true};
+  auto outcome = insitu.RegisterOperation(std::move(reg));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome.value().dim_hit);
+}
+
+// -------------------------------------------------------------- corruption --
+
+TEST(LogStoreCorruptionTest, FlippedSegmentByteIsDetectedAtDecode) {
+  DSLog log;
+  BuildChain(&log, 0, 6, 32);
+  const std::string path = TestPath("corrupt_segment.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+
+  // Locate segment a2 -> a3 through a clean open, then flip one byte.
+  uint64_t offset = 0, length = 0;
+  {
+    auto store = LogStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    for (const auto& seg : store.value()->segments())
+      if (seg.in_arr == "a2" && seg.out_arr == "a3") {
+        offset = seg.offset;
+        length = seg.length;
+      }
+    ASSERT_GT(length, 0u);
+  }
+  std::string bytes = ReadFileToString(path).ValueOrDie();
+  bytes[offset + length / 2] = static_cast<char>(
+      static_cast<uint8_t>(bytes[offset + length / 2]) ^ 0xFF);
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+
+  // The open itself succeeds (footer intact); only touching the corrupt
+  // segment fails, and with Corruption, not UB.
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto clean = opened.value().ProvQuery(ChainPath(0, 2),
+                                        BoxTable::FromCells(1, {1}));
+  EXPECT_TRUE(clean.ok()) << clean.status().ToString();
+  auto corrupt = opened.value().ProvQuery(ChainPath(0, 6),
+                                          BoxTable::FromCells(1, {1}));
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kCorruption)
+      << corrupt.status().ToString();
+}
+
+TEST(LogStoreCorruptionTest, TruncationsAndGarbageAreCorruption) {
+  DSLog log;
+  BuildChain(&log, 0, 3, 16);
+  const std::string path = TestPath("corrupt_footer.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  const std::string intact = ReadFileToString(path).ValueOrDie();
+
+  auto expect_corruption = [&](std::string mutated, const char* label) {
+    const std::string mutated_path = TestPath("corrupt_variant.dsl");
+    ASSERT_TRUE(WriteFile(mutated_path, std::move(mutated)).ok());
+    auto opened = DSLog::OpenInSitu(mutated_path);
+    ASSERT_FALSE(opened.ok()) << label;
+    EXPECT_EQ(opened.status().code(), StatusCode::kCorruption)
+        << label << ": " << opened.status().ToString();
+  };
+
+  // Truncated footer/trailer (the torn-append signature).
+  expect_corruption(intact.substr(0, intact.size() - 10), "truncated trailer");
+  expect_corruption(intact.substr(0, intact.size() / 2), "truncated footer");
+  expect_corruption(intact.substr(0, 4), "shorter than header");
+  expect_corruption("", "empty file");
+  // Bad header magic.
+  {
+    std::string bad = intact;
+    bad[0] = 'X';
+    expect_corruption(std::move(bad), "bad header magic");
+  }
+  // Flipped byte inside the footer (checksum mismatch).
+  {
+    std::string bad = intact;
+    bad[bad.size() - 30] = static_cast<char>(
+        static_cast<uint8_t>(bad[bad.size() - 30]) ^ 0xFF);
+    expect_corruption(std::move(bad), "footer byte flip");
+  }
+  // The original still opens.
+  EXPECT_TRUE(DSLog::OpenInSitu(path).ok());
+}
+
+// ------------------------------------------------------------- concurrency --
+
+TEST(LogStoreConcurrencyTest, ParallelInSituReadersWithEvictionChurn) {
+  DSLog log;
+  BuildChain(&log, 0, 32, 32);
+  const std::string path = TestPath("concurrent.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+
+  InSituOptions options;
+  options.store.cache_capacity_bytes = 4096;  // force eviction under load
+  auto opened = DSLog::OpenInSitu(path, options);
+  ASSERT_TRUE(opened.ok());
+  const DSLog& insitu = opened.value();
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 40;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        int from = static_cast<int>(rng.Uniform(33));
+        int to = static_cast<int>(rng.Uniform(33));
+        if (from == to) to = (to + 1) % 33;
+        const int64_t cell = static_cast<int64_t>(rng.Uniform(32));
+        auto got = insitu.ProvQuery(ChainPath(from, to),
+                                    BoxTable::FromCells(1, {cell}));
+        if (!got.ok() ||
+            got.value().ExpandToCells() != std::vector<int64_t>{cell})
+          ++failures[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  EXPECT_EQ(insitu.log_store()->stats().segments_touched, 32);
+}
+
+}  // namespace
+}  // namespace dslog

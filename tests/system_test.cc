@@ -342,6 +342,157 @@ TEST(DSLogTest, SaveLoadRoundTrip) {
   EXPECT_EQ(cells[0], 2);
 }
 
+TEST(DSLogTest, SaveCrashSimulationLeavesPreviousCatalogLoadable) {
+  // Torn-write regression: every Save file goes through temp + rename, so a
+  // crash at any point mid-save leaves the previous catalog fully loadable.
+  const std::string dir = ScratchDir() + "/dslog_crash_sim";
+  Rng rng(21);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  NDArray xv = NDArray::Random({8}, &rng);
+  NDArray yv = neg->Apply({&xv}, OpArgs()).ValueOrDie();
+  auto xy = neg->Capture({&xv}, yv, OpArgs()).ValueOrDie();
+
+  DSLog a;
+  ASSERT_TRUE(a.DefineArray("x", {8}).ok());
+  ASSERT_TRUE(a.DefineArray("y", {8}).ok());
+  OperationRegistration reg_a{"negative", {"x"}, "y", {xy[0]}, OpArgs(), 1,
+                              true};
+  ASSERT_TRUE(a.RegisterOperation(std::move(reg_a)).ok());
+  ASSERT_TRUE(a.Save(dir).ok());
+
+  // Catalog B extends A with two edges, one of which ("a" -> "b", key
+  // sorting *before* A's "x" -> "y") carries a reversal relation — so if a
+  // partial save could ever rebind A's catalog entries to another edge's
+  // file, leg 2's lineage check below would catch the wrong table.
+  LineageRelation reversal(1, 1);
+  reversal.set_shapes({8}, {8});
+  for (int64_t i = 0; i < 8; ++i) {
+    const int64_t tuple[2] = {i, 7 - i};
+    reversal.AddTuple(tuple);
+  }
+  DSLog b;
+  ASSERT_TRUE(b.DefineArray("a", {8}).ok());
+  ASSERT_TRUE(b.DefineArray("b", {8}).ok());
+  ASSERT_TRUE(b.DefineArray("x", {8}).ok());
+  ASSERT_TRUE(b.DefineArray("y", {8}).ok());
+  OperationRegistration reg_b1{"negative", {"x"}, "y", {xy[0]}, OpArgs(), 1,
+                               true};
+  OperationRegistration reg_b2{"reverse", {"a"}, "b", {reversal}, OpArgs(), 2,
+                               true};
+  ASSERT_TRUE(b.RegisterOperation(std::move(reg_b1)).ok());
+  ASSERT_TRUE(b.RegisterOperation(std::move(reg_b2)).ok());
+
+  // Crash leg 1: the very first edge-file write of B's save dies -> no
+  // rename was issued, the directory is byte-identical to A's.
+  io_testing::SetAtomicWriteCrashHook([](const std::string& path) {
+    return path.find("edge_") != std::string::npos
+               ? Status::IOError("simulated crash: " + path)
+               : Status::OK();
+  });
+  EXPECT_FALSE(b.Save(dir).ok());
+  io_testing::SetAtomicWriteCrashHook(nullptr);
+
+  DSLog restored;
+  ASSERT_TRUE(restored.Load(dir).ok());
+  EXPECT_NE(restored.FindEdge("x", "y"), nullptr);
+  EXPECT_EQ(restored.FindEdge("a", "b"), nullptr);  // still catalog A
+  EXPECT_FALSE(restored.HasArray("a"));
+
+  // Crash leg 2: B's edge files all land but catalog.bin's rename never
+  // happens -> the old catalog.bin still commits a consistent A-shaped
+  // catalog, and its x -> y entry still resolves to x -> y lineage (edge
+  // files are keyed by edge identity, so B's "a" -> "b" table cannot land
+  // under a file name A references).
+  io_testing::SetAtomicWriteCrashHook([](const std::string& path) {
+    return path.ends_with("catalog.bin")
+               ? Status::IOError("simulated crash: " + path)
+               : Status::OK();
+  });
+  EXPECT_FALSE(b.Save(dir).ok());
+  io_testing::SetAtomicWriteCrashHook(nullptr);
+
+  DSLog restored2;
+  ASSERT_TRUE(restored2.Load(dir).ok());
+  EXPECT_FALSE(restored2.HasArray("a"));
+  auto q = restored2.ProvQuery({"y", "x"}, BoxTable::FromCells(1, {3}));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto cells = q.value().ExpandToCells();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], 3);  // identity lineage, not the reversal's 4
+
+  // A non-crashing save of B then commits the extended catalog.
+  ASSERT_TRUE(b.Save(dir).ok());
+  DSLog restored3;
+  ASSERT_TRUE(restored3.Load(dir).ok());
+  EXPECT_NE(restored3.FindEdge("a", "b"), nullptr);
+
+  // Crash leg 3: an edge whose lineage *changed* between saves. The new
+  // table lands in a new content-addressed file, so the committed
+  // catalog's own file keeps its bytes and the crash restores the old
+  // lineage — not a half-updated hybrid.
+  DSLog c;
+  ASSERT_TRUE(c.DefineArray("x", {8}).ok());
+  ASSERT_TRUE(c.DefineArray("y", {8}).ok());
+  OperationRegistration reg_c{"reverse", {"x"}, "y", {reversal}, OpArgs(), 3,
+                              true};
+  ASSERT_TRUE(c.RegisterOperation(std::move(reg_c)).ok());
+  io_testing::SetAtomicWriteCrashHook([](const std::string& path) {
+    return path.ends_with("catalog.bin")
+               ? Status::IOError("simulated crash: " + path)
+               : Status::OK();
+  });
+  EXPECT_FALSE(c.Save(dir).ok());
+  io_testing::SetAtomicWriteCrashHook(nullptr);
+
+  DSLog restored4;
+  ASSERT_TRUE(restored4.Load(dir).ok());
+  auto q4 = restored4.ProvQuery({"y", "x"}, BoxTable::FromCells(1, {3}));
+  ASSERT_TRUE(q4.ok()) << q4.status().ToString();
+  auto cells4 = q4.value().ExpandToCells();
+  ASSERT_EQ(cells4.size(), 1u);
+  EXPECT_EQ(cells4[0], 3);  // B's identity lineage, not C's reversal
+}
+
+TEST(DSLogTest, ReusePredictorStateSurvivesSaveLoad) {
+  // Regression for Load() silently dropping reuse state: a promoted
+  // dim_sig mapping must keep serving capture-free registrations after a
+  // save/load round trip, with the counters intact.
+  const std::string dir = ScratchDir() + "/dslog_reuse_persist";
+  DSLog log;
+  Rng rng(22);
+  const ArrayOp* neg = OpRegistry::Global().Find("negative");
+  for (int call = 0; call < 2; ++call) {
+    std::string x = "p" + std::to_string(call);
+    std::string y = "q" + std::to_string(call);
+    ASSERT_TRUE(log.DefineArray(x, {24}).ok());
+    ASSERT_TRUE(log.DefineArray(y, {24}).ok());
+    NDArray xv = NDArray::Random({24}, &rng);
+    NDArray yv = neg->Apply({&xv}, OpArgs()).ValueOrDie();
+    auto rels = neg->Capture({&xv}, yv, OpArgs()).ValueOrDie();
+    OperationRegistration reg{"negative", {x}, y, {rels[0]}, OpArgs(),
+                              xv.ContentHash(), true};
+    ASSERT_TRUE(log.RegisterOperation(std::move(reg)).ok());
+  }
+  ASSERT_EQ(log.reuse_stats().dim_promotions, 1);
+  ASSERT_TRUE(log.Save(dir).ok());
+
+  DSLog restored;
+  ASSERT_TRUE(restored.Load(dir).ok());
+  EXPECT_EQ(restored.reuse_stats().dim_promotions, 1);
+  EXPECT_EQ(restored.reuse_stats().dim_hits, log.reuse_stats().dim_hits);
+
+  // Third call, no capture: served from the restored reuse index.
+  ASSERT_TRUE(restored.DefineArray("p2", {24}).ok());
+  ASSERT_TRUE(restored.DefineArray("q2", {24}).ok());
+  OperationRegistration reg{"negative", {"p2"}, "q2", {}, OpArgs(), 0, true};
+  auto outcome = restored.RegisterOperation(std::move(reg));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome.value().dim_hit);
+  auto fwd = restored.ProvQuery({"p2", "q2"}, BoxTable::FromCells(1, {7}));
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_EQ(fwd.value().ExpandToCells(), (std::vector<int64_t>{7}));
+}
+
 // -------------------------------------------------------------- workflows --
 
 TEST(WorkflowTest, ImageWorkflowShape) {
