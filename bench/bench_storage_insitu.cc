@@ -1,13 +1,15 @@
 // Cold-open time-to-first-result: LogStore OpenInSitu versus legacy
-// directory Load. Registers the three Fig-8 workflows (image, relational,
-// ResNet) plus a population of Fig-9 random numpy workflows in one catalog
-// (a serving catalog holds far more lineage than any one query touches),
-// persists it both ways, then measures — per Fig-8 workflow — how long a
-// cold process takes to answer its first backward full-path query, and how
-// many compressed bytes each path decompresses (legacy Load eagerly
-// gunzips every edge; OpenInSitu only the edges the query touches). Emits
-// the machine-readable BENCH_storage.json baseline (override with
-// `--json <path>`).
+// directory Load, across both segment layouts. Registers the three Fig-8
+// workflows (image, relational, ResNet) plus a population of Fig-9 random
+// numpy workflows in one catalog (a serving catalog holds far more lineage
+// than any one query touches), persists it three ways — legacy directory,
+// v1 ProvRC-GZip LogStore, v2 columnar LogStore — then measures, per
+// Fig-8 workflow, how long a cold process takes to answer its first
+// backward full-path query. Legacy Load eagerly gunzips every edge;
+// in-situ v1 gunzips only the path's segments; in-situ v2 borrows them
+// zero-copy from the mapping (bytes_decompressed and rows_materialized
+// both 0). Emits the machine-readable BENCH_storage.json baseline
+// (override with `--json <path>`).
 
 #include <cstdio>
 #include <cstring>
@@ -95,28 +97,40 @@ int main(int argc, char** argv) {
   }
 
   const std::string dir = ScratchDir() + "/bench_storage_legacy";
-  const std::string file = ScratchDir() + "/bench_storage.dsl";
+  const std::string file_v1 = ScratchDir() + "/bench_storage_v1.dsl";
+  const std::string file_v2 = ScratchDir() + "/bench_storage_v2.dsl";
   {
     Status st = log.Save(dir);
     DSLOG_CHECK(st.ok()) << st.ToString();
-    st = log.SaveLogStore(file);
+    st = log.SaveLogStore(file_v1, SegmentLayout::kProvRcGzip);
+    DSLOG_CHECK(st.ok()) << st.ToString();
+    st = log.SaveLogStore(file_v2);  // default layout = columnar
     DSLOG_CHECK(st.ok()) << st.ToString();
   }
-  std::printf("catalog: 3 Fig-8 + %d random workflows, %lld segments, "
-              "%lld bytes on disk\n\n",
+  std::printf("catalog: 3 Fig-8 + %d random workflows, %lld segments\n"
+              "on disk: legacy gzip %lld bytes | v1 store %lld bytes | "
+              "v2 columnar store %lld bytes\n\n",
               extra_workflows,
               static_cast<long long>(
-                  DSLog::OpenInSitu(file).ValueOrDie().log_store()->stats()
+                  DSLog::OpenInSitu(file_v1).ValueOrDie().log_store()->stats()
                       .segment_count),
-              static_cast<long long>(log.StorageFootprintBytes()));
+              static_cast<long long>(log.StorageFootprintBytes()),
+              static_cast<long long>(
+                  DSLog::OpenInSitu(file_v1).ValueOrDie().log_store()
+                      ->file_size()),
+              static_cast<long long>(
+                  DSLog::OpenInSitu(file_v2).ValueOrDie().log_store()
+                      ->file_size()));
 
-  std::printf("%-14s %14s %14s %9s %16s %14s\n", "workflow", "legacy (s)",
-              "insitu (s)", "speedup", "legacy MB gunzip", "insitu MB");
-  PrintRule(88);
+  std::printf("%-12s %11s %11s %11s %8s %8s %12s %10s\n", "workflow",
+              "legacy (s)", "v1 (s)", "v2 (s)", "v1 spd", "v2 spd",
+              "v1 MB gunzip", "v2 rowsmat");
+  PrintRule(92);
 
   for (const WorkflowPath& wp : paths) {
-    double legacy_s = 0.0, insitu_s = 0.0;
-    int64_t legacy_bytes = 0, insitu_bytes = 0, touched = 0, total_segs = 0;
+    double legacy_s = 0.0, v1_s = 0.0, v2_s = 0.0;
+    int64_t legacy_bytes = 0, v1_bytes = 0, touched = 0, total_segs = 0;
+    int64_t v2_rows_materialized = 0, v2_borrowed = 0;
     for (int r = 0; r < reps; ++r) {
       {
         WallTimer timer;
@@ -131,40 +145,60 @@ int main(int argc, char** argv) {
       }
       {
         WallTimer timer;
-        auto cold = DSLog::OpenInSitu(file);
+        auto cold = DSLog::OpenInSitu(file_v1);
         DSLOG_CHECK(cold.ok()) << cold.status().ToString();
         auto got = cold.value().ProvQuery(wp.backward_path, wp.query);
         DSLOG_CHECK(got.ok()) << got.status().ToString();
-        insitu_s += timer.ElapsedSeconds();
+        v1_s += timer.ElapsedSeconds();
         LogStoreStats stats = cold.value().log_store()->stats();
-        insitu_bytes = stats.bytes_decompressed;
+        v1_bytes = stats.bytes_decompressed;
         touched = stats.segments_touched;
         total_segs = stats.segment_count;
       }
+      {
+        WallTimer timer;
+        auto cold = DSLog::OpenInSitu(file_v2);
+        DSLOG_CHECK(cold.ok()) << cold.status().ToString();
+        auto got = cold.value().ProvQuery(wp.backward_path, wp.query);
+        DSLOG_CHECK(got.ok()) << got.status().ToString();
+        v2_s += timer.ElapsedSeconds();
+        LogStoreStats stats = cold.value().log_store()->stats();
+        v2_rows_materialized = stats.rows_materialized;
+        v2_borrowed = stats.segments_borrowed;
+        DSLOG_CHECK(stats.bytes_decompressed == 0)
+            << "v2 store decompressed bytes";
+      }
     }
     legacy_s /= reps;
-    insitu_s /= reps;
-    const double speedup = insitu_s > 0 ? legacy_s / insitu_s : 0.0;
-    std::printf("%-14s %14.5f %14.5f %8.1fx %16.2f %14.2f\n", wp.name.c_str(),
-                legacy_s, insitu_s, speedup,
-                static_cast<double>(legacy_bytes) / 1e6,
-                static_cast<double>(insitu_bytes) / 1e6);
+    v1_s /= reps;
+    v2_s /= reps;
+    const double v1_speedup = v1_s > 0 ? legacy_s / v1_s : 0.0;
+    const double v2_speedup = v2_s > 0 ? legacy_s / v2_s : 0.0;
+    std::printf("%-12s %11.5f %11.5f %11.5f %7.1fx %7.1fx %12.2f %10lld\n",
+                wp.name.c_str(), legacy_s, v1_s, v2_s, v1_speedup, v2_speedup,
+                static_cast<double>(v1_bytes) / 1e6,
+                static_cast<long long>(v2_rows_materialized));
     json.Add()
         .Str("workflow", wp.name)
         .Num("reps", reps)
         .Num("legacy_open_query_s", legacy_s)
-        .Num("insitu_open_query_s", insitu_s)
-        .Num("speedup", speedup)
+        .Num("insitu_open_query_s", v1_s)
+        .Num("insitu_v2_open_query_s", v2_s)
+        .Num("speedup", v1_speedup)
+        .Num("v2_speedup", v2_speedup)
         .Num("legacy_bytes_decompressed", static_cast<double>(legacy_bytes))
-        .Num("insitu_bytes_decompressed", static_cast<double>(insitu_bytes))
+        .Num("insitu_bytes_decompressed", static_cast<double>(v1_bytes))
+        .Num("v2_bytes_decompressed", 0.0)
+        .Num("v2_rows_materialized", static_cast<double>(v2_rows_materialized))
+        .Num("v2_segments_borrowed", static_cast<double>(v2_borrowed))
         .Num("segments_touched", static_cast<double>(touched))
         .Num("segment_count", static_cast<double>(total_segs));
   }
 
   std::printf(
       "\nExpected shape: OpenInSitu answers the first query >= 5x sooner than\n"
-      "legacy Load+query (it maps the file and decompresses only the touched\n"
-      "path), and its decompressed-bytes column stays a small fraction of the\n"
-      "legacy column (which always pays for the whole catalog).\n");
+      "legacy Load+query (it maps the file and resolves only the touched\n"
+      "path). The v2 columnar store additionally decompresses zero bytes and\n"
+      "materializes zero rows — its segments are scanned in place.\n");
   return 0;
 }

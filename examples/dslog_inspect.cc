@@ -1,11 +1,16 @@
 // dslog_inspect: dumps the structure of a LogStore file — header/version,
-// array catalog, per-segment edge index (offset, compressed size, checksum
-// verification), and footer totals — without decompressing any segment.
+// array catalog, per-segment edge index (layout version, row count,
+// bytes/row, offset, size, checksum verification), and footer totals.
+// Mixed-version stores (v1 ProvRC-GZip segments next to v2 columnar ones)
+// show per-layout subtotals, so "which edges still pay a gunzip" is
+// answerable at a glance. Row counts ride in v2 footers; for segments
+// written before that field the tool decodes the segment once to count
+// (marked with '*').
 //
 //   ./dslog_inspect <log.dsl>
 //
-// With no argument, builds a small demo catalog in the scratch dir and
-// inspects that, so the example is runnable stand-alone.
+// With no argument, builds a small mixed-layout demo catalog in the
+// scratch dir and inspects that, so the example is runnable stand-alone.
 
 #include <cstdio>
 #include <string>
@@ -25,7 +30,7 @@ std::string BuildDemoStore() {
   DSLog log;
   const int64_t n = 64;
   (void)log.DefineArray("a0", {n});
-  for (int i = 0; i < 6; ++i) {
+  auto add_step = [&](int i) {
     std::string in = "a" + std::to_string(i);
     std::string out = "a" + std::to_string(i + 1);
     (void)log.DefineArray(out, {n});
@@ -43,11 +48,29 @@ std::string BuildDemoStore() {
     reg.reuse = false;
     auto outcome = log.RegisterOperation(std::move(reg));
     DSLOG_CHECK(outcome.ok()) << outcome.status().ToString();
-  }
+  };
   std::string path = ScratchDir() + "/inspect_demo.dsl";
-  Status st = log.SaveLogStore(path);
+  // First half as a gzip store, second half appended columnar — a mixed
+  // store, so the demo output shows both layouts.
+  for (int i = 0; i < 3; ++i) add_step(i);
+  Status st = log.SaveLogStore(path, SegmentLayout::kProvRcGzip);
+  DSLOG_CHECK(st.ok()) << st.ToString();
+  for (int i = 3; i < 6; ++i) add_step(i);
+  st = log.AppendLogStore(path);
   DSLOG_CHECK(st.ok()) << st.ToString();
   return path;
+}
+
+/// Row count of a segment: from the footer when recorded, otherwise by
+/// decoding the segment once (v1 footers predate the field).
+int64_t SegmentRows(const LogStore& store, size_t id, bool* decoded) {
+  const LogStore::SegmentInfo& seg = store.segments()[id];
+  *decoded = false;
+  if (seg.row_count >= 0) return seg.row_count;
+  auto table = store.Table(id);
+  if (!table.ok()) return -1;
+  *decoded = true;
+  return table.value()->num_rows();
 }
 
 }  // namespace
@@ -86,23 +109,45 @@ int main(int argc, char** argv) {
     std::printf("  %-24s [%s]\n", name.c_str(), JoinInts(shape, ", ").c_str());
 
   std::printf("\nsegments (edge index):\n");
-  std::printf("  %4s %-18s %-18s %-16s %10s %10s %9s\n", "id", "in_arr",
-              "out_arr", "op", "offset", "bytes", "checksum");
+  std::printf("  %4s %-14s %-14s %-14s %-9s %9s %10s %9s %9s\n", "id",
+              "in_arr", "out_arr", "op", "layout", "rows", "bytes", "B/row",
+              "checksum");
   int64_t total_bytes = 0;
+  int64_t layout_bytes[2] = {0, 0};
+  int layout_count[2] = {0, 0};
   int corrupt = 0;
   for (size_t i = 0; i < store.segments().size(); ++i) {
     const LogStore::SegmentInfo& seg = store.segments()[i];
     const bool ok = Hash64(store.SegmentView(i)) == seg.checksum;
     if (!ok) ++corrupt;
     total_bytes += static_cast<int64_t>(seg.length);
-    std::printf("  %4zu %-18s %-18s %-16s %10llu %10llu %9s\n", i,
+    const int slot = seg.layout == SegmentLayout::kColumnar ? 1 : 0;
+    layout_bytes[slot] += static_cast<int64_t>(seg.length);
+    ++layout_count[slot];
+    bool decoded = false;
+    const int64_t rows = ok ? SegmentRows(store, i, &decoded) : -1;
+    char rows_text[32];
+    if (rows >= 0)
+      std::snprintf(rows_text, sizeof rows_text, "%lld%s",
+                    static_cast<long long>(rows), decoded ? "*" : "");
+    else
+      std::snprintf(rows_text, sizeof rows_text, "?");
+    char per_row[32];
+    if (rows > 0)
+      std::snprintf(per_row, sizeof per_row, "%.1f",
+                    static_cast<double>(seg.length) / static_cast<double>(rows));
+    else
+      std::snprintf(per_row, sizeof per_row, "-");
+    std::printf("  %4zu %-14s %-14s %-14s %-9s %9s %10llu %9s %9s\n", i,
                 seg.in_arr.c_str(), seg.out_arr.c_str(), seg.op_name.c_str(),
-                static_cast<unsigned long long>(seg.offset),
-                static_cast<unsigned long long>(seg.length),
+                slot == 1 ? "v2-col" : "v1-gzip", rows_text,
+                static_cast<unsigned long long>(seg.length), per_row,
                 ok ? "ok" : "MISMATCH");
   }
-  std::printf("\ntotals: %s of compressed segments",
-              HumanBytes(total_bytes).c_str());
+  std::printf("\ntotals: %s of segments (%d v1-gzip: %s, %d v2-columnar: %s)",
+              HumanBytes(total_bytes).c_str(), layout_count[0],
+              HumanBytes(layout_bytes[0]).c_str(), layout_count[1],
+              HumanBytes(layout_bytes[1]).c_str());
   if (corrupt > 0) {
     std::printf(", %d CORRUPT segment(s)\n", corrupt);
     return 2;

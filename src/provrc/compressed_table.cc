@@ -20,7 +20,8 @@ void ForEachPoint(const std::vector<Interval>& intervals, Fn&& fn) {
       --k;
       if (point[k] < intervals[k].hi) {
         ++point[k];
-        for (size_t j = k + 1; j < intervals.size(); ++j) point[j] = intervals[j].lo;
+        for (size_t j = k + 1; j < intervals.size(); ++j)
+          point[j] = intervals[j].lo;
         break;
       }
       if (k == 0) return;
@@ -31,23 +32,161 @@ void ForEachPoint(const std::vector<Interval>& intervals, Fn&& fn) {
 
 }  // namespace
 
+CompressedTable::CompressedTable(const CompressedTable& o)
+    : out_shape_(o.out_shape_),
+      in_shape_(o.in_shape_),
+      num_rows_(o.num_rows_),
+      lo_(o.lo_),
+      hi_(o.hi_),
+      ref_(o.ref_) {
+  std::lock_guard<std::mutex> lock(o.index_mu_);
+  index_ = o.index_;  // immutable once built; safe to share
+}
+
+CompressedTable& CompressedTable::operator=(const CompressedTable& o) {
+  if (this == &o) return *this;
+  out_shape_ = o.out_shape_;
+  in_shape_ = o.in_shape_;
+  num_rows_ = o.num_rows_;
+  lo_ = o.lo_;
+  hi_ = o.hi_;
+  ref_ = o.ref_;
+  std::scoped_lock lock(index_mu_, o.index_mu_);
+  index_ = o.index_;
+  return *this;
+}
+
+CompressedTable::CompressedTable(CompressedTable&& o) noexcept
+    : out_shape_(std::move(o.out_shape_)),
+      in_shape_(std::move(o.in_shape_)),
+      num_rows_(o.num_rows_),
+      lo_(std::move(o.lo_)),
+      hi_(std::move(o.hi_)),
+      ref_(std::move(o.ref_)) {
+  std::lock_guard<std::mutex> lock(o.index_mu_);
+  index_ = std::move(o.index_);
+  o.num_rows_ = 0;
+}
+
+CompressedTable& CompressedTable::operator=(CompressedTable&& o) noexcept {
+  if (this == &o) return *this;
+  out_shape_ = std::move(o.out_shape_);
+  in_shape_ = std::move(o.in_shape_);
+  num_rows_ = o.num_rows_;
+  lo_ = std::move(o.lo_);
+  hi_ = std::move(o.hi_);
+  ref_ = std::move(o.ref_);
+  std::scoped_lock lock(index_mu_, o.index_mu_);
+  index_ = std::move(o.index_);
+  o.num_rows_ = 0;
+  return *this;
+}
+
+void CompressedTable::set_out_iv(int64_t r, int32_t k, Interval iv) {
+  const size_t at = static_cast<size_t>(r * stride() + k);
+  lo_[at] = iv.lo;
+  hi_[at] = iv.hi;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_.reset();
+}
+
+void CompressedTable::set_in_iv(int64_t r, int32_t i, Interval iv) {
+  const size_t at = static_cast<size_t>(r * stride() + out_ndim() + i);
+  lo_[at] = iv.lo;
+  hi_[at] = iv.hi;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_.reset();
+}
+
+CompressedRow CompressedTable::Row(int64_t r) const {
+  CompressedRow row;
+  row.out.reserve(static_cast<size_t>(out_ndim()));
+  for (int k = 0; k < out_ndim(); ++k) row.out.push_back(out_iv(r, k));
+  row.in.reserve(static_cast<size_t>(in_ndim()));
+  for (int i = 0; i < in_ndim(); ++i) row.in.push_back(in_cell(r, i));
+  return row;
+}
+
+void CompressedTable::Reserve(int64_t rows) {
+  lo_.reserve(static_cast<size_t>(rows * stride()));
+  hi_.reserve(static_cast<size_t>(rows * stride()));
+  ref_.reserve(static_cast<size_t>(rows * in_ndim()));
+}
+
+void CompressedTable::AddRow(std::span<const Interval> out,
+                             std::span<const InputCell> in) {
+  DSLOG_DCHECK(static_cast<int>(out.size()) == out_ndim());
+  DSLOG_DCHECK(static_cast<int>(in.size()) == in_ndim());
+  for (const Interval& iv : out) {
+    lo_.push_back(iv.lo);
+    hi_.push_back(iv.hi);
+  }
+  for (const InputCell& cell : in) {
+    lo_.push_back(cell.iv.lo);
+    hi_.push_back(cell.iv.hi);
+    ref_.push_back(cell.is_relative() ? cell.ref : -1);
+  }
+  ++num_rows_;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_.reset();
+}
+
+void CompressedTable::AppendRowRaw(const Interval* out, const Interval* in,
+                                   const int32_t* refs) {
+  for (int k = 0; k < out_ndim(); ++k) {
+    lo_.push_back(out[k].lo);
+    hi_.push_back(out[k].hi);
+  }
+  for (int i = 0; i < in_ndim(); ++i) {
+    lo_.push_back(in[i].lo);
+    hi_.push_back(in[i].hi);
+    ref_.push_back(refs[i]);
+  }
+  ++num_rows_;
+  // No index invalidation: the encoder appends before any query can have
+  // built an index, and AddRow (the general path) resets it anyway.
+}
+
+CompressedTableView CompressedTable::view() const {
+  CompressedTableView v;
+  v.lo = lo_.data();
+  v.hi = hi_.data();
+  v.ref = ref_.data();
+  v.out_shape = out_shape_.data();
+  v.in_shape = in_shape_.data();
+  v.out_ndim = static_cast<int32_t>(out_ndim());
+  v.in_ndim = static_cast<int32_t>(in_ndim());
+  v.num_rows = num_rows_;
+  return v;
+}
+
+std::shared_ptr<const IntervalIndex> CompressedTable::BackwardIndex() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (!index_)
+    index_ = std::make_shared<const IntervalIndex>(lo_.data(), hi_.data(),
+                                                   num_rows_, stride());
+  return index_;
+}
+
 LineageRelation CompressedTable::Decompress() const {
   LineageRelation rel(out_ndim(), in_ndim());
   rel.set_shapes(out_shape_, in_shape_);
-  std::vector<int64_t> in_point(static_cast<size_t>(in_ndim()));
-  for (const CompressedRow& row : rows_) {
-    DSLOG_DCHECK(static_cast<int>(row.out.size()) == out_ndim());
-    DSLOG_DCHECK(static_cast<int>(row.in.size()) == in_ndim());
-    ForEachPoint(row.out, [&](const std::vector<int64_t>& out_point) {
+  const int l = out_ndim();
+  const int m = in_ndim();
+  std::vector<Interval> out_ivs(static_cast<size_t>(l));
+  std::vector<Interval> in_ivs(static_cast<size_t>(m));
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    for (int k = 0; k < l; ++k) out_ivs[static_cast<size_t>(k)] = out_iv(r, k);
+    ForEachPoint(out_ivs, [&](const std::vector<int64_t>& out_point) {
       // Resolve per-output-point input intervals (de-relativize).
-      std::vector<Interval> in_ivs(row.in.size());
-      for (size_t i = 0; i < row.in.size(); ++i) {
-        const InputCell& cell = row.in[i];
-        if (cell.is_relative()) {
-          int64_t b = out_point[static_cast<size_t>(cell.ref)];
-          in_ivs[i] = {b + cell.iv.lo, b + cell.iv.hi};
+      for (int i = 0; i < m; ++i) {
+        const Interval iv = in_iv(r, i);
+        const int32_t rf = in_ref(r, i);
+        if (rf >= 0) {
+          const int64_t b = out_point[static_cast<size_t>(rf)];
+          in_ivs[static_cast<size_t>(i)] = {b + iv.lo, b + iv.hi};
         } else {
-          in_ivs[i] = cell.iv;
+          in_ivs[static_cast<size_t>(i)] = iv;
         }
       }
       ForEachPoint(in_ivs, [&](const std::vector<int64_t>& ip) {
@@ -60,12 +199,14 @@ LineageRelation CompressedTable::Decompress() const {
 
 int64_t CompressedTable::NumPairsRepresented() const {
   int64_t total = 0;
-  for (const CompressedRow& row : rows_) {
-    int64_t out_cells = 1;
-    for (const Interval& iv : row.out) out_cells *= iv.width();
-    int64_t in_cells = 1;
-    for (const InputCell& cell : row.in) in_cells *= cell.iv.width();
-    total += out_cells * in_cells;
+  const int64_t w = stride();
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    int64_t cells = 1;
+    for (int64_t k = 0; k < w; ++k) {
+      const size_t at = static_cast<size_t>(r * w + k);
+      cells *= hi_[at] - lo_[at] + 1;
+    }
+    total += cells;
   }
   return total;
 }
@@ -75,21 +216,20 @@ std::string CompressedTable::DebugString(int64_t max_rows) const {
   os << "CompressedTable(out=" << out_ndim() << "d, in=" << in_ndim()
      << "d, rows=" << num_rows() << ")\n";
   int64_t n = std::min<int64_t>(num_rows(), max_rows);
-  for (int64_t i = 0; i < n; ++i) {
-    const CompressedRow& row = rows_[static_cast<size_t>(i)];
+  for (int64_t r = 0; r < n; ++r) {
     os << "  (";
-    for (size_t k = 0; k < row.out.size(); ++k) {
+    for (int k = 0; k < out_ndim(); ++k) {
       if (k) os << ", ";
-      os << row.out[k].ToString();
+      os << out_iv(r, k).ToString();
     }
     os << " | ";
-    for (size_t k = 0; k < row.in.size(); ++k) {
-      if (k) os << ", ";
-      const InputCell& c = row.in[k];
-      if (c.is_relative())
-        os << "b" << c.ref << "+" << c.iv.ToString();
+    for (int i = 0; i < in_ndim(); ++i) {
+      if (i) os << ", ";
+      const int32_t rf = in_ref(r, i);
+      if (rf >= 0)
+        os << "b" << rf << "+" << in_iv(r, i).ToString();
       else
-        os << c.iv.ToString();
+        os << in_iv(r, i).ToString();
     }
     os << ")\n";
   }

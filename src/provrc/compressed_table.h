@@ -4,20 +4,34 @@
 // or a delta interval relative to one output attribute (pattern 3, with
 // delta defined as a_i - b_j). Every row denotes an all-to-all set in the
 // (possibly relative) index space — a union-of-Cartesian-products member.
+//
+// Physical layout: flat columnar (SoA) arenas, not per-row vectors. A row
+// is a fixed stride of out_ndim + in_ndim cells across two int64 arenas
+// (interval lo bounds, interval hi bounds) plus one int32 ref arena for the
+// input cells, where ref >= 0 names the referenced output attribute of a
+// relative cell and ref == -1 marks an absolute cell (the cell *kind* is
+// the ref's sign). θ-join kernels scan these arenas directly; the
+// CompressedTableView below exposes the same columns whether they live in
+// an owned table or in an mmap'd LogStore segment (zero-copy in situ).
 
 #ifndef DSLOG_PROVRC_COMPRESSED_TABLE_H_
 #define DSLOG_PROVRC_COMPRESSED_TABLE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "lineage/lineage_relation.h"
 #include "provrc/interval.h"
+#include "provrc/interval_index.h"
 
 namespace dslog {
 
-/// One input-attribute cell of a compressed row.
+/// One input-attribute cell of a compressed row (value type: the arenas
+/// are the storage, this is the unit they are built from / read back as).
 struct InputCell {
   enum class Kind : uint8_t { kAbsolute = 0, kRelative = 1 };
 
@@ -38,8 +52,9 @@ struct InputCell {
   bool operator==(const InputCell& o) const = default;
 };
 
-/// One compressed row: absolute output intervals plus one cell per input
-/// attribute.
+/// One materialized compressed row: absolute output intervals plus one cell
+/// per input attribute. A builder/inspection convenience — storage is the
+/// columnar arena, not rows of vectors.
 struct CompressedRow {
   std::vector<Interval> out;
   std::vector<InputCell> in;
@@ -47,24 +62,128 @@ struct CompressedRow {
   bool operator==(const CompressedRow& o) const = default;
 };
 
+/// Non-owning columnar view of a compressed table: the scan format of the
+/// θ-join kernels. Backed either by a CompressedTable's arenas (view())
+/// or borrowed directly from an mmap'd v2 LogStore segment whose on-disk
+/// bytes *are* this layout. The backing storage must outlive the view
+/// (query hops carry a pin for lazily-decoded segments).
+struct CompressedTableView {
+  const int64_t* lo = nullptr;   // num_rows * stride() interval lo bounds
+  const int64_t* hi = nullptr;   // num_rows * stride() interval hi bounds
+  const int32_t* ref = nullptr;  // num_rows * in_ndim; -1 = absolute cell
+  const int64_t* out_shape = nullptr;  // out_ndim dims
+  const int64_t* in_shape = nullptr;   // in_ndim dims
+  int32_t out_ndim = 0;
+  int32_t in_ndim = 0;
+  int64_t num_rows = 0;
+
+  /// Cells per row across the lo/hi arenas: outputs first, then inputs.
+  int64_t stride() const { return out_ndim + in_ndim; }
+
+  Interval out_iv(int64_t r, int32_t k) const {
+    const int64_t at = r * stride() + k;
+    return {lo[at], hi[at]};
+  }
+  Interval in_iv(int64_t r, int32_t i) const {
+    const int64_t at = r * stride() + out_ndim + i;
+    return {lo[at], hi[at]};
+  }
+  int32_t in_ref(int64_t r, int32_t i) const { return ref[r * in_ndim + i]; }
+  bool in_is_relative(int64_t r, int32_t i) const {
+    return in_ref(r, i) >= 0;
+  }
+  InputCell in_cell(int64_t r, int32_t i) const {
+    const int32_t rf = in_ref(r, i);
+    return rf >= 0 ? InputCell::Relative(rf, in_iv(r, i))
+                   : InputCell::Absolute(in_iv(r, i));
+  }
+
+  std::span<const int64_t> out_shape_span() const {
+    return {out_shape, static_cast<size_t>(out_ndim)};
+  }
+  std::span<const int64_t> in_shape_span() const {
+    return {in_shape, static_cast<size_t>(in_ndim)};
+  }
+
+  /// Builds the sorted interval index over output attribute 0 (the
+  /// backward-join probe column). O(n log n); cache the result.
+  IntervalIndex BuildBackwardIndex() const {
+    return IntervalIndex(lo, hi, num_rows, stride());
+  }
+};
+
 /// A compressed lineage table between one output and one input array
 /// (the backward representation of §IV.C: predicates push down on outputs).
+/// Owns its columnar arenas; copyable and movable.
 class CompressedTable {
  public:
   CompressedTable() = default;
   CompressedTable(std::vector<int64_t> out_shape, std::vector<int64_t> in_shape)
       : out_shape_(std::move(out_shape)), in_shape_(std::move(in_shape)) {}
 
+  CompressedTable(const CompressedTable& o);
+  CompressedTable& operator=(const CompressedTable& o);
+  CompressedTable(CompressedTable&& o) noexcept;
+  CompressedTable& operator=(CompressedTable&& o) noexcept;
+
   int out_ndim() const { return static_cast<int>(out_shape_.size()); }
   int in_ndim() const { return static_cast<int>(in_shape_.size()); }
   const std::vector<int64_t>& out_shape() const { return out_shape_; }
   const std::vector<int64_t>& in_shape() const { return in_shape_; }
 
-  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
-  const std::vector<CompressedRow>& rows() const { return rows_; }
-  std::vector<CompressedRow>& mutable_rows() { return rows_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t stride() const { return out_ndim() + in_ndim(); }
 
-  void AddRow(CompressedRow row) { rows_.push_back(std::move(row)); }
+  // Raw arenas (serialization and kernel plumbing).
+  const int64_t* lo_data() const { return lo_.data(); }
+  const int64_t* hi_data() const { return hi_.data(); }
+  const int32_t* ref_data() const { return ref_.data(); }
+
+  // Cell accessors (row r, attribute k/i).
+  Interval out_iv(int64_t r, int32_t k) const {
+    const size_t at = static_cast<size_t>(r * stride() + k);
+    return {lo_[at], hi_[at]};
+  }
+  Interval in_iv(int64_t r, int32_t i) const {
+    const size_t at = static_cast<size_t>(r * stride() + out_ndim() + i);
+    return {lo_[at], hi_[at]};
+  }
+  int32_t in_ref(int64_t r, int32_t i) const {
+    return ref_[static_cast<size_t>(r * in_ndim() + i)];
+  }
+  bool in_is_relative(int64_t r, int32_t i) const { return in_ref(r, i) >= 0; }
+  InputCell in_cell(int64_t r, int32_t i) const {
+    const int32_t rf = in_ref(r, i);
+    return rf >= 0 ? InputCell::Relative(rf, in_iv(r, i))
+                   : InputCell::Absolute(in_iv(r, i));
+  }
+
+  // Cell mutators (reshape instantiation). Invalidate the cached index.
+  void set_out_iv(int64_t r, int32_t k, Interval iv);
+  void set_in_iv(int64_t r, int32_t i, Interval iv);
+
+  /// Materializes row r (tests, DebugString, reference oracles).
+  CompressedRow Row(int64_t r) const;
+
+  void Reserve(int64_t rows);
+  void AddRow(std::span<const Interval> out, std::span<const InputCell> in);
+  void AddRow(const CompressedRow& row) {
+    AddRow(std::span<const Interval>(row.out),
+           std::span<const InputCell>(row.in));
+  }
+  /// Appends a row from raw per-attribute arrays: out[l] intervals, in[m]
+  /// intervals, refs[m] (-1 = absolute). The encoder's flat-pass emitter.
+  void AppendRowRaw(const Interval* out, const Interval* in,
+                    const int32_t* refs);
+
+  /// Columnar view over this table's arenas (valid until the next mutation
+  /// or destruction).
+  CompressedTableView view() const;
+
+  /// The sorted interval index over output attribute 0, built lazily on
+  /// first use and shared across queries (and across copies of the table).
+  /// Thread-safe; mutations invalidate it.
+  std::shared_ptr<const IntervalIndex> BackwardIndex() const;
 
   /// Expands every row back to individual contribution tuples. Used by the
   /// losslessness property tests and by baselines needing full relations.
@@ -76,12 +195,24 @@ class CompressedTable {
 
   std::string DebugString(int64_t max_rows = 20) const;
 
-  bool operator==(const CompressedTable& o) const = default;
+  bool operator==(const CompressedTable& o) const {
+    return out_shape_ == o.out_shape_ && in_shape_ == o.in_shape_ &&
+           num_rows_ == o.num_rows_ && lo_ == o.lo_ && hi_ == o.hi_ &&
+           ref_ == o.ref_;
+  }
 
  private:
   std::vector<int64_t> out_shape_;
   std::vector<int64_t> in_shape_;
-  std::vector<CompressedRow> rows_;
+  int64_t num_rows_ = 0;
+  std::vector<int64_t> lo_;   // num_rows * stride()
+  std::vector<int64_t> hi_;   // num_rows * stride()
+  std::vector<int32_t> ref_;  // num_rows * in_ndim
+
+  /// Lazily-built backward-join index. Guarded by index_mu_; immutable
+  /// once published, so copies may share it.
+  mutable std::mutex index_mu_;
+  mutable std::shared_ptr<const IntervalIndex> index_;
 };
 
 }  // namespace dslog

@@ -305,40 +305,42 @@ CompressedTable ProvRcCompress(const LineageRelation& relation,
   // Step 1: input attributes, a_m first (paper order).
   for (int i = m - 1; i >= 0; --i) RangeEncodeInputAttr(&st, i);
 
+  // Emit the surviving rows straight into the table's columnar arenas (the
+  // working state is already flat, so this is a per-row gather, not a
+  // per-row allocation).
   CompressedTable table(rel.out_shape(), rel.in_shape());
+  std::vector<Interval> row_in(static_cast<size_t>(m));
+  std::vector<int32_t> row_ref(static_cast<size_t>(m));
   if (options.enable_relative_transform) {
     // Step 2: relative transform, then output attributes b_l first.
     InitRepresentations(&st);
     for (int j = l - 1; j >= 0; --j) RangeEncodeOutputAttr(&st, j);
 
+    table.Reserve(st.nrows);
     for (int64_t r = 0; r < st.nrows; ++r) {
-      CompressedRow row;
-      row.out.assign(st.OutRow(r), st.OutRow(r) + l);
-      row.in.reserve(static_cast<size_t>(m));
       for (int i = 0; i < m; ++i) {
         uint32_t mask = st.masks[static_cast<size_t>(r * m + i)];
         DSLOG_DCHECK(mask != 0);
         if (mask & 1u) {
           // Pattern 2: the absolute value survived.
-          row.in.push_back(InputCell::Absolute(st.InRow(r)[i]));
+          row_in[static_cast<size_t>(i)] = st.InRow(r)[i];
+          row_ref[static_cast<size_t>(i)] = -1;
         } else {
           // Pattern 3: pick the lowest surviving delta reference.
           int j = 0;
           while (((mask >> (j + 1)) & 1u) == 0) ++j;
-          row.in.push_back(InputCell::Relative(
-              j, st.deltas[static_cast<size_t>((r * m + i) * l + j)]));
+          row_in[static_cast<size_t>(i)] =
+              st.deltas[static_cast<size_t>((r * m + i) * l + j)];
+          row_ref[static_cast<size_t>(i)] = j;
         }
       }
-      table.AddRow(std::move(row));
+      table.AppendRowRaw(st.OutRow(r), row_in.data(), row_ref.data());
     }
   } else {
-    for (int64_t r = 0; r < st.nrows; ++r) {
-      CompressedRow row;
-      row.out.assign(st.OutRow(r), st.OutRow(r) + l);
-      for (int i = 0; i < m; ++i)
-        row.in.push_back(InputCell::Absolute(st.InRow(r)[i]));
-      table.AddRow(std::move(row));
-    }
+    table.Reserve(st.nrows);
+    std::fill(row_ref.begin(), row_ref.end(), -1);
+    for (int64_t r = 0; r < st.nrows; ++r)
+      table.AppendRowRaw(st.OutRow(r), st.InRow(r), row_ref.data());
   }
   return table;
 }

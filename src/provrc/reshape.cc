@@ -34,21 +34,19 @@ GeneralizedTable GeneralizedTable::Generalize(const CompressedTable& table) {
   dims.insert(dims.end(), table.in_shape().begin(), table.in_shape().end());
 
   gen.marks_.reserve(static_cast<size_t>(table.num_rows()));
-  for (const CompressedRow& row : table.rows()) {
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
     std::vector<int32_t> marks(static_cast<size_t>(l + m), -1);
     for (int k = 0; k < l; ++k) {
-      marks[static_cast<size_t>(k)] =
-          SymbolicDimFor(row.out[static_cast<size_t>(k)], dims, k);
+      marks[static_cast<size_t>(k)] = SymbolicDimFor(table.out_iv(r, k), dims, k);
       if (marks[static_cast<size_t>(k)] >= 0) gen.has_symbolic_ = true;
     }
     for (int k = 0; k < m; ++k) {
-      const InputCell& cell = row.in[static_cast<size_t>(k)];
       // Only absolute intervals are shape-generalizable (the paper's rule);
       // delta intervals whose magnitude depends on the shape make the table
       // non-reshapable, handled by gen_sig verification failing.
-      if (!cell.is_relative()) {
-        marks[static_cast<size_t>(l + k)] =
-            SymbolicDimFor(cell.iv, dims, static_cast<int32_t>(l + k));
+      if (!table.in_is_relative(r, k)) {
+        marks[static_cast<size_t>(l + k)] = SymbolicDimFor(
+            table.in_iv(r, k), dims, static_cast<int32_t>(l + k));
         if (marks[static_cast<size_t>(l + k)] >= 0) gen.has_symbolic_ = true;
       }
     }
@@ -69,22 +67,24 @@ Result<CompressedTable> GeneralizedTable::Instantiate(
   std::vector<int64_t> dims = out_shape;
   dims.insert(dims.end(), in_shape.begin(), in_shape.end());
 
+  // Rebuild the template under the target shapes, then patch the symbolic
+  // cells in place for the target dims.
   CompressedTable out(out_shape, in_shape);
+  out.Reserve(template_.num_rows());
+  for (int64_t r = 0; r < template_.num_rows(); ++r)
+    out.AddRow(template_.Row(r));
   for (int64_t r = 0; r < template_.num_rows(); ++r) {
-    const CompressedRow& row = template_.rows()[static_cast<size_t>(r)];
     const std::vector<int32_t>& marks = marks_[static_cast<size_t>(r)];
-    CompressedRow nr = row;
     for (int k = 0; k < l; ++k) {
       int32_t dim = marks[static_cast<size_t>(k)];
       if (dim >= 0)
-        nr.out[static_cast<size_t>(k)] = {0, dims[static_cast<size_t>(dim)] - 1};
+        out.set_out_iv(r, k, {0, dims[static_cast<size_t>(dim)] - 1});
     }
     for (int k = 0; k < m; ++k) {
       int32_t dim = marks[static_cast<size_t>(l + k)];
       if (dim >= 0)
-        nr.in[static_cast<size_t>(k)].iv = {0, dims[static_cast<size_t>(dim)] - 1};
+        out.set_in_iv(r, k, {0, dims[static_cast<size_t>(dim)] - 1});
     }
-    out.AddRow(std::move(nr));
   }
   return out;
 }

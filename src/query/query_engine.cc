@@ -18,9 +18,9 @@ BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
     if (hop.forward) {
       current = hop.forward_table != nullptr
                     ? hop.forward_table->Join(current, num_threads)
-                    : ForwardThetaJoin(current, *hop.table, num_threads);
+                    : ForwardThetaJoin(current, hop.table, num_threads);
     } else {
-      current = BackwardThetaJoin(current, *hop.table, num_threads);
+      current = BackwardThetaJoin(current, hop.table, hop.index, num_threads);
     }
     if (options.merge_between_hops) current.Merge();
     if (current.empty()) break;

@@ -11,30 +11,43 @@
 
 #include "lineage/lineage_relation.h"
 #include "provrc/compressed_table.h"
+#include "provrc/interval_index.h"
 #include "query/box.h"
 
 namespace dslog {
 
 class ForwardTable;
 
-/// One step in a query path. `forward` means the traversal goes from the
+/// One step in a query path: a columnar view of the hop's stored table
+/// (owned arenas or bytes borrowed from an mmap'd LogStore segment) plus
+/// the traversal direction. `forward` means the traversal goes from the
 /// stored relation's input array to its output array. When a materialized
 /// forward representation (§IV.C) is available it can be supplied in
 /// `forward_table` and is used for forward hops instead of the direct join
 /// over the backward representation.
 struct QueryHop {
   QueryHop() = default;
+  /// Hop over an owned table: captures its view and shares its cached
+  /// backward index. The table itself must outlive the hop (as before);
+  /// the pin keeps only the index alive.
   QueryHop(const CompressedTable* table, bool forward,
            const ForwardTable* forward_table = nullptr)
-      : table(table), forward(forward), forward_table(forward_table) {}
+      : table(table->view()), forward(forward), forward_table(forward_table) {
+    auto idx = table->BackwardIndex();
+    index = idx.get();
+    pin = std::move(idx);
+  }
 
-  const CompressedTable* table = nullptr;
+  CompressedTableView table;
   bool forward = false;
   const ForwardTable* forward_table = nullptr;
-  /// Optional ownership of `table`: hops over lazily-decoded LogStore
-  /// segments pin the decoded table here so a concurrent cache eviction
-  /// cannot free it mid-query. Catalog-resident tables leave it null.
-  std::shared_ptr<const CompressedTable> pin;
+  /// Sorted interval index over the table's output attribute 0 (backward
+  /// hops probe it instead of scanning). nullptr = build ephemerally.
+  const IntervalIndex* index = nullptr;
+  /// Keeps the view's backing storage (and `index`) alive for the query:
+  /// hops over lazily-decoded LogStore segments pin the cache entry here
+  /// so a concurrent eviction cannot free it mid-query.
+  std::shared_ptr<const void> pin;
 };
 
 struct QueryOptions {

@@ -4,26 +4,17 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
-#include "query/interval_sweep.h"
 
 namespace dslog {
 
 namespace {
 
-// Collects attribute-0 intervals of the query boxes.
-std::vector<Interval> QueryAttr0(const BoxTable& query) {
-  std::vector<Interval> ivs;
-  ivs.reserve(static_cast<size_t>(query.num_boxes()));
-  for (int64_t qb = 0; qb < query.num_boxes(); ++qb)
-    ivs.push_back(query.Box(qb)[0]);
-  return ivs;
-}
-
 // Partitioned θ-join driver: splits the query boxes into `num_threads`
 // contiguous slices, runs `join` (the single-threaded join closed over the
-// stored table) per slice on the shared pool, and concatenates the partial
-// BoxTables. Set-equivalent to join(query); the caller applies Merge()
-// once on the concatenation, exactly as in the single-threaded plan.
+// stored table and its shared index) per slice on the shared pool, and
+// concatenates the partial BoxTables. Set-equivalent to join(query); the
+// caller applies Merge() once on the concatenation, exactly as in the
+// single-threaded plan.
 template <typename JoinFn>
 BoxTable PartitionedJoin(const BoxTable& query, int result_ndim,
                          int num_threads, JoinFn&& join) {
@@ -43,145 +34,220 @@ BoxTable PartitionedJoin(const BoxTable& query, int result_ndim,
   return result;
 }
 
+// Single-threaded backward kernel over the columns, probing `index`.
+BoxTable BackwardKernel(const BoxTable& query, const CompressedTableView& t,
+                        const IntervalIndex& index) {
+  const int32_t l = t.out_ndim;
+  const int32_t m = t.in_ndim;
+  const int64_t w = t.stride();
+  BoxTable result(m);
+  std::vector<int64_t> t_lo(static_cast<size_t>(l)), t_hi(static_cast<size_t>(l));
+  std::vector<Interval> out_box(static_cast<size_t>(m));
+
+  for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
+    const auto q = query.Box(qb);
+    index.ForEachOverlapping(q[0], [&](int64_t r) {
+      const int64_t* row_lo = t.lo + r * w;
+      const int64_t* row_hi = t.hi + r * w;
+      // Step 1: joint intersection over the output attributes (attribute 0
+      // overlaps by construction of the index probe).
+      bool hit = true;
+      for (int32_t k = 0; k < l; ++k) {
+        const int64_t lo = std::max(q[static_cast<size_t>(k)].lo, row_lo[k]);
+        const int64_t hi = std::min(q[static_cast<size_t>(k)].hi, row_hi[k]);
+        t_lo[static_cast<size_t>(k)] = lo;
+        t_hi[static_cast<size_t>(k)] = hi;
+        hit &= lo <= hi;
+      }
+      if (!hit) return;
+      // Step 2: de-relativize (rel_back): a = b + delta over the
+      // intersected output interval t. Absolute cells (ref < 0) shift by
+      // a zero base — one arithmetic select per bound, no per-kind branch.
+      const int32_t* refs = t.ref + r * m;
+      for (int32_t i = 0; i < m; ++i) {
+        const int32_t rf = refs[i];
+        const int64_t base_lo = rf >= 0 ? t_lo[static_cast<size_t>(rf)] : 0;
+        const int64_t base_hi = rf >= 0 ? t_hi[static_cast<size_t>(rf)] : 0;
+        out_box[static_cast<size_t>(i)] = {base_lo + row_lo[l + i],
+                                           base_hi + row_hi[l + i]};
+      }
+      result.AddBox(out_box);
+    });
+  }
+  return result;
+}
+
+// Single-threaded forward kernel over the columns, probing `index` (built
+// over the rows' implied absolute input-attribute-0 intervals).
+BoxTable ForwardKernel(const BoxTable& query, const CompressedTableView& t,
+                       const IntervalIndex& index) {
+  const int32_t l = t.out_ndim;
+  const int32_t m = t.in_ndim;
+  const int64_t w = t.stride();
+  BoxTable result(l);
+  std::vector<Interval> ti(static_cast<size_t>(m));
+  std::vector<Interval> out_box(static_cast<size_t>(l));
+
+  for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
+    const auto q = query.Box(qb);
+    index.ForEachOverlapping(q[0], [&](int64_t r) {
+      const int64_t* row_lo = t.lo + r * w;
+      const int64_t* row_hi = t.hi + r * w;
+      const int32_t* refs = t.ref + r * m;
+      // Range join on the implied absolute input intervals.
+      bool hit = true;
+      for (int32_t i = 0; i < m; ++i) {
+        const int32_t rf = refs[i];
+        const int64_t base_lo = rf >= 0 ? row_lo[rf] : 0;
+        const int64_t base_hi = rf >= 0 ? row_hi[rf] : 0;
+        const int64_t lo =
+            std::max(q[static_cast<size_t>(i)].lo, base_lo + row_lo[l + i]);
+        const int64_t hi =
+            std::min(q[static_cast<size_t>(i)].hi, base_hi + row_hi[l + i]);
+        ti[static_cast<size_t>(i)] = {lo, hi};
+        hit &= lo <= hi;
+      }
+      if (!hit) return;
+      // De-relativize forward (clamped rel_for): each relative input
+      // constrains its referenced output attribute to
+      // [t.lo - d.hi, t.hi - d.lo], intersected with the row's bound.
+      for (int32_t j = 0; j < l; ++j)
+        out_box[static_cast<size_t>(j)] = {row_lo[j], row_hi[j]};
+      bool feasible = true;
+      for (int32_t i = 0; i < m; ++i) {
+        const int32_t rf = refs[i];
+        if (rf < 0) continue;
+        const Interval& t_i = ti[static_cast<size_t>(i)];
+        Interval& target = out_box[static_cast<size_t>(rf)];
+        target.lo = std::max(target.lo, t_i.lo - row_hi[l + i]);
+        target.hi = std::min(target.hi, t_i.hi - row_lo[l + i]);
+        feasible &= target.lo <= target.hi;
+      }
+      if (!feasible) return;
+      result.AddBox(out_box);
+    });
+  }
+  return result;
+}
+
 }  // namespace
+
+BoxTable BackwardThetaJoin(const BoxTable& query,
+                           const CompressedTableView& table,
+                           const IntervalIndex* index, int num_threads) {
+  DSLOG_CHECK(query.ndim() == table.out_ndim)
+      << "backward query arity mismatch";
+  IntervalIndex ephemeral;
+  if (index == nullptr) {
+    ephemeral = table.BuildBackwardIndex();
+    index = &ephemeral;
+  }
+  if (num_threads > 1) {
+    return PartitionedJoin(query, table.in_ndim, num_threads,
+                           [&table, index](const BoxTable& q) {
+                             return BackwardKernel(q, table, *index);
+                           });
+  }
+  return BackwardKernel(query, table, *index);
+}
 
 BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
                            int num_threads) {
-  DSLOG_CHECK(query.ndim() == table.out_ndim())
-      << "backward query arity mismatch";
+  std::shared_ptr<const IntervalIndex> index = table.BackwardIndex();
+  return BackwardThetaJoin(query, table.view(), index.get(), num_threads);
+}
+
+BoxTable ForwardThetaJoin(const BoxTable& query,
+                          const CompressedTableView& table, int num_threads) {
+  DSLOG_CHECK(query.ndim() == table.in_ndim) << "forward query arity mismatch";
+  // Implied absolute input-attribute-0 intervals drive the probe; they
+  // depend on de-relativization, so the index is per call (its build cost
+  // matches the sort the old sweep paid every call).
+  const int32_t l = table.out_ndim;
+  const int64_t w = table.stride();
+  std::vector<int64_t> lo0(static_cast<size_t>(table.num_rows));
+  std::vector<int64_t> hi0(static_cast<size_t>(table.num_rows));
+  for (int64_t r = 0; r < table.num_rows; ++r) {
+    const int64_t* row_lo = table.lo + r * w;
+    const int64_t* row_hi = table.hi + r * w;
+    const int32_t rf = table.ref[r * table.in_ndim];
+    const int64_t base_lo = rf >= 0 ? row_lo[rf] : 0;
+    const int64_t base_hi = rf >= 0 ? row_hi[rf] : 0;
+    lo0[static_cast<size_t>(r)] = base_lo + row_lo[l];
+    hi0[static_cast<size_t>(r)] = base_hi + row_hi[l];
+  }
+  IntervalIndex index(lo0.data(), hi0.data(), table.num_rows, 1);
   if (num_threads > 1) {
-    return PartitionedJoin(query, table.in_ndim(), num_threads,
-                           [&table](const BoxTable& q) {
-                             return BackwardThetaJoin(q, table, 1);
+    return PartitionedJoin(query, table.out_ndim, num_threads,
+                           [&table, &index](const BoxTable& q) {
+                             return ForwardKernel(q, table, index);
                            });
   }
-  const int l = table.out_ndim();
-  const int m = table.in_ndim();
-  BoxTable result(m);
-  std::vector<Interval> t(static_cast<size_t>(l));
-  std::vector<Interval> out_box(static_cast<size_t>(m));
-
-  // Range join on output attribute 0 by sort-sweep; remaining attributes
-  // verified per candidate pair.
-  std::vector<Interval> row_attr0;
-  row_attr0.reserve(static_cast<size_t>(table.num_rows()));
-  for (const CompressedRow& row : table.rows()) row_attr0.push_back(row.out[0]);
-
-  ForEachOverlappingPair(
-      row_attr0, QueryAttr0(query), [&](int64_t ri, int64_t qb) {
-        const CompressedRow& row = table.rows()[static_cast<size_t>(ri)];
-        auto q = query.Box(qb);
-        // Step 1: joint intersection over the output attributes.
-        bool hit = true;
-        for (int k = 0; k < l && hit; ++k) {
-          t[static_cast<size_t>(k)] = q[static_cast<size_t>(k)].Intersect(
-              row.out[static_cast<size_t>(k)]);
-          hit = t[static_cast<size_t>(k)].valid();
-        }
-        if (!hit) return;
-        // Step 2: de-relativize (rel_back): a = b + delta over the
-        // intersected output interval t.
-        for (int i = 0; i < m; ++i) {
-          const InputCell& cell = row.in[static_cast<size_t>(i)];
-          if (cell.is_relative()) {
-            const Interval& tb = t[static_cast<size_t>(cell.ref)];
-            out_box[static_cast<size_t>(i)] = tb.ShiftBy(cell.iv);
-          } else {
-            out_box[static_cast<size_t>(i)] = cell.iv;
-          }
-        }
-        result.AddBox(out_box);
-      });
-  return result;
+  return ForwardKernel(query, table, index);
 }
 
 BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
                           int num_threads) {
-  DSLOG_CHECK(query.ndim() == table.in_ndim())
-      << "forward query arity mismatch";
-  if (num_threads > 1) {
-    return PartitionedJoin(query, table.out_ndim(), num_threads,
-                           [&table](const BoxTable& q) {
-                             return ForwardThetaJoin(q, table, 1);
-                           });
-  }
-  const int l = table.out_ndim();
-  const int m = table.in_ndim();
-  BoxTable result(l);
-  std::vector<Interval> t(static_cast<size_t>(m));
-  std::vector<Interval> out_box(static_cast<size_t>(l));
-
-  // Implied absolute input intervals per row (attribute 0 drives the sweep).
-  auto implied = [](const CompressedRow& row, int i) {
-    const InputCell& cell = row.in[static_cast<size_t>(i)];
-    return cell.is_relative()
-               ? row.out[static_cast<size_t>(cell.ref)].ShiftBy(cell.iv)
-               : cell.iv;
-  };
-  std::vector<Interval> row_attr0;
-  row_attr0.reserve(static_cast<size_t>(table.num_rows()));
-  for (const CompressedRow& row : table.rows())
-    row_attr0.push_back(implied(row, 0));
-
-  ForEachOverlappingPair(
-      row_attr0, QueryAttr0(query), [&](int64_t ri, int64_t qb) {
-        const CompressedRow& row = table.rows()[static_cast<size_t>(ri)];
-        auto q = query.Box(qb);
-        // Range join on the implied absolute input intervals.
-        bool hit = true;
-        for (int i = 0; i < m && hit; ++i) {
-          t[static_cast<size_t>(i)] =
-              q[static_cast<size_t>(i)].Intersect(implied(row, i));
-          hit = t[static_cast<size_t>(i)].valid();
-        }
-        if (!hit) return;
-        // De-relativize forward (clamped rel_for): each relative input
-        // constrains its referenced output attribute to
-        // [t.lo - d.hi, t.hi - d.lo], intersected with the row's bound.
-        for (int j = 0; j < l; ++j)
-          out_box[static_cast<size_t>(j)] = row.out[static_cast<size_t>(j)];
-        bool feasible = true;
-        for (int i = 0; i < m && feasible; ++i) {
-          const InputCell& cell = row.in[static_cast<size_t>(i)];
-          if (!cell.is_relative()) continue;
-          const Interval& ti = t[static_cast<size_t>(i)];
-          Interval constraint{ti.lo - cell.iv.hi, ti.hi - cell.iv.lo};
-          Interval& target = out_box[static_cast<size_t>(cell.ref)];
-          target = target.Intersect(constraint);
-          feasible = target.valid();
-        }
-        if (!feasible) return;
-        result.AddBox(out_box);
-      });
-  return result;
+  return ForwardThetaJoin(query, table.view(), num_threads);
 }
 
-ForwardTable ForwardTable::FromBackward(const CompressedTable& table) {
+ForwardTable ForwardTable::FromBackward(const CompressedTableView& table) {
   ForwardTable fwd;
-  fwd.out_shape_ = table.out_shape();
-  fwd.in_shape_ = table.in_shape();
-  const int l = table.out_ndim();
-  const int m = table.in_ndim();
-  fwd.rows_.reserve(static_cast<size_t>(table.num_rows()));
-  for (const CompressedRow& row : table.rows()) {
-    Row fr;
-    fr.in.resize(static_cast<size_t>(m));
-    fr.out.resize(static_cast<size_t>(l));
-    for (int j = 0; j < l; ++j)
-      fr.out[static_cast<size_t>(j)].bound = row.out[static_cast<size_t>(j)];
-    for (int i = 0; i < m; ++i) {
-      const InputCell& cell = row.in[static_cast<size_t>(i)];
-      if (cell.is_relative()) {
-        fr.in[static_cast<size_t>(i)] =
-            row.out[static_cast<size_t>(cell.ref)].ShiftBy(cell.iv);
-        fr.out[static_cast<size_t>(cell.ref)].refs.push_back(
-            {static_cast<int32_t>(i), cell.iv});
-      } else {
-        fr.in[static_cast<size_t>(i)] = cell.iv;
-      }
+  fwd.out_shape_.assign(table.out_shape, table.out_shape + table.out_ndim);
+  fwd.in_shape_.assign(table.in_shape, table.in_shape + table.in_ndim);
+  const int32_t l = table.out_ndim;
+  const int32_t m = table.in_ndim;
+  const int64_t n = table.num_rows;
+  const int64_t w = table.stride();
+  fwd.num_rows_ = n;
+  fwd.in_lo_.resize(static_cast<size_t>(n * m));
+  fwd.in_hi_.resize(static_cast<size_t>(n * m));
+  fwd.out_lo_.resize(static_cast<size_t>(n * l));
+  fwd.out_hi_.resize(static_cast<size_t>(n * l));
+  fwd.ref_start_.assign(static_cast<size_t>(n * l) + 1, 0);
+
+  // Pass 1: columns and per-(row, output attr) constraint counts.
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t* row_lo = table.lo + r * w;
+    const int64_t* row_hi = table.hi + r * w;
+    const int32_t* refs = table.ref + r * m;
+    for (int32_t j = 0; j < l; ++j) {
+      fwd.out_lo_[static_cast<size_t>(r * l + j)] = row_lo[j];
+      fwd.out_hi_[static_cast<size_t>(r * l + j)] = row_hi[j];
     }
-    fwd.rows_.push_back(std::move(fr));
+    for (int32_t i = 0; i < m; ++i) {
+      const int32_t rf = refs[i];
+      const int64_t base_lo = rf >= 0 ? row_lo[rf] : 0;
+      const int64_t base_hi = rf >= 0 ? row_hi[rf] : 0;
+      fwd.in_lo_[static_cast<size_t>(r * m + i)] = base_lo + row_lo[l + i];
+      fwd.in_hi_[static_cast<size_t>(r * m + i)] = base_hi + row_hi[l + i];
+      if (rf >= 0) ++fwd.ref_start_[static_cast<size_t>(r * l + rf) + 1];
+    }
   }
+  // Prefix-sum the counts into CSR offsets, then pass 2 fills the slots.
+  for (size_t c = 1; c < fwd.ref_start_.size(); ++c)
+    fwd.ref_start_[c] += fwd.ref_start_[c - 1];
+  const int32_t total = fwd.ref_start_.back();
+  fwd.ref_in_.resize(static_cast<size_t>(total));
+  fwd.ref_dlo_.resize(static_cast<size_t>(total));
+  fwd.ref_dhi_.resize(static_cast<size_t>(total));
+  std::vector<int32_t> cursor(fwd.ref_start_.begin(), fwd.ref_start_.end() - 1);
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t* row_lo = table.lo + r * w;
+    const int64_t* row_hi = table.hi + r * w;
+    const int32_t* refs = table.ref + r * m;
+    for (int32_t i = 0; i < m; ++i) {
+      const int32_t rf = refs[i];
+      if (rf < 0) continue;
+      int32_t& slot = cursor[static_cast<size_t>(r * l + rf)];
+      fwd.ref_in_[static_cast<size_t>(slot)] = i;
+      fwd.ref_dlo_[static_cast<size_t>(slot)] = row_lo[l + i];
+      fwd.ref_dhi_[static_cast<size_t>(slot)] = row_hi[l + i];
+      ++slot;
+    }
+  }
+  fwd.in0_index_ = IntervalIndex(fwd.in_lo_.data(), fwd.in_hi_.data(), n,
+                                 static_cast<int64_t>(m));
   return fwd;
 }
 
@@ -192,42 +258,42 @@ BoxTable ForwardTable::Join(const BoxTable& query, int num_threads) const {
         query, out_ndim(), num_threads,
         [this](const BoxTable& q) { return Join(q, 1); });
   }
-  const int l = out_ndim();
-  const int m = in_ndim();
+  const int32_t l = static_cast<int32_t>(out_ndim());
+  const int32_t m = static_cast<int32_t>(in_ndim());
   BoxTable result(l);
-  std::vector<Interval> t(static_cast<size_t>(m));
+  std::vector<Interval> ti(static_cast<size_t>(m));
   std::vector<Interval> out_box(static_cast<size_t>(l));
 
-  std::vector<Interval> row_attr0;
-  row_attr0.reserve(rows_.size());
-  for (const Row& row : rows_) row_attr0.push_back(row.in[0]);
-
-  ForEachOverlappingPair(
-      row_attr0, QueryAttr0(query), [&](int64_t ri, int64_t qb) {
-        const Row& row = rows_[static_cast<size_t>(ri)];
-        auto q = query.Box(qb);
-        bool hit = true;
-        for (int i = 0; i < m && hit; ++i) {
-          t[static_cast<size_t>(i)] = q[static_cast<size_t>(i)].Intersect(
-              row.in[static_cast<size_t>(i)]);
-          hit = t[static_cast<size_t>(i)].valid();
+  for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
+    const auto q = query.Box(qb);
+    in0_index_.ForEachOverlapping(q[0], [&](int64_t r) {
+      const int64_t* row_in_lo = in_lo_.data() + r * m;
+      const int64_t* row_in_hi = in_hi_.data() + r * m;
+      bool hit = true;
+      for (int32_t i = 0; i < m; ++i) {
+        const int64_t lo = std::max(q[static_cast<size_t>(i)].lo, row_in_lo[i]);
+        const int64_t hi = std::min(q[static_cast<size_t>(i)].hi, row_in_hi[i]);
+        ti[static_cast<size_t>(i)] = {lo, hi};
+        hit &= lo <= hi;
+      }
+      if (!hit) return;
+      bool feasible = true;
+      for (int32_t j = 0; j < l && feasible; ++j) {
+        const size_t c = static_cast<size_t>(r * l + j);
+        Interval v = {out_lo_[c], out_hi_[c]};
+        for (int32_t s = ref_start_[c]; s < ref_start_[c + 1]; ++s) {
+          const Interval& t_i = ti[static_cast<size_t>(ref_in_[static_cast<size_t>(s)])];
+          v.lo = std::max(v.lo, t_i.lo - ref_dhi_[static_cast<size_t>(s)]);
+          v.hi = std::min(v.hi, t_i.hi - ref_dlo_[static_cast<size_t>(s)]);
+          if (v.lo > v.hi) break;
         }
-        if (!hit) return;
-        bool feasible = true;
-        for (int j = 0; j < l && feasible; ++j) {
-          const OutputCell& cell = row.out[static_cast<size_t>(j)];
-          Interval v = cell.bound;
-          for (const auto& [ref, delta] : cell.refs) {
-            const Interval& ti = t[static_cast<size_t>(ref)];
-            v = v.Intersect({ti.lo - delta.hi, ti.hi - delta.lo});
-            if (!v.valid()) break;
-          }
-          feasible = v.valid();
-          out_box[static_cast<size_t>(j)] = v;
-        }
-        if (!feasible) return;
-        result.AddBox(out_box);
-      });
+        feasible = v.lo <= v.hi;
+        out_box[static_cast<size_t>(j)] = v;
+      }
+      if (!feasible) return;
+      result.AddBox(out_box);
+    });
+  }
   return result;
 }
 

@@ -139,15 +139,19 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
   return outcome;
 }
 
-Result<std::shared_ptr<const CompressedTable>> DSLog::ResolveEdgeTable(
-    const Edge& edge) const {
+Result<LogStore::PinnedTable> DSLog::ResolveEdgeView(const Edge& edge) const {
   if (edge.segment < 0) {
-    // Resident edge: alias into the catalog; mu_ (held by the caller)
-    // keeps the Edge alive for the pointer's useful lifetime.
-    return std::shared_ptr<const CompressedTable>(
-        std::shared_ptr<const void>(), &edge.table);
+    // Resident edge: view the catalog's arenas; mu_ (held by the caller)
+    // keeps the Edge alive for the view's useful lifetime. The pin carries
+    // the lazily-built index so eviction semantics match lazy edges.
+    LogStore::PinnedTable pinned;
+    pinned.view = edge.table.view();
+    auto index = edge.table.BackwardIndex();
+    pinned.index = index.get();
+    pinned.pin = std::move(index);
+    return pinned;
   }
-  return store_->Table(static_cast<size_t>(edge.segment));
+  return store_->View(static_cast<size_t>(edge.segment));
 }
 
 const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
@@ -163,7 +167,7 @@ const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
     auto pin_it = findedge_pins_.find(it->second.segment);
     if (pin_it != findedge_pins_.end()) return pin_it->second.get();
   }
-  auto table = ResolveEdgeTable(it->second);
+  auto table = store_->Table(static_cast<size_t>(it->second.segment));
   if (!table.ok()) return nullptr;
   std::lock_guard<std::mutex> pins_lock(findedge_pins_mu_);
   return findedge_pins_
@@ -188,23 +192,25 @@ Result<BoxTable> DSLog::ProvQueryLocked(const std::vector<std::string>& path,
     // Forward hop: path[k] is the relation's input array.
     auto fwd_it = edges_.find(EdgeKey(path[k], path[k + 1]));
     if (fwd_it != edges_.end()) {
-      DSLOG_ASSIGN_OR_RETURN(auto table, ResolveEdgeTable(fwd_it->second));
+      DSLOG_ASSIGN_OR_RETURN(auto pinned, ResolveEdgeView(fwd_it->second));
       QueryHop hop;
-      hop.table = table.get();
+      hop.table = pinned.view;
       hop.forward = true;
       hop.forward_table = fwd_it->second.forward.get();
-      hop.pin = std::move(table);
+      hop.index = pinned.index;
+      hop.pin = std::move(pinned.pin);
       hops.push_back(std::move(hop));
       continue;
     }
     // Backward hop: path[k] is the relation's output array.
     auto bwd_it = edges_.find(EdgeKey(path[k + 1], path[k]));
     if (bwd_it != edges_.end()) {
-      DSLOG_ASSIGN_OR_RETURN(auto table, ResolveEdgeTable(bwd_it->second));
+      DSLOG_ASSIGN_OR_RETURN(auto pinned, ResolveEdgeView(bwd_it->second));
       QueryHop hop;
-      hop.table = table.get();
+      hop.table = pinned.view;
       hop.forward = false;
-      hop.pin = std::move(table);
+      hop.index = pinned.index;
+      hop.pin = std::move(pinned.pin);
       hops.push_back(std::move(hop));
       continue;
     }
@@ -279,13 +285,44 @@ ReuseStats DSLog::reuse_stats() const {
 
 namespace {
 
-/// The serialized (ProvRC-GZip) bytes of an edge, without decompressing
-/// lazy segments: in-situ edges are copied straight out of the mapping.
-std::string EdgeSegmentBytes(const LogStore* store, int32_t segment,
-                             const CompressedTable& table) {
-  if (segment >= 0)
-    return std::string(store->SegmentView(static_cast<size_t>(segment)));
-  return SerializeCompressedTableGzip(table);
+/// One edge's bytes ready for a LogStoreWriter: resident tables serialize
+/// in the caller's preferred layout; in-situ segments are shuttled raw
+/// (whatever layout they already have), no decode/re-encode.
+struct EdgeSegmentBytes {
+  std::string bytes;
+  SegmentLayout layout = SegmentLayout::kProvRcGzip;
+  int64_t row_count = -1;
+};
+
+EdgeSegmentBytes SerializedEdgeSegment(const LogStore* store, int32_t segment,
+                                       const CompressedTable& table,
+                                       SegmentLayout preferred) {
+  if (segment >= 0) {
+    const LogStore::SegmentInfo& seg =
+        store->segments()[static_cast<size_t>(segment)];
+    return {std::string(store->SegmentView(static_cast<size_t>(segment))),
+            seg.layout, seg.row_count};
+  }
+  if (preferred == SegmentLayout::kColumnar)
+    return {SerializeCompressedTableColumnar(table), SegmentLayout::kColumnar,
+            table.num_rows()};
+  return {SerializeCompressedTableGzip(table), SegmentLayout::kProvRcGzip,
+          table.num_rows()};
+}
+
+/// ProvRC-GZip bytes of an edge for the legacy directory format, which
+/// knows no other encoding: v1 in-situ segments copy straight out of the
+/// mapping; columnar ones transcode through an owned table.
+Result<std::string> GzipEdgeBytes(const LogStore* store, int32_t segment,
+                                  const CompressedTable& table) {
+  if (segment < 0) return SerializeCompressedTableGzip(table);
+  const LogStore::SegmentInfo& seg =
+      store->segments()[static_cast<size_t>(segment)];
+  std::string_view raw = store->SegmentView(static_cast<size_t>(segment));
+  if (seg.layout == SegmentLayout::kProvRcGzip) return std::string(raw);
+  DSLOG_ASSIGN_OR_RETURN(CompressedTable owned,
+                         DeserializeCompressedTableColumnar(raw));
+  return SerializeCompressedTableGzip(owned);
 }
 
 constexpr char kPredictorFile[] = "predictor.bin";
@@ -318,7 +355,8 @@ Status DSLog::Save(const std::string& dir) const {
     // bytes, so a crash anywhere mid-save restores the previous catalog
     // exactly (never a rebound or updated table). Identical tables dedup
     // to one file as a side effect.
-    std::string bytes = EdgeSegmentBytes(store_.get(), edge.segment, edge.table);
+    DSLOG_ASSIGN_OR_RETURN(
+        std::string bytes, GzipEdgeBytes(store_.get(), edge.segment, edge.table));
     std::string file = Format(
         "edge_%016llx.prc", static_cast<unsigned long long>(Hash64(bytes)));
     referenced.insert(file);
@@ -457,35 +495,59 @@ Result<DSLog> DSLog::OpenInSitu(const std::string& path,
   return log;
 }
 
-Status DSLog::SaveLogStore(const std::string& path) const {
+Status DSLog::SaveLogStore(const std::string& path,
+                           SegmentLayout layout) const {
   std::shared_lock lock(mu_);
   DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer, LogStoreWriter::Create(path));
   for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
-  for (const auto& [key, edge] : edges_)
-    DSLOG_RETURN_IF_ERROR(writer.AppendRawSegment(
-        edge.in_arr, edge.out_arr, edge.op_name,
-        EdgeSegmentBytes(store_.get(), edge.segment, edge.table)));
+  for (const auto& [key, edge] : edges_) {
+    EdgeSegmentBytes seg =
+        SerializedEdgeSegment(store_.get(), edge.segment, edge.table, layout);
+    DSLOG_RETURN_IF_ERROR(
+        writer.AppendRawSegment(edge.in_arr, edge.out_arr, edge.op_name,
+                                seg.bytes, seg.layout, seg.row_count));
+  }
   writer.SetPredictorState(predictor_.SerializeState());
   return writer.Finish();
 }
 
-Status DSLog::AppendLogStore(const std::string& path) const {
+Status DSLog::AppendLogStore(const std::string& path,
+                             SegmentLayout layout) const {
   std::shared_lock lock(mu_);
   DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer,
                          LogStoreWriter::OpenForAppend(path));
   for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
   for (const auto& [key, edge] : edges_) {
-    std::string bytes =
-        EdgeSegmentBytes(store_.get(), edge.segment, edge.table);
     // Skip only byte-identical segments: a re-registered edge whose
-    // lineage changed must be re-persisted, not silently kept stale.
+    // lineage changed must be re-persisted, not silently kept stale. The
+    // comparison serializes in the *existing* segment's layout so an
+    // unchanged edge is never rewritten just because the preferred layout
+    // differs (appends extend mixed-version stores, they don't migrate
+    // them — use SaveLogStore for a full rewrite).
     const LogStore::SegmentInfo* existing =
         writer.FindSegment(edge.in_arr, edge.out_arr);
-    if (existing != nullptr && existing->length == bytes.size() &&
-        existing->checksum == Hash64(bytes))
-      continue;
-    DSLOG_RETURN_IF_ERROR(writer.AppendRawSegment(
-        edge.in_arr, edge.out_arr, edge.op_name, bytes));
+    EdgeSegmentBytes seg;
+    bool have_bytes = false;
+    if (existing != nullptr) {
+      EdgeSegmentBytes probe = SerializedEdgeSegment(
+          store_.get(), edge.segment, edge.table, existing->layout);
+      if (probe.layout == existing->layout &&
+          existing->length == probe.bytes.size() &&
+          existing->checksum == Hash64(probe.bytes))
+        continue;
+      // Changed edge: reuse the probe bytes when they are already in the
+      // layout we would write, instead of serializing twice.
+      if (probe.layout == layout) {
+        seg = std::move(probe);
+        have_bytes = true;
+      }
+    }
+    if (!have_bytes)
+      seg = SerializedEdgeSegment(store_.get(), edge.segment, edge.table,
+                                  layout);
+    DSLOG_RETURN_IF_ERROR(
+        writer.AppendRawSegment(edge.in_arr, edge.out_arr, edge.op_name,
+                                seg.bytes, seg.layout, seg.row_count));
   }
   writer.SetPredictorState(predictor_.SerializeState());
   return writer.Finish();

@@ -110,9 +110,10 @@ class DSLog {
   /// Direct access to a stored edge's compressed table (bench/test hook).
   /// The pointer is only stable while no writer runs; callers that overlap
   /// writers should treat it as a presence check. On an in-situ catalog
-  /// this decodes the edge's segment on first call and keeps the decoded
-  /// table pinned for the catalog's lifetime (nullptr if the segment is
-  /// corrupt).
+  /// this materializes the edge's segment into an owned table on first
+  /// call (even for zero-copy columnar segments — queries never pay this)
+  /// and keeps it pinned for the catalog's lifetime (nullptr if the
+  /// segment is corrupt).
   const CompressedTable* FindEdge(const std::string& in_arr,
                                   const std::string& out_arr) const;
 
@@ -125,9 +126,10 @@ class DSLog {
   ReuseStats reuse_stats() const;
 
   /// Persists the catalog (arrays + compressed tables + reuse-predictor
-  /// state) to a directory, one gzip blob per edge. Every file is written
-  /// atomically (temp + rename), so a crash mid-save never leaves a torn
-  /// file; catalog.bin is committed last.
+  /// state) to a directory, one gzip blob per edge (columnar in-situ
+  /// segments are transcoded — the legacy dir format is ProvRC-GZip only).
+  /// Every file is written atomically (temp + rename), so a crash mid-save
+  /// never leaves a torn file; catalog.bin is committed last.
   Status Save(const std::string& dir) const;
   /// Restores a catalog persisted by Save. Reuse-predictor state is
   /// restored when the directory carries it (directories written before
@@ -148,13 +150,19 @@ class DSLog {
                                   const InSituOptions& options = {});
 
   /// Writes the catalog as a single LogStore file (atomic: temp + rename).
-  /// In-situ edges are shuttled as raw segments without re-compression.
-  Status SaveLogStore(const std::string& path) const;
+  /// Resident edges serialize in `layout` — kColumnar (the default) makes
+  /// every segment the zero-copy scan format; kProvRcGzip reproduces the
+  /// compact v1 store. In-situ edges are shuttled as raw segments without
+  /// re-encoding, keeping whatever layout they already have (so a store
+  /// can legitimately mix versions; dslog_inspect shows which is which).
+  Status SaveLogStore(const std::string& path,
+                      SegmentLayout layout = SegmentLayout::kColumnar) const;
 
   /// Incremental persistence: appends edges not yet present in the file at
   /// `path` (plus new arrays and the current predictor state) through
   /// LogStoreWriter::OpenForAppend. Existing segments are not rewritten.
-  Status AppendLogStore(const std::string& path) const;
+  Status AppendLogStore(const std::string& path,
+                        SegmentLayout layout = SegmentLayout::kColumnar) const;
 
   /// The backing LogStore of an in-situ catalog (decode/cache stats), or
   /// nullptr for a fully in-memory catalog.
@@ -185,11 +193,12 @@ class DSLog {
                                    const BoxTable& query,
                                    const QueryOptions& options) const;
 
-  /// The edge's decoded table, as an owning pointer: resident edges alias
-  /// into the catalog (non-owning), lazy edges decode through the store's
-  /// cache. Caller must hold mu_ (shared suffices).
-  Result<std::shared_ptr<const CompressedTable>> ResolveEdgeTable(
-      const Edge& edge) const;
+  /// The edge's scan view + backward index + lifetime pin: resident edges
+  /// view the catalog's arenas (pin carries only the cached index), lazy
+  /// edges resolve through the store's cache — a v2 segment borrows the
+  /// mapped bytes directly, a v1 segment decodes to an owned table held by
+  /// the pin. Caller must hold mu_ (shared suffices).
+  Result<LogStore::PinnedTable> ResolveEdgeView(const Edge& edge) const;
 
   DSLogOptions options_;
   /// Guards every member below. Readers (queries, const accessors) hold it

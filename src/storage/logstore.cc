@@ -19,7 +19,9 @@ constexpr char kTrailerMagic[4] = {'D', 'S', 'L', 'F'};
 constexpr size_t kHeaderSize = sizeof(kHeaderMagic);
 // fixed64 footer_offset + fixed64 footer checksum + trailer magic.
 constexpr size_t kTrailerSize = 8 + 8 + sizeof(kTrailerMagic);
-constexpr uint32_t kFormatVersion = 1;
+// Version 2 adds per-segment layout + row count to the footer. Version-1
+// files (all segments ProvRC-GZip, no row counts) still open.
+constexpr uint32_t kFormatVersion = 2;
 
 struct ParsedFooter {
   uint32_t format_version = 0;
@@ -91,6 +93,19 @@ Status ParseFile(std::string_view file, const std::string& path,
         !GetVarint64(footer, &pos, &seg.length) ||
         !GetFixed64(footer, &pos, &seg.checksum))
       return Status::Corruption("logstore footer: segment entry");
+    if (out->format_version >= 2) {
+      uint64_t layout;
+      int64_t row_count;
+      if (!GetVarint64(footer, &pos, &layout) ||
+          (layout != 1 && layout != 2) ||
+          !GetVarintSigned(footer, &pos, &row_count) || row_count < -1)
+        return Status::Corruption("logstore footer: segment layout");
+      seg.layout = static_cast<SegmentLayout>(layout);
+      seg.row_count = row_count;
+    } else {
+      seg.layout = SegmentLayout::kProvRcGzip;
+      seg.row_count = -1;
+    }
     if (seg.offset < kHeaderSize || seg.offset > footer_offset ||
         seg.length > footer_offset - seg.offset)
       return Status::Corruption("logstore footer: segment out of bounds: " +
@@ -123,6 +138,8 @@ std::string EncodeFooter(
     PutVarint64(&footer, seg.offset);
     PutVarint64(&footer, seg.length);
     PutFixed64(&footer, seg.checksum);
+    PutVarint64(&footer, static_cast<uint64_t>(seg.layout));
+    PutVarintSigned(&footer, seg.row_count);
   }
   PutLengthPrefixed(&footer, predictor_state);
   return footer;
@@ -136,11 +153,10 @@ std::string EncodeTrailer(uint64_t footer_offset, const std::string& footer) {
   return trailer;
 }
 
-/// Resident-memory estimate of a decoded table (cache accounting).
+/// Resident-memory estimate of an owned decoded table (cache accounting).
 int64_t ApproxDecodedBytes(const CompressedTable& table) {
-  return 64 + table.num_rows() *
-                  (static_cast<int64_t>(table.out_ndim()) * sizeof(Interval) +
-                   static_cast<int64_t>(table.in_ndim()) * sizeof(InputCell));
+  return 64 + table.num_rows() * (table.stride() * 16 +
+                                  static_cast<int64_t>(table.in_ndim()) * 4);
 }
 
 }  // namespace
@@ -165,8 +181,59 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(
   return store;
 }
 
-Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
-    size_t id) const {
+Result<std::shared_ptr<const LogStore::ResolvedSegment>>
+LogStore::ResolveSegment(size_t id, int64_t* charge, int64_t* decompressed,
+                         bool* borrowed, int64_t* rows_copied) const {
+  const SegmentInfo& seg = segments_[id];
+  std::string_view bytes = SegmentView(id);
+  if (options_.verify_checksums && Hash64(bytes) != seg.checksum)
+    return Status::Corruption("logstore segment checksum mismatch: " +
+                              seg.in_arr + " -> " + seg.out_arr + " in " +
+                              path_);
+  auto resolved = std::make_shared<ResolvedSegment>();
+  *decompressed = 0;
+  *borrowed = false;
+  *rows_copied = 0;
+  if (seg.layout == SegmentLayout::kColumnar) {
+    auto view = BorrowColumnarTable(bytes);
+    if (view.ok()) {
+      // Zero-copy: the view aliases the mapping, which this LogStore (and
+      // therefore any pin holding the ResolvedSegment via the DSLog that
+      // owns the store) keeps alive. Only the index is built.
+      resolved->view = view.value();
+      resolved->index = resolved->view.BuildBackwardIndex();
+      *borrowed = true;
+      *charge = 64 + resolved->index.bytes();
+      return std::shared_ptr<const ResolvedSegment>(std::move(resolved));
+    }
+    if (view.status().code() != StatusCode::kNotSupported)
+      return view.status().WithMessagePrefix("logstore segment " + seg.in_arr +
+                                             " -> " + seg.out_arr + ": ");
+    // Unaligned mapping (heap fallback reads can land anywhere): decode to
+    // an owned table below.
+    auto decoded = DeserializeCompressedTableColumnar(bytes);
+    if (!decoded.ok())
+      return decoded.status().WithMessagePrefix(
+          "logstore segment " + seg.in_arr + " -> " + seg.out_arr + ": ");
+    resolved->table = std::make_shared<const CompressedTable>(
+        std::move(decoded).ValueOrDie());
+  } else {
+    auto decoded = DeserializeCompressedTableGzip(bytes);
+    if (!decoded.ok())
+      return decoded.status().WithMessagePrefix(
+          "logstore segment " + seg.in_arr + " -> " + seg.out_arr + ": ");
+    *decompressed = static_cast<int64_t>(bytes.size());
+    resolved->table = std::make_shared<const CompressedTable>(
+        std::move(decoded).ValueOrDie());
+  }
+  resolved->view = resolved->table->view();
+  resolved->index = resolved->view.BuildBackwardIndex();
+  *rows_copied = resolved->table->num_rows();
+  *charge = ApproxDecodedBytes(*resolved->table) + resolved->index.bytes();
+  return std::shared_ptr<const ResolvedSegment>(std::move(resolved));
+}
+
+Result<LogStore::PinnedTable> LogStore::View(size_t id) const {
   if (id >= segments_.size())
     return Status::InvalidArgument("logstore segment id out of range");
   {
@@ -175,39 +242,40 @@ Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
     if (it != cache_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       ++stats_.cache_hits;
-      return it->second.table;
+      const auto& seg = it->second.segment;
+      return PinnedTable{seg->view, &seg->index, seg};
     }
     ++stats_.cache_misses;
   }
 
-  // Decode outside the cache lock so cold segments decompress in parallel.
-  const SegmentInfo& seg = segments_[id];
-  std::string_view bytes = SegmentView(id);
-  if (options_.verify_checksums && Hash64(bytes) != seg.checksum)
-    return Status::Corruption("logstore segment checksum mismatch: " +
-                              seg.in_arr + " -> " + seg.out_arr + " in " +
-                              path_);
-  auto decoded = DeserializeCompressedTableGzip(bytes);
-  if (!decoded.ok())
-    return decoded.status().WithMessagePrefix(
-        "logstore segment " + seg.in_arr + " -> " + seg.out_arr + ": ");
-  auto table = std::make_shared<const CompressedTable>(
-      std::move(decoded).ValueOrDie());
-  const int64_t charge = ApproxDecodedBytes(*table);
+  // Resolve outside the cache lock so cold segments decode in parallel.
+  int64_t charge = 0, decompressed = 0, rows_copied = 0;
+  bool borrowed = false;
+  DSLOG_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ResolvedSegment> resolved,
+      ResolveSegment(id, &charge, &decompressed, &borrowed, &rows_copied));
 
   std::lock_guard<std::mutex> lock(cache_mu_);
   ++stats_.decode_count;
-  stats_.bytes_decompressed += static_cast<int64_t>(bytes.size());
+  stats_.bytes_decompressed += decompressed;
+  stats_.rows_materialized += rows_copied;
+  if (borrowed)
+    ++stats_.segments_borrowed;
+  else
+    ++stats_.tables_materialized;
   if (!touched_[id]) {
     touched_[id] = 1;
     ++stats_.segments_touched;
   }
   auto it = cache_.find(id);
-  if (it != cache_.end()) return it->second.table;  // lost the decode race
+  if (it != cache_.end()) {  // lost the resolve race
+    const auto& seg = it->second.segment;
+    return PinnedTable{seg->view, &seg->index, seg};
+  }
   lru_.push_front(id);
-  cache_[id] = CacheEntry{table, charge, lru_.begin()};
+  cache_[id] = CacheEntry{resolved, charge, lru_.begin()};
   cache_bytes_ += charge;
-  // Evict past the budget, never the entry just inserted (a single table
+  // Evict past the budget, never the entry just inserted (a single segment
   // larger than the whole budget must still be servable).
   while (cache_bytes_ > options_.cache_capacity_bytes && lru_.size() > 1) {
     size_t victim = lru_.back();
@@ -217,7 +285,24 @@ Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
     cache_.erase(vit);
     ++stats_.evictions;
   }
-  return table;
+  return PinnedTable{resolved->view, &resolved->index, resolved};
+}
+
+Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
+    size_t id) const {
+  if (id >= segments_.size())
+    return Status::InvalidArgument("logstore segment id out of range");
+  DSLOG_ASSIGN_OR_RETURN(PinnedTable pinned, View(id));
+  // v1 (and unaligned-v2) resolutions already own a table: alias it so the
+  // returned pointer shares the cache entry's lifetime.
+  auto resolved =
+      std::static_pointer_cast<const ResolvedSegment>(pinned.pin);
+  if (resolved->table != nullptr) return resolved->table;
+  // Borrowed v2 view: materialize an owned copy for this caller.
+  auto owned = DeserializeCompressedTableColumnar(SegmentView(id));
+  if (!owned.ok())
+    return owned.status().WithMessagePrefix("logstore segment materialize: ");
+  return std::make_shared<const CompressedTable>(std::move(owned).ValueOrDie());
 }
 
 LogStoreStats LogStore::stats() const {
@@ -273,24 +358,39 @@ const LogStore::SegmentInfo* LogStoreWriter::FindSegment(
 Status LogStoreWriter::AppendEdge(const std::string& in_arr,
                                   const std::string& out_arr,
                                   const std::string& op_name,
-                                  const CompressedTable& table) {
+                                  const CompressedTable& table,
+                                  SegmentLayout layout) {
   return AppendRawSegment(in_arr, out_arr, op_name,
-                          SerializeCompressedTableGzip(table));
+                          layout == SegmentLayout::kColumnar
+                              ? SerializeCompressedTableColumnar(table)
+                              : SerializeCompressedTableGzip(table),
+                          layout, table.num_rows());
 }
 
 Status LogStoreWriter::AppendRawSegment(const std::string& in_arr,
                                         const std::string& out_arr,
                                         const std::string& op_name,
-                                        std::string_view gzip_bytes) {
+                                        std::string_view bytes,
+                                        SegmentLayout layout,
+                                        int64_t row_count) {
   if (finished_) return Status::Internal("logstore writer already finished");
+  // Columnar segments must start 8-aligned in the file so a mapped reader
+  // can reinterpret the arenas in place; pad with dead bytes if the write
+  // cursor (header is already 8) sits mid-word after gzip segments.
+  if (layout == SegmentLayout::kColumnar) {
+    while ((base_offset_ + new_bytes_.size()) % 8 != 0)
+      new_bytes_.push_back('\0');
+  }
   LogStore::SegmentInfo seg;
   seg.in_arr = in_arr;
   seg.out_arr = out_arr;
   seg.op_name = op_name;
   seg.offset = base_offset_ + new_bytes_.size();
-  seg.length = gzip_bytes.size();
-  seg.checksum = Hash64(gzip_bytes);
-  new_bytes_.append(gzip_bytes);
+  seg.length = bytes.size();
+  seg.checksum = Hash64(bytes);
+  seg.layout = layout;
+  seg.row_count = row_count;
+  new_bytes_.append(bytes);
   auto [it, inserted] =
       edge_index_.try_emplace(EdgeStoreKey(in_arr, out_arr), segments_.size());
   if (inserted) {

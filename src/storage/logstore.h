@@ -4,29 +4,35 @@
 //   +------------------+ offset 0
 //   | header  "DSLSTOR1"|  8 bytes
 //   +------------------+ offset 8
-//   | segment 0        |  one ProvRC-GZip-serialized CompressedTable
-//   | segment 1        |  per stored edge, back to back
-//   | ...              |
+//   | segment 0        |  one serialized CompressedTable per stored edge,
+//   | segment 1        |  back to back; two layouts coexist in one file:
+//   | ...              |    v1 = ProvRC-GZip (compact, decode-to-owned)
+//   |                  |    v2 = PRC2 columnar (8-aligned; the on-disk
+//   |                  |         bytes are the kernels' scan format)
 //   +------------------+ footer_offset
 //   | footer           |  varint-coded: format version, array catalog,
 //   |                  |  edge index (names, op, offset, length, FNV-64
-//   |                  |  checksum per segment), reuse-predictor blob
+//   |                  |  checksum, layout, row count per segment),
+//   |                  |  reuse-predictor blob
 //   +------------------+ file_size - 20
 //   | trailer          |  fixed64 footer_offset | fixed64 footer checksum
 //   |                  |  | magic "DSLF"
 //   +------------------+ file_size
 //
 // A reader maps the file once (mmap, with a whole-file read fallback) and
-// parses only the footer; segment bytes are decompressed lazily on first
-// touch through a size-bounded LRU cache of decoded tables, so a path
-// query pays only for the edges it traverses. Segment checksums are
-// verified at decode time (and the footer checksum at open), turning any
-// flipped byte or truncation into Status::Corruption instead of UB.
+// parses only the footer; segments resolve lazily on first touch through a
+// size-bounded LRU cache. A v1 segment decompresses into an owned table;
+// a v2 segment is *borrowed*: the cache entry holds a CompressedTableView
+// aliasing the mapped bytes plus the backward-join interval index — zero
+// bytes decompressed, zero rows materialized (LogStoreStats counts both).
+// Segment checksums are verified at first touch (and the footer checksum
+// at open), turning any flipped byte or truncation into Status::Corruption
+// instead of UB.
 //
 // Thread-safety: LogStore is safe for concurrent readers; the decode cache
-// has its own mutex and decompression runs outside it (two threads racing
-// on the same cold segment may both decode it — both results are valid and
-// one wins the cache slot).
+// has its own mutex and decompression/index builds run outside it (two
+// threads racing on the same cold segment may both resolve it — both
+// results are valid and one wins the cache slot).
 //
 // Writing goes through LogStoreWriter: Create() builds a fresh file and
 // commits it atomically (temp file + rename) in Finish(); OpenForAppend()
@@ -53,6 +59,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "provrc/compressed_table.h"
+#include "provrc/interval_index.h"
 
 namespace dslog {
 
@@ -64,12 +71,23 @@ inline std::string EdgeStoreKey(const std::string& in_arr,
   return in_arr + "\x1f" + out_arr;
 }
 
+/// On-disk encoding of one segment's table bytes.
+enum class SegmentLayout : uint32_t {
+  /// ProvRC-GZip (the paper's storage default): smallest bytes, decoded
+  /// into an owned table on first touch.
+  kProvRcGzip = 1,
+  /// PRC2 flat columnar: the scan format itself — queried zero-copy from
+  /// the mapping. Larger on disk; no decode latency or allocation.
+  kColumnar = 2,
+};
+
 struct LogStoreOptions {
-  /// Budget for decoded CompressedTables kept resident (approximate decoded
-  /// bytes). Least-recently-used segments are evicted past it; in-flight
-  /// queries keep their pinned tables alive regardless.
+  /// Budget for resolved segments kept resident (approximate bytes: decoded
+  /// tables for v1, interval indexes for borrowed v2 views). Least-recently-
+  /// used segments are evicted past it; in-flight queries keep their pinned
+  /// entries alive regardless.
   int64_t cache_capacity_bytes = 64ll << 20;
-  /// Verify the per-segment FNV-64 checksum before decoding a segment.
+  /// Verify the per-segment FNV-64 checksum before first use of a segment.
   bool verify_checksums = true;
   /// Map the file (the in-situ fast path). false forces the whole-file
   /// read fallback — same behaviour, heap-backed.
@@ -79,18 +97,27 @@ struct LogStoreOptions {
 /// Decode/cache counters (test + bench observability).
 struct LogStoreStats {
   int64_t segment_count = 0;
-  /// Distinct segments decoded at least once since open.
+  /// Distinct segments resolved at least once since open.
   int64_t segments_touched = 0;
-  /// Total decode events (>= segments_touched when eviction re-decodes).
+  /// Total cache-fill events (>= segments_touched when eviction re-fills).
   int64_t decode_count = 0;
-  /// Compressed bytes consumed by decode events.
+  /// Compressed bytes consumed by gzip decodes (0 on a pure-v2 store).
   int64_t bytes_decompressed = 0;
+  /// Cache fills that built an owned CompressedTable (v1 decodes and v2
+  /// alignment fallbacks).
+  int64_t tables_materialized = 0;
+  /// Rows copied into owned arenas by those fills. A zero-copy v2 path
+  /// query keeps this at 0 — the acceptance signal that no per-row data
+  /// was allocated in the decode path.
+  int64_t rows_materialized = 0;
+  /// Cache fills that borrowed a v2 view straight from the mapping.
+  int64_t segments_borrowed = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t evictions = 0;
 };
 
-/// Read side: a mapped log file serving lazily-decoded edge tables.
+/// Read side: a mapped log file serving lazily-resolved edge tables.
 class LogStore {
  public:
   struct SegmentInfo {
@@ -100,10 +127,21 @@ class LogStore {
     uint64_t offset = 0;  // absolute file offset of the segment bytes
     uint64_t length = 0;
     uint64_t checksum = 0;  // FNV-64 over the segment bytes
+    SegmentLayout layout = SegmentLayout::kProvRcGzip;
+    int64_t row_count = -1;  // -1 = unknown (v1 footers predate the field)
+  };
+
+  /// A resolved segment: the scan view, its backward-join index, and a pin
+  /// keeping both (and any owned arena behind the view) alive across cache
+  /// evictions for as long as the caller holds it.
+  struct PinnedTable {
+    CompressedTableView view;
+    const IntervalIndex* index = nullptr;
+    std::shared_ptr<const void> pin;
   };
 
   /// Maps `path`, validates header/trailer/footer (footer checksum
-  /// included), and indexes the segments. No segment is decompressed.
+  /// included), and indexes the segments. No segment is resolved.
   static Result<std::unique_ptr<LogStore>> Open(
       const std::string& path, const LogStoreOptions& options = {});
 
@@ -114,14 +152,19 @@ class LogStore {
   /// Serialized ReusePredictor state ("" when the file carries none).
   const std::string& predictor_state() const { return predictor_state_; }
 
-  /// The decoded table of segment `id`, decompressing on first touch and
-  /// serving repeats from the LRU cache. The returned shared_ptr pins the
-  /// table across evictions for as long as the caller holds it.
+  /// The scan view of segment `id`, resolving on first touch (gzip decode
+  /// for v1, zero-copy borrow for v2) and serving repeats from the LRU
+  /// cache. This is the query path.
+  Result<PinnedTable> View(size_t id) const;
+
+  /// The segment as an owned CompressedTable (bench/test hook and legacy
+  /// transcodes). v1 serves the cached decode; v2 materializes a fresh
+  /// owned copy per call — query code should use View().
   Result<std::shared_ptr<const CompressedTable>> Table(size_t id) const;
 
-  /// Raw (still-compressed) bytes of segment `id` — zero-copy view into
+  /// Raw (still-serialized) bytes of segment `id` — zero-copy view into
   /// the mapping. Lets converters/appenders shuttle segments without a
-  /// decompress/recompress round trip.
+  /// decode/re-encode round trip.
   std::string_view SegmentView(size_t id) const {
     const SegmentInfo& seg = segments_[id];
     return file_.view(static_cast<size_t>(seg.offset),
@@ -138,11 +181,26 @@ class LogStore {
  private:
   LogStore() = default;
 
-  struct CacheEntry {
+  /// One cached resolution: `table` owns the arenas for v1 decodes (null
+  /// for v2 borrows, whose view aliases the mapping), `index` is always
+  /// built. Handed out via shared_ptr so pins survive eviction.
+  struct ResolvedSegment {
     std::shared_ptr<const CompressedTable> table;
+    CompressedTableView view;
+    IntervalIndex index;
+  };
+
+  struct CacheEntry {
+    std::shared_ptr<const ResolvedSegment> segment;
     int64_t charge = 0;
     std::list<size_t>::iterator lru_it;
   };
+
+  /// Checksum-verifies (first touch) and resolves segment bytes into a
+  /// ResolvedSegment. Runs outside the cache lock.
+  Result<std::shared_ptr<const ResolvedSegment>> ResolveSegment(
+      size_t id, int64_t* charge, int64_t* decompressed, bool* borrowed,
+      int64_t* rows_copied) const;
 
   std::string path_;
   MmapFile file_;
@@ -156,7 +214,7 @@ class LogStore {
   mutable std::unordered_map<size_t, CacheEntry> cache_;
   mutable std::list<size_t> lru_;  // front = most recent
   mutable int64_t cache_bytes_ = 0;
-  mutable std::vector<uint8_t> touched_;  // per-segment decoded-once flag
+  mutable std::vector<uint8_t> touched_;  // per-segment resolved-once flag
   mutable LogStoreStats stats_;
 };
 
@@ -185,18 +243,23 @@ class LogStoreWriter {
   const LogStore::SegmentInfo* FindSegment(const std::string& in_arr,
                                            const std::string& out_arr) const;
 
-  /// Serializes `table` (ProvRC-GZip) and appends it as the segment for
-  /// edge in_arr -> out_arr, replacing any previous index entry for the
-  /// same edge (the older segment's bytes become dead space).
+  /// Serializes `table` in `layout` and appends it as the segment for edge
+  /// in_arr -> out_arr, replacing any previous index entry for the same
+  /// edge (the older segment's bytes become dead space). Columnar segments
+  /// are 8-aligned in the file so readers can borrow them zero-copy.
   Status AppendEdge(const std::string& in_arr, const std::string& out_arr,
-                    const std::string& op_name, const CompressedTable& table);
+                    const std::string& op_name, const CompressedTable& table,
+                    SegmentLayout layout = SegmentLayout::kColumnar);
 
-  /// Same, but with pre-serialized ProvRC-GZip bytes (e.g. another store's
-  /// SegmentView or a legacy edge file) — no decompress/recompress.
+  /// Same, but with pre-serialized segment bytes in `layout` (e.g. another
+  /// store's SegmentView or a legacy gzip edge file) — no decode/re-encode.
+  /// `row_count` is carried into the footer (-1 = unknown).
   Status AppendRawSegment(const std::string& in_arr,
                           const std::string& out_arr,
                           const std::string& op_name,
-                          std::string_view gzip_bytes);
+                          std::string_view bytes,
+                          SegmentLayout layout = SegmentLayout::kProvRcGzip,
+                          int64_t row_count = -1);
 
   /// Attaches the serialized reuse-predictor state ("" to clear).
   void SetPredictorState(std::string blob);

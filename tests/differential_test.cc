@@ -17,8 +17,10 @@
 #include "array/op_registry.h"
 #include "common/io.h"
 #include "common/random.h"
+#include "provrc/provrc.h"
 #include "query/box.h"
 #include "query/query_engine.h"
+#include "query/theta_join.h"
 #include "storage/dslog.h"
 #include "test_util.h"
 
@@ -237,6 +239,138 @@ TEST_P(DifferentialPipelineTest, InSituMatchesUncompressedOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialPipelineTest,
                          ::testing::Range(0, 12));
+
+// ---------------------------------------------------------- AoS join oracle --
+
+// Reference θ-joins over materialized array-of-structs rows — a direct
+// port of the pre-columnar kernels (per-row vectors, linear scan, no
+// interval index). The SoA kernels must stay set-equal to these on every
+// hop of the randomized pipelines, across direction and thread count.
+BoxTable AosBackwardJoin(const BoxTable& query,
+                         const std::vector<CompressedRow>& rows, int l,
+                         int m) {
+  BoxTable result(m);
+  std::vector<Interval> t(static_cast<size_t>(l));
+  std::vector<Interval> out_box(static_cast<size_t>(m));
+  for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
+    auto q = query.Box(qb);
+    for (const CompressedRow& row : rows) {
+      bool hit = true;
+      for (int k = 0; k < l && hit; ++k) {
+        t[static_cast<size_t>(k)] =
+            q[static_cast<size_t>(k)].Intersect(row.out[static_cast<size_t>(k)]);
+        hit = t[static_cast<size_t>(k)].valid();
+      }
+      if (!hit) continue;
+      for (int i = 0; i < m; ++i) {
+        const InputCell& cell = row.in[static_cast<size_t>(i)];
+        out_box[static_cast<size_t>(i)] =
+            cell.is_relative() ? t[static_cast<size_t>(cell.ref)].ShiftBy(cell.iv)
+                               : cell.iv;
+      }
+      result.AddBox(out_box);
+    }
+  }
+  return result;
+}
+
+BoxTable AosForwardJoin(const BoxTable& query,
+                        const std::vector<CompressedRow>& rows, int l, int m) {
+  BoxTable result(l);
+  std::vector<Interval> t(static_cast<size_t>(m));
+  std::vector<Interval> out_box(static_cast<size_t>(l));
+  auto implied = [](const CompressedRow& row, int i) {
+    const InputCell& cell = row.in[static_cast<size_t>(i)];
+    return cell.is_relative()
+               ? row.out[static_cast<size_t>(cell.ref)].ShiftBy(cell.iv)
+               : cell.iv;
+  };
+  for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
+    auto q = query.Box(qb);
+    for (const CompressedRow& row : rows) {
+      bool hit = true;
+      for (int i = 0; i < m && hit; ++i) {
+        t[static_cast<size_t>(i)] =
+            q[static_cast<size_t>(i)].Intersect(implied(row, i));
+        hit = t[static_cast<size_t>(i)].valid();
+      }
+      if (!hit) continue;
+      for (int j = 0; j < l; ++j)
+        out_box[static_cast<size_t>(j)] = row.out[static_cast<size_t>(j)];
+      bool feasible = true;
+      for (int i = 0; i < m && feasible; ++i) {
+        const InputCell& cell = row.in[static_cast<size_t>(i)];
+        if (!cell.is_relative()) continue;
+        const Interval& ti = t[static_cast<size_t>(i)];
+        Interval& target = out_box[static_cast<size_t>(cell.ref)];
+        target = target.Intersect({ti.lo - cell.iv.hi, ti.hi - cell.iv.lo});
+        feasible = target.valid();
+      }
+      if (!feasible) continue;
+      result.AddBox(out_box);
+    }
+  }
+  return result;
+}
+
+class SoAVsAosJoinTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoAVsAosJoinTest, KernelsMatchAosOracleOnRandomPipelines) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) + 100;
+  RandomDag dag = GenerateDag(seed);
+  ASSERT_GE(dag.rels.size(), 2u) << "pipeline generation starved, seed "
+                                 << seed;
+  Rng rng(seed * 101 + 3);
+
+  for (size_t h = 0; h < dag.rels.size(); ++h) {
+    CompressedTable table = ProvRcCompress(dag.rels[h]);
+    const int l = table.out_ndim();
+    const int m = table.in_ndim();
+    std::vector<CompressedRow> rows;
+    rows.reserve(static_cast<size_t>(table.num_rows()));
+    for (int64_t r = 0; r < table.num_rows(); ++r) rows.push_back(table.Row(r));
+
+    BoxTable back_q = BoxTable::FromCells(
+        l, SampleCells(dag.shapes[h + 1], 6, &rng));
+    BoxTable fwd_q =
+        BoxTable::FromCells(m, SampleCells(dag.shapes[h], 6, &rng));
+    const std::string label =
+        "seed=" + std::to_string(seed) + " hop=" + std::to_string(h);
+
+    for (bool merge : {true, false}) {
+      for (int threads : {1, 4}) {
+        BoxTable back = BackwardThetaJoin(back_q, table, threads);
+        BoxTable want_back = AosBackwardJoin(back_q, rows, l, m);
+        if (merge) {
+          back.Merge();
+          want_back.Merge();
+        }
+        EXPECT_EQ(ToTupleSet(back.ExpandToCells(), m),
+                  ToTupleSet(want_back.ExpandToCells(), m))
+            << label << " backward merge=" << merge << " threads=" << threads;
+
+        BoxTable fwd = ForwardThetaJoin(fwd_q, table, threads);
+        BoxTable want_fwd = AosForwardJoin(fwd_q, rows, l, m);
+        BoxTable fwd_mat =
+            ForwardTable::FromBackward(table).Join(fwd_q, threads);
+        if (merge) {
+          fwd.Merge();
+          want_fwd.Merge();
+          fwd_mat.Merge();
+        }
+        EXPECT_EQ(ToTupleSet(fwd.ExpandToCells(), l),
+                  ToTupleSet(want_fwd.ExpandToCells(), l))
+            << label << " forward merge=" << merge << " threads=" << threads;
+        EXPECT_EQ(ToTupleSet(fwd_mat.ExpandToCells(), l),
+                  ToTupleSet(want_fwd.ExpandToCells(), l))
+            << label << " forward-materialized merge=" << merge
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoAVsAosJoinTest, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace dslog

@@ -131,31 +131,47 @@ TEST(MmapFileTest, MoveTransfersView) {
 TEST(LogStoreTest, RoundTripMatchesInMemoryCatalog) {
   DSLog log;
   BuildChain(&log, 0, 8, 16);
-  const std::string path = TestPath("roundtrip.dsl");
-  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  // Both segment layouts must round-trip identical query results; the
+  // gzip layout additionally preserves the in-memory footprint accounting
+  // (columnar trades bytes for zero-copy scans, so its file is bigger).
+  for (SegmentLayout layout :
+       {SegmentLayout::kColumnar, SegmentLayout::kProvRcGzip}) {
+    const std::string path = TestPath(
+        layout == SegmentLayout::kColumnar ? "roundtrip_v2.dsl"
+                                           : "roundtrip_v1.dsl");
+    ASSERT_TRUE(log.SaveLogStore(path, layout).ok());
 
-  auto opened = DSLog::OpenInSitu(path);
-  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-  const DSLog& insitu = opened.value();
-  EXPECT_TRUE(insitu.HasArray("a0"));
-  EXPECT_TRUE(insitu.HasArray("a8"));
-  EXPECT_EQ(insitu.ArrayShape("a3").ValueOrDie(), (std::vector<int64_t>{16}));
+    auto opened = DSLog::OpenInSitu(path);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    const DSLog& insitu = opened.value();
+    EXPECT_TRUE(insitu.HasArray("a0"));
+    EXPECT_TRUE(insitu.HasArray("a8"));
+    EXPECT_EQ(insitu.ArrayShape("a3").ValueOrDie(),
+              (std::vector<int64_t>{16}));
 
-  for (const auto& path_arrays :
-       {ChainPath(0, 8), ChainPath(8, 0), ChainPath(5, 2)}) {
-    BoxTable q = BoxTable::FromCells(1, {3, 7});
-    auto want = log.ProvQuery(path_arrays, q);
-    auto got = insitu.ProvQuery(path_arrays, q);
-    ASSERT_TRUE(want.ok() && got.ok()) << got.status().ToString();
-    EXPECT_EQ(ToTupleSet(got.value().ExpandToCells(), 1),
-              ToTupleSet(want.value().ExpandToCells(), 1));
+    for (const auto& path_arrays :
+         {ChainPath(0, 8), ChainPath(8, 0), ChainPath(5, 2)}) {
+      BoxTable q = BoxTable::FromCells(1, {3, 7});
+      auto want = log.ProvQuery(path_arrays, q);
+      auto got = insitu.ProvQuery(path_arrays, q);
+      ASSERT_TRUE(want.ok() && got.ok()) << got.status().ToString();
+      EXPECT_EQ(ToTupleSet(got.value().ExpandToCells(), 1),
+                ToTupleSet(want.value().ExpandToCells(), 1));
+    }
+
+    auto store = insitu.log_store();
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(store->mapped());
+    EXPECT_EQ(store->stats().segment_count, 8);
+    for (const auto& seg : store->segments()) {
+      EXPECT_EQ(seg.layout, layout);
+      EXPECT_GT(seg.row_count, 0);
+    }
+    if (layout == SegmentLayout::kProvRcGzip)
+      EXPECT_EQ(insitu.StorageFootprintBytes(), log.StorageFootprintBytes());
+    else
+      EXPECT_GT(insitu.StorageFootprintBytes(), 0);
   }
-
-  auto store = insitu.log_store();
-  ASSERT_NE(store, nullptr);
-  EXPECT_TRUE(store->mapped());
-  EXPECT_EQ(store->stats().segment_count, 8);
-  EXPECT_EQ(insitu.StorageFootprintBytes(), log.StorageFootprintBytes());
 }
 
 TEST(LogStoreTest, ReadFallbackServesIdenticalResults) {
@@ -176,12 +192,14 @@ TEST(LogStoreTest, ReadFallbackServesIdenticalResults) {
 // ------------------------------------------------------------- lazy decode --
 
 TEST(LogStoreTest, BackwardQueryDecodesUnderTenPercentOfSegments) {
-  // The issue's acceptance bar: on a >= 500-edge catalog, a backward path
+  // The v1 (ProvRC-GZip) leg: on a >= 500-edge catalog, a backward path
   // query must decode only the segments on its path (< 10% of the log).
+  // Also the compatibility guarantee that gzip stores keep opening and
+  // querying through OpenInSitu now that columnar is the write default.
   DSLog log;
   BuildChain(&log, 0, 500, 8);
   const std::string path = TestPath("large_chain.dsl");
-  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  ASSERT_TRUE(log.SaveLogStore(path, SegmentLayout::kProvRcGzip).ok());
 
   auto opened = DSLog::OpenInSitu(path);
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
@@ -208,6 +226,99 @@ TEST(LogStoreTest, BackwardQueryDecodesUnderTenPercentOfSegments) {
   EXPECT_EQ(again.segments_touched, 5);
   EXPECT_EQ(again.decode_count, stats.decode_count);
   EXPECT_GT(again.cache_hits, stats.cache_hits);
+}
+
+TEST(LogStoreTest, ColumnarQueryIsZeroCopy) {
+  // The acceptance bar for the columnar layout: a path query over a v2
+  // store borrows its segments straight from the mapping — zero bytes
+  // decompressed and zero rows materialized into owned arenas (no per-row
+  // allocation anywhere in the decode path), with only the path's
+  // segments touched.
+  DSLog log;
+  BuildChain(&log, 0, 64, 16);
+  const std::string path = TestPath("columnar_chain.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());  // default layout = columnar
+
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const DSLog& insitu = opened.value();
+  ASSERT_TRUE(insitu.log_store()->mapped());
+
+  BoxTable q = BoxTable::FromCells(1, {2});
+  auto got = insitu.ProvQuery(ChainPath(64, 59), q);
+  auto want = log.ProvQuery(ChainPath(64, 59), q);
+  ASSERT_TRUE(got.ok() && want.ok()) << got.status().ToString();
+  EXPECT_EQ(ToTupleSet(got.value().ExpandToCells(), 1),
+            ToTupleSet(want.value().ExpandToCells(), 1));
+
+  LogStoreStats stats = insitu.log_store()->stats();
+  EXPECT_EQ(stats.segments_touched, 5);  // exactly the path's edges
+  EXPECT_EQ(stats.segments_borrowed, 5);
+  EXPECT_EQ(stats.bytes_decompressed, 0);
+  EXPECT_EQ(stats.tables_materialized, 0);
+  EXPECT_EQ(stats.rows_materialized, 0);
+
+  // Repeat queries are pure cache hits on the pinned views.
+  ASSERT_TRUE(insitu.ProvQuery(ChainPath(64, 59), q).ok());
+  LogStoreStats again = insitu.log_store()->stats();
+  EXPECT_EQ(again.decode_count, stats.decode_count);
+  EXPECT_GT(again.cache_hits, stats.cache_hits);
+  EXPECT_EQ(again.rows_materialized, 0);
+}
+
+TEST(LogStoreTest, MixedLayoutStoreServesBothSegmentKinds) {
+  // A gzip store extended by a columnar append is a legitimate mixed-
+  // version file: old segments keep decoding, new ones borrow, and the
+  // footer records which is which.
+  DSLog log;
+  BuildChain(&log, 0, 4, 16);
+  const std::string path = TestPath("mixed_layout.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path, SegmentLayout::kProvRcGzip).ok());
+  BuildChain(&log, 4, 4, 16);
+  ASSERT_TRUE(log.AppendLogStore(path).ok());  // appends columnar
+
+  auto opened = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const DSLog& insitu = opened.value();
+  int v1 = 0, v2 = 0;
+  for (const auto& seg : insitu.log_store()->segments()) {
+    if (seg.layout == SegmentLayout::kProvRcGzip)
+      ++v1;
+    else
+      ++v2;
+  }
+  EXPECT_EQ(v1, 4);
+  EXPECT_EQ(v2, 4);
+
+  // One query spanning both halves of the chain exercises both decode
+  // paths in a single traversal.
+  BoxTable q = BoxTable::FromCells(1, {9});
+  auto got = insitu.ProvQuery(ChainPath(0, 8), q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().ExpandToCells(), (std::vector<int64_t>{9}));
+  LogStoreStats stats = insitu.log_store()->stats();
+  EXPECT_EQ(stats.tables_materialized, 4);
+  EXPECT_EQ(stats.segments_borrowed, 4);
+  EXPECT_GT(stats.bytes_decompressed, 0);
+}
+
+TEST(LogStoreTest, ColumnarHeapFallbackStillAnswersQueries) {
+  // With mmap disabled the file lands in a heap buffer; columnar segments
+  // still serve correct results (borrowing when the buffer happens to be
+  // aligned, materializing owned tables otherwise — both are valid).
+  DSLog log;
+  BuildChain(&log, 0, 6, 16);
+  const std::string path = TestPath("columnar_fallback.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  InSituOptions options;
+  options.store.use_mmap = false;
+  auto opened = DSLog::OpenInSitu(path, options);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_FALSE(opened.value().log_store()->mapped());
+  auto got =
+      opened.value().ProvQuery(ChainPath(6, 0), BoxTable::FromCells(1, {5}));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value().ExpandToCells(), (std::vector<int64_t>{5}));
 }
 
 TEST(LogStoreTest, TinyCacheEvictsButStaysCorrect) {
@@ -426,6 +537,66 @@ TEST(LogStoreCorruptionTest, FlippedSegmentByteIsDetectedAtDecode) {
   ASSERT_FALSE(corrupt.ok());
   EXPECT_EQ(corrupt.status().code(), StatusCode::kCorruption)
       << corrupt.status().ToString();
+}
+
+TEST(LogStoreCorruptionTest, ColumnarRefOutOfRangeIsCorruptionEvenUnchecked) {
+  // Structural validation must hold even with checksums off: a corrupt
+  // relative ref in a borrowed columnar segment would index out of the
+  // join kernels' scratch, so the borrow itself has to reject it.
+  DSLog log;
+  BuildChain(&log, 0, 2, 8);
+  const std::string path = TestPath("corrupt_ref.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+
+  uint64_t offset = 0, length = 0;
+  {
+    auto store = LogStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_EQ(store.value()->segments()[0].layout, SegmentLayout::kColumnar);
+    offset = store.value()->segments()[0].offset;
+    length = store.value()->segments()[0].length;
+  }
+  // The int32 ref array is the (8-padded) tail of a columnar image; force
+  // its low byte to a huge attribute index.
+  std::string bytes = ReadFileToString(path).ValueOrDie();
+  bytes[offset + length - 8] = 0x7F;
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+
+  InSituOptions options;
+  options.store.verify_checksums = false;
+  auto opened = DSLog::OpenInSitu(path, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto got = opened.value().ProvQuery({"a1", "a0"}, BoxTable::FromCells(1, {0}));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption)
+      << got.status().ToString();
+}
+
+TEST(LogStoreCorruptionTest, ColumnarTruncatedSegmentIsCorruption) {
+  // A columnar segment whose bytes cannot hold the advertised row count
+  // (image-size mismatch) must fail closed at first touch.
+  DSLog log;
+  BuildChain(&log, 0, 2, 8);
+  const std::string path = TestPath("corrupt_truncated_v2.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  uint64_t offset = 0;
+  {
+    auto store = LogStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    offset = store.value()->segments()[0].offset;
+  }
+  // Inflate the claimed row count inside the segment header (offset 16).
+  std::string bytes = ReadFileToString(path).ValueOrDie();
+  bytes[offset + 16] = 0x40;
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  InSituOptions options;
+  options.store.verify_checksums = false;  // reach the structural check
+  auto opened = DSLog::OpenInSitu(path, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto got = opened.value().ProvQuery({"a1", "a0"}, BoxTable::FromCells(1, {0}));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption)
+      << got.status().ToString();
 }
 
 TEST(LogStoreCorruptionTest, TruncationsAndGarbageAreCorruption) {

@@ -51,7 +51,7 @@ TEST(ProvRcTest, PaperFigure1SumExample) {
   // Full ProvRC: 1 row.
   CompressedTable t2 = ProvRcCompress(rel);
   ASSERT_EQ(t2.num_rows(), 1);
-  const CompressedRow& row = t2.rows()[0];
+  const CompressedRow row = t2.Row(0);
   EXPECT_EQ(row.out[0], (Interval{0, 2}));
   ASSERT_TRUE(row.in[0].is_relative());
   EXPECT_EQ(row.in[0].ref, 0);
@@ -72,10 +72,10 @@ TEST(ProvRcTest, PaperFigure2AggregateAllToOne) {
   LineageRelation rel = CaptureOp("sum", {&a}, OpArgs());
   CompressedTable t = ProvRcCompress(rel);
   ASSERT_EQ(t.num_rows(), 1);
-  EXPECT_EQ(t.rows()[0].out[0], (Interval{0, 0}));
-  EXPECT_FALSE(t.rows()[0].in[0].is_relative());
-  EXPECT_EQ(t.rows()[0].in[0].iv, (Interval{0, 3}));
-  EXPECT_EQ(t.rows()[0].in[1].iv, (Interval{0, 3}));
+  EXPECT_EQ(t.Row(0).out[0], (Interval{0, 0}));
+  EXPECT_FALSE(t.Row(0).in[0].is_relative());
+  EXPECT_EQ(t.Row(0).in[0].iv, (Interval{0, 3}));
+  EXPECT_EQ(t.Row(0).in[1].iv, (Interval{0, 3}));
   EXPECT_EQ(t.NumPairsRepresented(), 16);
 }
 
@@ -86,9 +86,9 @@ TEST(ProvRcTest, PaperFigure3OneToOne) {
   LineageRelation rel = CaptureOp("negative", {&a}, OpArgs());
   CompressedTable t = ProvRcCompress(rel);
   ASSERT_EQ(t.num_rows(), 1);
-  EXPECT_EQ(t.rows()[0].out[0], (Interval{0, 999}));
-  ASSERT_TRUE(t.rows()[0].in[0].is_relative());
-  EXPECT_EQ(t.rows()[0].in[0].iv, (Interval{0, 0}));
+  EXPECT_EQ(t.Row(0).out[0], (Interval{0, 999}));
+  ASSERT_TRUE(t.Row(0).in[0].is_relative());
+  EXPECT_EQ(t.Row(0).in[0].iv, (Interval{0, 0}));
   EXPECT_TRUE(t.Decompress().EqualAsSet(rel));
 }
 
@@ -296,6 +296,17 @@ TEST(SerializeTest, CorruptionRejected) {
   std::string data = SerializeCompressedTable(t);
   data[0] = 'X';
   EXPECT_FALSE(DeserializeCompressedTable(data).ok());
+}
+
+TEST(SerializeTest, ZeroArityHeaderRejected) {
+  // A crafted header claiming 0 output or input attributes must be
+  // Corruption, not a divide-by-zero or an unbounded empty-row loop.
+  for (const std::string& data :
+       {std::string("PRC1\x00\x00\xff", 7), std::string("PRC1\x00\x01\xff", 7),
+        std::string("PRC1\x01\x00\xff", 7)}) {
+    auto r = DeserializeCompressedTable(data);
+    ASSERT_FALSE(r.ok());
+  }
 }
 
 TEST(SerializeTest, TruncationFuzzNeverCrashes) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "provrc/interval_index.h"
 #include "query/interval_sweep.h"
 
 namespace dslog {
@@ -120,6 +121,72 @@ TEST_P(IntervalSweepStressTest, MatchesNestedLoopOnSkewedInputs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSweepStressTest,
                          ::testing::Range(0, 24));
+
+// ------------------------------------------------------------ IntervalIndex --
+
+std::set<std::pair<int64_t, int64_t>> IndexPairs(
+    const std::vector<Interval>& rows, const std::vector<Interval>& probes,
+    int64_t stride = 1) {
+  std::vector<int64_t> lo, hi;
+  for (const Interval& iv : rows) {
+    lo.push_back(iv.lo);
+    hi.push_back(iv.hi);
+    for (int64_t pad = 1; pad < stride; ++pad) {
+      lo.push_back(-1000000);  // decoy cells the stride must skip
+      hi.push_back(-1000000);
+    }
+  }
+  IntervalIndex index(lo.data(), hi.data(), static_cast<int64_t>(rows.size()),
+                      stride);
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (size_t j = 0; j < probes.size(); ++j) {
+    index.ForEachOverlapping(probes[j], [&](int64_t r) {
+      auto [it, inserted] = pairs.insert({r, static_cast<int64_t>(j)});
+      EXPECT_TRUE(inserted) << "row emitted twice: " << r << "," << j;
+    });
+  }
+  return pairs;
+}
+
+TEST(IntervalIndexTest, EmptyAndSingleton) {
+  IntervalIndex empty;
+  int hits = 0;
+  empty.ForEachOverlapping({0, 100}, [&](int64_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(IndexPairs({{5, 9}}, {{0, 4}, {9, 9}, {10, 20}}),
+            (std::set<std::pair<int64_t, int64_t>>{{0, 1}}));
+}
+
+TEST(IntervalIndexTest, StridedColumnsSkipDecoyCells) {
+  // Stride 3 mimics the lo/hi arenas of a 1-out/2-in table where only the
+  // first attribute is indexed.
+  EXPECT_EQ(IndexPairs({{0, 3}, {10, 12}, {2, 7}}, {{3, 10}}, 3),
+            (std::set<std::pair<int64_t, int64_t>>{{0, 0}, {1, 0}, {2, 0}}));
+}
+
+class IntervalIndexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalIndexRandomTest, MatchesNestedLoop) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2467 + 11);
+  auto make_side = [&rng](int count, int64_t domain) {
+    std::vector<Interval> side;
+    for (int i = 0; i < count; ++i) {
+      int64_t lo = rng.UniformRange(0, domain);
+      side.push_back({lo, lo + (rng.Bernoulli(0.4)
+                                    ? 0
+                                    : rng.UniformRange(0, domain / 4))});
+    }
+    return side;
+  };
+  const int n = static_cast<int>(rng.Uniform(300));
+  const int m = static_cast<int>(rng.Uniform(40));
+  std::vector<Interval> rows = make_side(n, 200);
+  std::vector<Interval> probes = make_side(m, 200);
+  EXPECT_EQ(IndexPairs(rows, probes), ReferencePairs(rows, probes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalIndexRandomTest,
+                         ::testing::Range(0, 16));
 
 }  // namespace
 }  // namespace dslog
