@@ -5,9 +5,11 @@
 // machine-readable BENCH_concurrency.json baseline (override with
 // `--json <path>`) so the perf trajectory can be regressed against.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -91,6 +93,20 @@ int main(int argc, char** argv) {
   }
 
   std::printf("=== Batched query throughput vs threads (Fig-8 workflows) ===\n\n");
+
+  const int num_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  const int max_threads = 8;  // widest row of the sweep below
+  const bool degraded_host = num_cpus < max_threads;
+  if (degraded_host) {
+    std::printf(
+        "*** WARNING: this host reports %d CPU(s) but the sweep runs up to\n"
+        "*** %d threads. Speedup rows beyond %d threads measure scheduler\n"
+        "*** contention, NOT scaling — the JSON is tagged degraded_host so\n"
+        "*** these numbers cannot masquerade as a scaling result. Re-run on\n"
+        "*** a >= %d-core machine for a meaningful curve.\n\n",
+        num_cpus, max_threads, std::max(1, num_cpus), max_threads);
+    json.TopBool("degraded_host", true);
+  }
 
   DSLog log;
   QueryBatch batch;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "common/io.h"
 #include "query/box.h"
@@ -86,11 +87,43 @@ JsonReporter::Record& JsonReporter::Add() {
   return records_.back();
 }
 
+namespace {
+
+void SetRendered(std::vector<std::pair<std::string, std::string>>* fields,
+                 const std::string& key, std::string rendered) {
+  for (auto& [k, v] : *fields) {
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  }
+  fields->push_back({key, std::move(rendered)});
+}
+
+}  // namespace
+
+void JsonReporter::TopStr(const std::string& key, const std::string& value) {
+  SetRendered(&top_fields_, key, JsonEscape(value));
+}
+
+void JsonReporter::TopNum(const std::string& key, double value) {
+  SetRendered(&top_fields_, key, JsonNumber(value));
+}
+
+void JsonReporter::TopBool(const std::string& key, bool value) {
+  SetRendered(&top_fields_, key, value ? "true" : "false");
+}
+
 void JsonReporter::Write() {
   if (written_ || path_.empty()) return;
   written_ = true;
   std::string doc = "{\"bench\": " + JsonEscape(bench_name_) +
-                    ", \"records\": [";
+                    ", \"num_cpus\": " +
+                    JsonNumber(static_cast<double>(
+                        std::thread::hardware_concurrency()));
+  for (const auto& [key, value] : top_fields_)
+    doc += ", " + JsonEscape(key) + ": " + value;
+  doc += ", \"records\": [";
   bool first_record = true;
   for (const Record& r : records_) {
     if (!first_record) doc += ',';

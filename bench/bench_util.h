@@ -182,8 +182,12 @@ inline void PrintRule(int width = 118) {
 /// Passing `--json <path>` on the command line (or a non-empty
 /// `default_path`) enables it; on destruction the accumulated records are
 /// written as one JSON document:
-///   {"bench": "<name>", "records": [{...}, ...]}
-/// so successive runs can be archived as a perf trajectory.
+///   {"bench": "<name>", "num_cpus": N, ..., "records": [{...}, ...]}
+/// so successive runs can be archived as a perf trajectory. `num_cpus`
+/// (std::thread::hardware_concurrency of the bench host) is recorded in
+/// every document automatically, so a scaling number can never again be
+/// read without knowing how many cores produced it. Additional top-level
+/// fields go through TopStr/TopNum/TopBool (e.g. the degraded_host tag).
 class JsonReporter {
  public:
   /// One flat record of string/number fields, insertion-ordered.
@@ -213,6 +217,12 @@ class JsonReporter {
   /// lifetime (deque-backed), so it can be filled incrementally.
   Record& Add();
 
+  /// Sets a top-level document field (next to "bench" and "num_cpus",
+  /// outside "records"). Re-setting a key overwrites it.
+  void TopStr(const std::string& key, const std::string& value);
+  void TopNum(const std::string& key, double value);
+  void TopBool(const std::string& key, bool value);
+
   /// Writes the document now; otherwise the destructor does. No-op when
   /// disabled or already written.
   void Write();
@@ -220,6 +230,8 @@ class JsonReporter {
  private:
   std::string bench_name_;
   std::string path_;
+  /// key -> already-rendered JSON literal, insertion-ordered.
+  std::vector<std::pair<std::string, std::string>> top_fields_;
   std::deque<Record> records_;
   bool written_ = false;
 };

@@ -110,6 +110,8 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
   });
 }
 
+bool ThreadPool::InWorkerThread() { return tls_in_pool_worker; }
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool* pool = new ThreadPool(
       std::max(8, static_cast<int>(std::thread::hardware_concurrency())));

@@ -49,6 +49,11 @@ class ThreadPool {
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
                    int max_parallelism = 0);
 
+  /// True when called from inside a pool worker thread (any pool). This is
+  /// the predicate ParallelFor uses to degrade nested calls to inline
+  /// execution; exposed so tests can assert the inline-on-nesting path.
+  static bool InWorkerThread();
+
   /// The process-wide pool shared by the query subsystem. Sized to the
   /// hardware concurrency but at least 8, so thread-count sweeps behave
   /// identically on small machines (idle workers only sleep). Intentionally

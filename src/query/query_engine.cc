@@ -13,16 +13,20 @@ BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
                      const QueryOptions& options) {
   DSLOG_CHECK(!hops.empty());
   const int num_threads = std::max(1, options.num_threads);
+  // merge_between_hops is pushed into the joins: each worker canonicalizes
+  // its private arena and the pairwise tree reduction re-merges, so no
+  // single-threaded Merge epilogue runs here between hops.
+  const bool merge = options.merge_between_hops;
   BoxTable current = query;
   for (const QueryHop& hop : hops) {
     if (hop.forward) {
       current = hop.forward_table != nullptr
-                    ? hop.forward_table->Join(current, num_threads)
-                    : ForwardThetaJoin(current, hop.table, num_threads);
+                    ? hop.forward_table->Join(current, num_threads, merge)
+                    : ForwardThetaJoin(current, hop.table, num_threads, merge);
     } else {
-      current = BackwardThetaJoin(current, hop.table, hop.index, num_threads);
+      current = BackwardThetaJoin(current, hop.table, hop.index, num_threads,
+                                  merge);
     }
-    if (options.merge_between_hops) current.Merge();
     if (current.empty()) break;
   }
   return current;

@@ -55,11 +55,12 @@ struct QueryOptions {
   /// reproduces the DSLog-NoMerge baseline of Fig 9.
   bool merge_between_hops = true;
   /// Threads used to evaluate each θ-join: >= 2 partitions the hop's
-  /// query-box table across the shared ThreadPool (per-worker results
-  /// concatenated, then the usual Merge() applied once); 1 is the paper's
-  /// single-threaded plan. Results are set-equivalent across settings.
-  /// DSLog::ProvQueryBatch also uses this as the fan-out width across
-  /// batch entries.
+  /// query-box table across the shared ThreadPool, each worker filling (and
+  /// with merge_between_hops, canonicalizing) a private output arena, with
+  /// the arenas combined pairwise tree-wise on the pool — no
+  /// single-threaded Merge epilogue. 1 is the paper's single-threaded plan.
+  /// Results are set-equivalent across settings. DSLog::ProvQueryBatch
+  /// also uses this as the fan-out width across batch entries.
   int num_threads = 1;
 };
 

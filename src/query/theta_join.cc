@@ -9,29 +9,62 @@ namespace dslog {
 
 namespace {
 
+// Pairwise tree reduction of per-worker output arenas on the shared pool.
+// Round k combines fixed index pairs (2p, 2p+1) — an odd tail rides to the
+// next round untouched — so the combine order (and therefore the exact
+// output, merged or not) depends only on the part count, never on thread
+// scheduling. Without merging, the reduction is pure concatenation in part
+// order; with merging, every combine re-canonicalizes, keeping each
+// intermediate table small instead of paying one big Merge at the end.
+BoxTable TreeMergeParts(std::vector<BoxTable> parts, int result_ndim,
+                        bool merge_result, int num_threads) {
+  if (parts.empty()) return BoxTable(result_ndim);
+  while (parts.size() > 1) {
+    const size_t pairs = parts.size() / 2;
+    std::vector<BoxTable> next(parts.size() - pairs);
+    ThreadPool::Shared().ParallelFor(
+        static_cast<int64_t>(pairs),
+        [&](int64_t p) {
+          const size_t at = static_cast<size_t>(p);
+          BoxTable combined = std::move(parts[2 * at]);
+          combined.Append(parts[2 * at + 1]);
+          if (merge_result) combined.Merge();
+          next[at] = std::move(combined);
+        },
+        num_threads);
+    if (parts.size() % 2 == 1) next.back() = std::move(parts.back());
+    parts = std::move(next);
+  }
+  return std::move(parts.front());
+}
+
 // Partitioned θ-join driver: splits the query boxes into `num_threads`
 // contiguous slices, runs `join` (the single-threaded join closed over the
-// stored table and its shared index) per slice on the shared pool, and
-// concatenates the partial BoxTables. Set-equivalent to join(query); the
-// caller applies Merge() once on the concatenation, exactly as in the
-// single-threaded plan.
+// stored table and its shared index) per slice into a private arena on the
+// shared pool, then tree-reduces the arenas. Set-equivalent to
+// join(query); with merge_result each worker canonicalizes its own arena
+// before the merging reduction (no single-threaded epilogue remains).
 template <typename JoinFn>
 BoxTable PartitionedJoin(const BoxTable& query, int result_ndim,
-                         int num_threads, JoinFn&& join) {
+                         int num_threads, bool merge_result, JoinFn&& join) {
   const int64_t nq = query.num_boxes();
   const int64_t chunks = std::min<int64_t>(num_threads, nq);
-  if (chunks <= 1) return join(query);
+  if (chunks <= 1) {
+    BoxTable result = join(query);
+    if (merge_result) result.Merge();
+    return result;
+  }
   std::vector<BoxTable> parts(static_cast<size_t>(chunks));
   ThreadPool::Shared().ParallelFor(
       chunks,
       [&](int64_t c) {
-        parts[static_cast<size_t>(c)] =
-            join(query.Slice(c * nq / chunks, (c + 1) * nq / chunks));
+        BoxTable part = join(query.Slice(c * nq / chunks, (c + 1) * nq / chunks));
+        if (merge_result) part.Merge();
+        parts[static_cast<size_t>(c)] = std::move(part);
       },
       num_threads);
-  BoxTable result(result_ndim);
-  for (const BoxTable& part : parts) result.Append(part);
-  return result;
+  return TreeMergeParts(std::move(parts), result_ndim, merge_result,
+                        num_threads);
 }
 
 // Single-threaded backward kernel over the columns, probing `index`.
@@ -134,7 +167,8 @@ BoxTable ForwardKernel(const BoxTable& query, const CompressedTableView& t,
 
 BoxTable BackwardThetaJoin(const BoxTable& query,
                            const CompressedTableView& table,
-                           const IntervalIndex* index, int num_threads) {
+                           const IntervalIndex* index, int num_threads,
+                           bool merge_result) {
   DSLOG_CHECK(query.ndim() == table.out_ndim)
       << "backward query arity mismatch";
   IntervalIndex ephemeral;
@@ -143,22 +177,26 @@ BoxTable BackwardThetaJoin(const BoxTable& query,
     index = &ephemeral;
   }
   if (num_threads > 1) {
-    return PartitionedJoin(query, table.in_ndim, num_threads,
+    return PartitionedJoin(query, table.in_ndim, num_threads, merge_result,
                            [&table, index](const BoxTable& q) {
                              return BackwardKernel(q, table, *index);
                            });
   }
-  return BackwardKernel(query, table, *index);
+  BoxTable result = BackwardKernel(query, table, *index);
+  if (merge_result) result.Merge();
+  return result;
 }
 
 BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                           int num_threads) {
+                           int num_threads, bool merge_result) {
   std::shared_ptr<const IntervalIndex> index = table.BackwardIndex();
-  return BackwardThetaJoin(query, table.view(), index.get(), num_threads);
+  return BackwardThetaJoin(query, table.view(), index.get(), num_threads,
+                           merge_result);
 }
 
 BoxTable ForwardThetaJoin(const BoxTable& query,
-                          const CompressedTableView& table, int num_threads) {
+                          const CompressedTableView& table, int num_threads,
+                          bool merge_result) {
   DSLOG_CHECK(query.ndim() == table.in_ndim) << "forward query arity mismatch";
   // Implied absolute input-attribute-0 intervals drive the probe; they
   // depend on de-relativization, so the index is per call (its build cost
@@ -178,17 +216,19 @@ BoxTable ForwardThetaJoin(const BoxTable& query,
   }
   IntervalIndex index(lo0.data(), hi0.data(), table.num_rows, 1);
   if (num_threads > 1) {
-    return PartitionedJoin(query, table.out_ndim, num_threads,
+    return PartitionedJoin(query, table.out_ndim, num_threads, merge_result,
                            [&table, &index](const BoxTable& q) {
                              return ForwardKernel(q, table, index);
                            });
   }
-  return ForwardKernel(query, table, index);
+  BoxTable result = ForwardKernel(query, table, index);
+  if (merge_result) result.Merge();
+  return result;
 }
 
 BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                          int num_threads) {
-  return ForwardThetaJoin(query, table.view(), num_threads);
+                          int num_threads, bool merge_result) {
+  return ForwardThetaJoin(query, table.view(), num_threads, merge_result);
 }
 
 ForwardTable ForwardTable::FromBackward(const CompressedTableView& table) {
@@ -251,11 +291,12 @@ ForwardTable ForwardTable::FromBackward(const CompressedTableView& table) {
   return fwd;
 }
 
-BoxTable ForwardTable::Join(const BoxTable& query, int num_threads) const {
+BoxTable ForwardTable::Join(const BoxTable& query, int num_threads,
+                            bool merge_result) const {
   DSLOG_CHECK(query.ndim() == in_ndim()) << "forward query arity mismatch";
-  if (num_threads > 1) {
+  if (num_threads > 1 || merge_result) {
     return PartitionedJoin(
-        query, out_ndim(), num_threads,
+        query, out_ndim(), num_threads, merge_result,
         [this](const BoxTable& q) { return Join(q, 1); });
   }
   const int32_t l = static_cast<int32_t>(out_ndim());

@@ -31,10 +31,19 @@
 namespace dslog {
 
 // All joins accept a `num_threads` knob: when >= 2 the query-box table is
-// partitioned into contiguous slices evaluated on the shared ThreadPool
-// (sharing one table index) and the per-worker results are concatenated.
-// The output is set-equivalent to the single-threaded join (box order may
-// differ; the caller's Merge() pass canonicalizes as usual).
+// partitioned into contiguous slices, each evaluated into its own private
+// output arena on the shared ThreadPool (sharing one table index), and the
+// arenas are combined pairwise tree-wise on the pool — workers never write
+// a shared result. The output is set-equivalent to the single-threaded
+// join, and for a fixed (query, num_threads) it is bit-identical across
+// runs: partition bounds and the pairwise combine order are fixed by
+// index, not by thread scheduling.
+//
+// All joins also accept `merge_result`: when true each worker Merge()s its
+// own arena and every pairwise combine re-Merges, so the canonicalization
+// that used to run single-threaded over the full concatenation is spread
+// across the pool (this is the parallel epilogue ProvQuery uses). false
+// reproduces the raw concatenation exactly (the caller may Merge itself).
 
 /// Backward θ-join: query boxes over output attributes -> input-cell boxes.
 /// `index` is the table's out-attr-0 interval index; pass nullptr to have
@@ -42,12 +51,12 @@ namespace dslog {
 BoxTable BackwardThetaJoin(const BoxTable& query,
                            const CompressedTableView& table,
                            const IntervalIndex* index = nullptr,
-                           int num_threads = 1);
+                           int num_threads = 1, bool merge_result = false);
 
 /// Convenience overload over an owned table: uses (and lazily builds) the
 /// table's cached index.
 BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                           int num_threads = 1);
+                           int num_threads = 1, bool merge_result = false);
 
 /// Forward θ-join evaluated directly on the backward representation:
 /// query boxes over input attributes -> output-cell boxes. The probe
@@ -55,10 +64,10 @@ BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
 /// de-relativization, so the index is built per call.
 BoxTable ForwardThetaJoin(const BoxTable& query,
                           const CompressedTableView& table,
-                          int num_threads = 1);
+                          int num_threads = 1, bool merge_result = false);
 
 BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                          int num_threads = 1);
+                          int num_threads = 1, bool merge_result = false);
 
 /// Materialized forward representation (inputs absolute, outputs possibly
 /// relative with clamping bounds) as described in §IV.C / Table III.
@@ -89,7 +98,8 @@ class ForwardTable {
   }
 
   /// Forward θ-join over the materialized representation.
-  BoxTable Join(const BoxTable& query, int num_threads = 1) const;
+  BoxTable Join(const BoxTable& query, int num_threads = 1,
+                bool merge_result = false) const;
 
  private:
   std::vector<int64_t> out_shape_;

@@ -15,46 +15,110 @@
 
 namespace dslog {
 
+namespace {
+
+/// Everything a query hop must keep alive after the shard lock drops:
+/// the edge's refcounted payloads plus (for lazy edges) the store's cache
+/// pin and the store itself (a concurrent Load may drop the catalog's
+/// reference mid-query).
+struct HopPin {
+  std::shared_ptr<const CompressedTable> table;
+  std::shared_ptr<const ForwardTable> forward;
+  std::shared_ptr<const void> store_pin;
+  std::shared_ptr<const LogStore> store;
+};
+
+}  // namespace
+
+void DSLog::InitShards() {
+  const int n = std::max(1, options_.edge_shards);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<EdgeShard>());
+}
+
+DSLog::EdgeShard& DSLog::ShardFor(const std::string& out_arr) const {
+  return *shards_[Hash64(out_arr) % shards_.size()];
+}
+
 DSLog::DSLog(DSLog&& other) noexcept {
-  std::unique_lock lock(other.mu_);
+  std::unique_lock catalog_lock(other.catalog_mu_);
+  std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
+  shard_locks.reserve(other.shards_.size());
+  for (auto& shard : other.shards_) shard_locks.emplace_back(shard->mu);
   options_ = other.options_;
   arrays_ = std::move(other.arrays_);
-  edges_ = std::move(other.edges_);
   predictor_ = std::move(other.predictor_);
   store_ = std::move(other.store_);
   findedge_pins_ = std::move(other.findedge_pins_);
+  shards_ = std::move(other.shards_);
+  shard_locks.clear();  // release before other re-initializes
+  catalog_lock.unlock();
+  other.shards_.clear();
+  other.InitShards();  // leave other valid (empty), as move-from promises
 }
 
 DSLog& DSLog::operator=(DSLog&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(mu_, other.mu_);
-  options_ = other.options_;
-  arrays_ = std::move(other.arrays_);
-  edges_ = std::move(other.edges_);
-  predictor_ = std::move(other.predictor_);
-  store_ = std::move(other.store_);
-  findedge_pins_ = std::move(other.findedge_pins_);
+  {
+    std::scoped_lock catalog_locks(catalog_mu_, other.catalog_mu_);
+    std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
+    shard_locks.reserve(shards_.size() + other.shards_.size());
+    for (auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+    for (auto& shard : other.shards_) shard_locks.emplace_back(shard->mu);
+    options_ = other.options_;
+    arrays_ = std::move(other.arrays_);
+    predictor_ = std::move(other.predictor_);
+    store_ = std::move(other.store_);
+    {
+      std::scoped_lock pins(findedge_pins_mu_, other.findedge_pins_mu_);
+      findedge_pins_ = std::move(other.findedge_pins_);
+    }
+    shards_.swap(other.shards_);
+  }
+  other.shards_.clear();
+  other.InitShards();
   return *this;
 }
 
 Status DSLog::DefineArray(const std::string& name, std::vector<int64_t> shape) {
   if (name.empty()) return Status::InvalidArgument("array name empty");
-  std::unique_lock lock(mu_);
+  std::unique_lock lock(catalog_mu_);
   auto [it, inserted] = arrays_.try_emplace(name, std::move(shape));
   if (!inserted) return Status::AlreadyExists("array already defined: " + name);
   return Status::OK();
 }
 
 bool DSLog::HasArray(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  std::shared_lock lock(catalog_mu_);
   return arrays_.count(name) > 0;
 }
 
 Result<std::vector<int64_t>> DSLog::ArrayShape(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  std::shared_lock lock(catalog_mu_);
   auto it = arrays_.find(name);
   if (it == arrays_.end()) return Status::NotFound("array not defined: " + name);
   return it->second;
+}
+
+void DSLog::CommitEdges(std::vector<Edge> edges) {
+  // Group by shard so each shard's writer lock is taken exactly once —
+  // with ingest batches this is the only serialization point left, and
+  // it is held just for map inserts (tables were compressed long before).
+  std::sort(edges.begin(), edges.end(), [this](const Edge& a, const Edge& b) {
+    return &ShardFor(a.out_arr) < &ShardFor(b.out_arr);
+  });
+  size_t i = 0;
+  while (i < edges.size()) {
+    EdgeShard& shard = ShardFor(edges[i].out_arr);
+    size_t j = i;
+    while (j < edges.size() && &ShardFor(edges[j].out_arr) == &shard) ++j;
+    std::unique_lock lock(shard.mu);
+    for (size_t k = i; k < j; ++k) {
+      std::string key = EdgeKey(edges[k].in_arr, edges[k].out_arr);
+      shard.edges[std::move(key)] = std::move(edges[k]);
+    }
+    i = j;
+  }
 }
 
 Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
@@ -64,7 +128,7 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
   // only: a concurrent Load() can replace the catalog, so the same check is
   // repeated under the writer lock below.
   {
-    std::shared_lock lock(mu_);
+    std::shared_lock lock(catalog_mu_);
     if (arrays_.count(reg.out_arr) == 0)
       return Status::NotFound("output array not defined: " + reg.out_arr);
     for (const auto& in : reg.in_arrs)
@@ -73,9 +137,9 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
   }
 
   // Compress the captured lineage — and materialize its forward
-  // representation when configured — before taking the writer lock: these
-  // are the expensive parts of ingest and touch no shared state, so
-  // concurrent readers are only blocked for the catalog update.
+  // representation when configured — before taking any lock: these are the
+  // expensive parts of ingest and touch no shared state, so concurrent
+  // readers are only blocked for the catalog update.
   std::vector<CompressedTable> captured_tables;
   std::vector<std::shared_ptr<const ForwardTable>> captured_forward;
   captured_tables.reserve(reg.captured.size());
@@ -86,136 +150,225 @@ Result<ReuseOutcome> DSLog::RegisterOperation(OperationRegistration reg) {
           ForwardTable::FromBackward(captured_tables.back())));
   }
 
-  std::unique_lock lock(mu_);
-  auto out_it = arrays_.find(reg.out_arr);
-  if (out_it == arrays_.end())
-    return Status::NotFound("output array not defined: " + reg.out_arr);
-  std::vector<std::vector<int64_t>> in_shapes;
-  for (const auto& in : reg.in_arrs) {
-    auto in_it = arrays_.find(in);
-    if (in_it == arrays_.end())
-      return Status::NotFound("input array not defined: " + in);
-    in_shapes.push_back(in_it->second);
-  }
-  const std::vector<int64_t>& out_shape = out_it->second;
-
   std::vector<CompressedTable> tables;
   std::vector<std::shared_ptr<const ForwardTable>> forward = captured_forward;
   ReuseOutcome outcome;
-  if (!reg.captured.empty()) {
-    tables = std::move(captured_tables);
-    if (reg.reuse) {
-      outcome = predictor_.ProcessRegistration(reg.op_name, reg.args, in_shapes,
-                                               out_shape, reg.content_hash,
-                                               tables);
+  {
+    std::unique_lock lock(catalog_mu_);
+    auto out_it = arrays_.find(reg.out_arr);
+    if (out_it == arrays_.end())
+      return Status::NotFound("output array not defined: " + reg.out_arr);
+    std::vector<std::vector<int64_t>> in_shapes;
+    for (const auto& in : reg.in_arrs) {
+      auto in_it = arrays_.find(in);
+      if (in_it == arrays_.end())
+        return Status::NotFound("input array not defined: " + in);
+      in_shapes.push_back(in_it->second);
     }
-  } else {
-    if (!reg.reuse)
-      return Status::InvalidArgument(
-          "no capture provided and reuse disabled for " + reg.op_name);
-    tables = predictor_.Predict(reg.op_name, reg.args, in_shapes, out_shape);
-    if (tables.empty())
-      return Status::NotFound("no promoted reuse mapping for " + reg.op_name);
-    outcome.dim_hit = true;  // served from the reuse index
-    if (options_.materialize_forward) {
-      forward.clear();
-      for (const CompressedTable& table : tables)
-        forward.push_back(std::make_shared<const ForwardTable>(
-            ForwardTable::FromBackward(table)));
+    const std::vector<int64_t>& out_shape = out_it->second;
+
+    if (!reg.captured.empty()) {
+      tables = std::move(captured_tables);
+      if (reg.reuse) {
+        outcome = predictor_.ProcessRegistration(
+            reg.op_name, reg.args, in_shapes, out_shape, reg.content_hash,
+            tables);
+      }
+    } else {
+      if (!reg.reuse)
+        return Status::InvalidArgument(
+            "no capture provided and reuse disabled for " + reg.op_name);
+      tables = predictor_.Predict(reg.op_name, reg.args, in_shapes, out_shape);
+      if (tables.empty())
+        return Status::NotFound("no promoted reuse mapping for " + reg.op_name);
+      outcome.dim_hit = true;  // served from the reuse index
+      if (options_.materialize_forward) {
+        forward.clear();
+        for (const CompressedTable& table : tables)
+          forward.push_back(std::make_shared<const ForwardTable>(
+              ForwardTable::FromBackward(table)));
+      }
     }
-  }
+  }  // catalog lock released: edge commit takes only the target shard.
 
   if (tables.size() != reg.in_arrs.size())
     return Status::Internal("table count mismatch");
+  std::vector<Edge> edges;
+  edges.reserve(reg.in_arrs.size());
   for (size_t i = 0; i < reg.in_arrs.size(); ++i) {
     Edge edge;
     edge.in_arr = reg.in_arrs[i];
     edge.out_arr = reg.out_arr;
     edge.op_name = reg.op_name;
-    edge.table = std::move(tables[i]);
+    edge.table =
+        std::make_shared<const CompressedTable>(std::move(tables[i]));
     if (options_.materialize_forward) edge.forward = std::move(forward[i]);
-    edges_[EdgeKey(reg.in_arrs[i], reg.out_arr)] = std::move(edge);
+    edges.push_back(std::move(edge));
   }
+  CommitEdges(std::move(edges));
   return outcome;
 }
 
-Result<LogStore::PinnedTable> DSLog::ResolveEdgeView(const Edge& edge) const {
+// ----------------------------------------------------------- staged ingest --
+
+Status StagedIngest::Add(OperationRegistration reg) {
+  if (reg.captured.empty())
+    return Status::InvalidArgument(
+        "StagedIngest requires captured lineage (predicted ingest reads the "
+        "reuse index; use RegisterOperation): " +
+        reg.op_name);
+  if (reg.captured.size() != reg.in_arrs.size())
+    return Status::InvalidArgument("one captured relation per input required");
+  StagedOp op;
+  op.tables.reserve(reg.captured.size());
+  for (const LineageRelation& rel : reg.captured) {
+    op.tables.push_back(ProvRcCompress(rel));
+    if (log_->options_.materialize_forward)
+      op.forward.push_back(std::make_shared<const ForwardTable>(
+          ForwardTable::FromBackward(op.tables.back())));
+  }
+  reg.captured.clear();
+  op.reg = std::move(reg);
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Result<std::vector<ReuseOutcome>> StagedIngest::Drain() {
+  std::vector<ReuseOutcome> outcomes(ops_.size());
+  {
+    // One catalog-lock round trip for the whole batch: validate every
+    // array, then run reuse bookkeeping for the ops that asked for it.
+    // Validation completes before the first predictor mutation so an error
+    // drain leaves the catalog untouched.
+    std::unique_lock lock(log_->catalog_mu_);
+    for (const StagedOp& op : ops_) {
+      if (log_->arrays_.count(op.reg.out_arr) == 0)
+        return Status::NotFound("output array not defined: " + op.reg.out_arr);
+      for (const auto& in : op.reg.in_arrs)
+        if (log_->arrays_.count(in) == 0)
+          return Status::NotFound("input array not defined: " + in);
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      StagedOp& op = ops_[i];
+      if (!op.reg.reuse) continue;
+      std::vector<std::vector<int64_t>> in_shapes;
+      for (const auto& in : op.reg.in_arrs)
+        in_shapes.push_back(log_->arrays_.at(in));
+      outcomes[i] = log_->predictor_.ProcessRegistration(
+          op.reg.op_name, op.reg.args, in_shapes,
+          log_->arrays_.at(op.reg.out_arr), op.reg.content_hash, op.tables);
+    }
+  }
+
+  std::vector<DSLog::Edge> edges;
+  for (StagedOp& op : ops_) {
+    for (size_t i = 0; i < op.reg.in_arrs.size(); ++i) {
+      DSLog::Edge edge;
+      edge.in_arr = op.reg.in_arrs[i];
+      edge.out_arr = op.reg.out_arr;
+      edge.op_name = op.reg.op_name;
+      edge.table =
+          std::make_shared<const CompressedTable>(std::move(op.tables[i]));
+      if (i < op.forward.size()) edge.forward = std::move(op.forward[i]);
+      edges.push_back(std::move(edge));
+    }
+  }
+  log_->CommitEdges(std::move(edges));
+  ops_.clear();
+  return outcomes;
+}
+
+// ----------------------------------------------------------------- queries --
+
+bool DSLog::FindEdgeCopy(const std::string& in_arr, const std::string& out_arr,
+                         Edge* out) const {
+  EdgeShard& shard = ShardFor(out_arr);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.edges.find(EdgeKey(in_arr, out_arr));
+  if (it == shard.edges.end()) return false;
+  *out = it->second;  // string + shared_ptr copies only
+  return true;
+}
+
+Result<LogStore::PinnedTable> DSLog::ResolveEdgeView(
+    const Edge& edge, const LogStore* store) const {
   if (edge.segment < 0) {
-    // Resident edge: view the catalog's arenas; mu_ (held by the caller)
-    // keeps the Edge alive for the view's useful lifetime. The pin carries
-    // the lazily-built index so eviction semantics match lazy edges.
+    // Resident edge: view the pinned table's arenas. The pin carries the
+    // lazily-built index so eviction semantics match lazy edges.
     LogStore::PinnedTable pinned;
-    pinned.view = edge.table.view();
-    auto index = edge.table.BackwardIndex();
+    pinned.view = edge.table->view();
+    auto index = edge.table->BackwardIndex();
     pinned.index = index.get();
     pinned.pin = std::move(index);
     return pinned;
   }
-  return store_->View(static_cast<size_t>(edge.segment));
+  if (store == nullptr)
+    return Status::Internal("lazy edge without a backing store: " +
+                            edge.in_arr + " -> " + edge.out_arr);
+  return store->View(static_cast<size_t>(edge.segment));
 }
 
 const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
                                        const std::string& out_arr) const {
-  std::shared_lock lock(mu_);
-  auto it = edges_.find(EdgeKey(in_arr, out_arr));
-  if (it == edges_.end()) return nullptr;
-  if (it->second.segment < 0) return &it->second.table;
-  // Lazy edge: one pin per segment, reused on repeat calls, so the
-  // returned pointer stays valid without growing per call.
+  Edge edge;
+  if (!FindEdgeCopy(in_arr, out_arr, &edge)) return nullptr;
+  const std::string key = EdgeKey(in_arr, out_arr);
   {
     std::lock_guard<std::mutex> pins_lock(findedge_pins_mu_);
-    auto pin_it = findedge_pins_.find(it->second.segment);
+    auto pin_it = findedge_pins_.find(key);
     if (pin_it != findedge_pins_.end()) return pin_it->second.get();
   }
-  auto table = store_->Table(static_cast<size_t>(it->second.segment));
-  if (!table.ok()) return nullptr;
+  std::shared_ptr<const CompressedTable> table;
+  if (edge.segment < 0) {
+    table = edge.table;
+  } else {
+    std::shared_ptr<const LogStore> store = log_store();
+    if (store == nullptr) return nullptr;
+    auto materialized = store->Table(static_cast<size_t>(edge.segment));
+    if (!materialized.ok()) return nullptr;
+    table = std::move(materialized).ValueOrDie();
+  }
   std::lock_guard<std::mutex> pins_lock(findedge_pins_mu_);
-  return findedge_pins_
-      .emplace(it->second.segment, std::move(table).ValueOrDie())
-      .first->second.get();
+  return findedge_pins_.emplace(key, std::move(table)).first->second.get();
 }
 
 Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
                                   const BoxTable& query,
                                   const QueryOptions& options) const {
-  std::shared_lock lock(mu_);
-  return ProvQueryLocked(path, query, options);
-}
-
-Result<BoxTable> DSLog::ProvQueryLocked(const std::vector<std::string>& path,
-                                        const BoxTable& query,
-                                        const QueryOptions& options) const {
   if (path.size() < 2)
     return Status::InvalidArgument("query path needs >= 2 arrays");
+  // One brief catalog-lock acquisition to pin the backing store for the
+  // query's duration; every hop after this touches only its own shard.
+  std::shared_ptr<const LogStore> store = log_store();
   std::vector<QueryHop> hops;
   for (size_t k = 0; k + 1 < path.size(); ++k) {
-    // Forward hop: path[k] is the relation's input array.
-    auto fwd_it = edges_.find(EdgeKey(path[k], path[k + 1]));
-    if (fwd_it != edges_.end()) {
-      DSLOG_ASSIGN_OR_RETURN(auto pinned, ResolveEdgeView(fwd_it->second));
-      QueryHop hop;
-      hop.table = pinned.view;
-      hop.forward = true;
-      hop.forward_table = fwd_it->second.forward.get();
-      hop.index = pinned.index;
-      hop.pin = std::move(pinned.pin);
-      hops.push_back(std::move(hop));
-      continue;
+    Edge edge;
+    bool forward;
+    // Forward hop: path[k] is the relation's input array; backward hop:
+    // path[k] is its output array. Each lookup copies the edge out under
+    // its shard's reader lock — the lock is dropped before any decode or
+    // index build (the "shard lock never held across decode" contract).
+    if (FindEdgeCopy(path[k], path[k + 1], &edge)) {
+      forward = true;
+    } else if (FindEdgeCopy(path[k + 1], path[k], &edge)) {
+      forward = false;
+    } else {
+      return Status::NotFound("no lineage between " + path[k] + " and " +
+                              path[k + 1]);
     }
-    // Backward hop: path[k] is the relation's output array.
-    auto bwd_it = edges_.find(EdgeKey(path[k + 1], path[k]));
-    if (bwd_it != edges_.end()) {
-      DSLOG_ASSIGN_OR_RETURN(auto pinned, ResolveEdgeView(bwd_it->second));
-      QueryHop hop;
-      hop.table = pinned.view;
-      hop.forward = false;
-      hop.index = pinned.index;
-      hop.pin = std::move(pinned.pin);
-      hops.push_back(std::move(hop));
-      continue;
-    }
-    return Status::NotFound("no lineage between " + path[k] + " and " +
-                            path[k + 1]);
+    DSLOG_ASSIGN_OR_RETURN(auto pinned, ResolveEdgeView(edge, store.get()));
+    QueryHop hop;
+    hop.table = pinned.view;
+    hop.forward = forward;
+    if (forward) hop.forward_table = edge.forward.get();
+    hop.index = pinned.index;
+    auto pin = std::make_shared<HopPin>();
+    pin->table = std::move(edge.table);
+    pin->forward = std::move(edge.forward);
+    pin->store_pin = std::move(pinned.pin);
+    if (edge.segment >= 0) pin->store = store;
+    hop.pin = std::move(pin);
+    hops.push_back(std::move(hop));
   }
   return InSituQuery(hops, query, options);
 }
@@ -247,8 +400,8 @@ Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
       n,
       [&](int64_t i) {
         const size_t idx = static_cast<size_t>(i);
-        // Each entry takes the catalog lock shared on its own thread, so a
-        // writer can make progress between entries of a long batch.
+        // Entries lock nothing beyond per-hop shard reads, so concurrent
+        // writers make progress throughout a long batch.
         auto r = ProvQuery(paths[idx], queries[idx], per_query);
         if (r.ok())
           results[idx] = std::move(r).value();
@@ -264,22 +417,34 @@ Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
   return results;
 }
 
+// --------------------------------------------------------------- snapshots --
+
+std::map<std::string, DSLog::Edge> DSLog::SnapshotEdges() const {
+  std::map<std::string, Edge> all;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [key, edge] : shard->edges) all.emplace(key, edge);
+  }
+  return all;
+}
+
 int64_t DSLog::StorageFootprintBytes() const {
-  std::shared_lock lock(mu_);
+  std::map<std::string, Edge> edges = SnapshotEdges();
+  std::shared_ptr<const LogStore> store = log_store();
   int64_t total = 0;
-  for (const auto& [key, edge] : edges_) {
+  for (const auto& [key, edge] : edges) {
     if (edge.segment >= 0)
       total += static_cast<int64_t>(
-          store_->segments()[static_cast<size_t>(edge.segment)].length);
+          store->segments()[static_cast<size_t>(edge.segment)].length);
     else
       total += static_cast<int64_t>(
-          SerializeCompressedTableGzip(edge.table).size());
+          SerializeCompressedTableGzip(*edge.table).size());
   }
   return total;
 }
 
 ReuseStats DSLog::reuse_stats() const {
-  std::shared_lock lock(mu_);
+  std::shared_lock lock(catalog_mu_);
   return predictor_.stats();
 }
 
@@ -295,7 +460,7 @@ struct EdgeSegmentBytes {
 };
 
 EdgeSegmentBytes SerializedEdgeSegment(const LogStore* store, int32_t segment,
-                                       const CompressedTable& table,
+                                       const CompressedTable* table,
                                        SegmentLayout preferred) {
   if (segment >= 0) {
     const LogStore::SegmentInfo& seg =
@@ -304,18 +469,18 @@ EdgeSegmentBytes SerializedEdgeSegment(const LogStore* store, int32_t segment,
             seg.layout, seg.row_count};
   }
   if (preferred == SegmentLayout::kColumnar)
-    return {SerializeCompressedTableColumnar(table), SegmentLayout::kColumnar,
-            table.num_rows()};
-  return {SerializeCompressedTableGzip(table), SegmentLayout::kProvRcGzip,
-          table.num_rows()};
+    return {SerializeCompressedTableColumnar(*table), SegmentLayout::kColumnar,
+            table->num_rows()};
+  return {SerializeCompressedTableGzip(*table), SegmentLayout::kProvRcGzip,
+          table->num_rows()};
 }
 
 /// ProvRC-GZip bytes of an edge for the legacy directory format, which
 /// knows no other encoding: v1 in-situ segments copy straight out of the
 /// mapping; columnar ones transcode through an owned table.
 Result<std::string> GzipEdgeBytes(const LogStore* store, int32_t segment,
-                                  const CompressedTable& table) {
-  if (segment < 0) return SerializeCompressedTableGzip(table);
+                                  const CompressedTable* table) {
+  if (segment < 0) return SerializeCompressedTableGzip(*table);
   const LogStore::SegmentInfo& seg =
       store->segments()[static_cast<size_t>(segment)];
   std::string_view raw = store->SegmentView(static_cast<size_t>(segment));
@@ -330,20 +495,32 @@ constexpr char kPredictorFile[] = "predictor.bin";
 }  // namespace
 
 Status DSLog::Save(const std::string& dir) const {
-  std::shared_lock lock(mu_);
+  // Point-in-time snapshots, edges first: arrays are add-only (outside
+  // Load), so every snapshotted edge's arrays are present in the array
+  // snapshot taken after it.
+  std::map<std::string, Edge> edges = SnapshotEdges();
+  std::shared_ptr<const LogStore> store = log_store();
+  std::map<std::string, std::vector<int64_t>> arrays;
+  std::string predictor_state;
+  {
+    std::shared_lock lock(catalog_mu_);
+    arrays = arrays_;
+    predictor_state = predictor_.SerializeState();
+  }
+
   DSLOG_RETURN_IF_ERROR(CreateDirs(dir));
   // Catalog file: arrays and edge index.
   std::string catalog;
-  PutVarint64(&catalog, arrays_.size());
-  for (const auto& [name, shape] : arrays_) {
+  PutVarint64(&catalog, arrays.size());
+  for (const auto& [name, shape] : arrays) {
     PutVarint64(&catalog, name.size());
     catalog += name;
     PutVarint64(&catalog, shape.size());
     for (int64_t d : shape) PutVarint64(&catalog, static_cast<uint64_t>(d));
   }
-  PutVarint64(&catalog, edges_.size());
+  PutVarint64(&catalog, edges.size());
   std::set<std::string> referenced;
-  for (const auto& [key, edge] : edges_) {
+  for (const auto& [key, edge] : edges) {
     PutVarint64(&catalog, edge.in_arr.size());
     catalog += edge.in_arr;
     PutVarint64(&catalog, edge.out_arr.size());
@@ -356,7 +533,8 @@ Status DSLog::Save(const std::string& dir) const {
     // exactly (never a rebound or updated table). Identical tables dedup
     // to one file as a side effect.
     DSLOG_ASSIGN_OR_RETURN(
-        std::string bytes, GzipEdgeBytes(store_.get(), edge.segment, edge.table));
+        std::string bytes,
+        GzipEdgeBytes(store.get(), edge.segment, edge.table.get()));
     std::string file = Format(
         "edge_%016llx.prc", static_cast<unsigned long long>(Hash64(bytes)));
     referenced.insert(file);
@@ -364,8 +542,8 @@ Status DSLog::Save(const std::string& dir) const {
     catalog += file;
     DSLOG_RETURN_IF_ERROR(WriteFileAtomic(dir + "/" + file, bytes));
   }
-  DSLOG_RETURN_IF_ERROR(WriteFileAtomic(dir + "/" + kPredictorFile,
-                                        predictor_.SerializeState()));
+  DSLOG_RETURN_IF_ERROR(
+      WriteFileAtomic(dir + "/" + kPredictorFile, predictor_state));
   // The catalog commits last: a crash before this point leaves the previous
   // catalog.bin (if any) intact and loadable.
   DSLOG_RETURN_IF_ERROR(WriteFileAtomic(dir + "/catalog.bin", catalog));
@@ -452,7 +630,9 @@ Status DSLog::Load(const std::string& dir) {
     edge.op_name = ref.op_name;
     DSLOG_ASSIGN_OR_RETURN(std::string data,
                            ReadFileToString(dir + "/" + ref.file));
-    DSLOG_ASSIGN_OR_RETURN(edge.table, DeserializeCompressedTableGzip(data));
+    DSLOG_ASSIGN_OR_RETURN(CompressedTable table,
+                           DeserializeCompressedTableGzip(data));
+    edge.table = std::make_shared<const CompressedTable>(std::move(table));
     edges[EdgeKey(edge.in_arr, edge.out_arr)] = std::move(edge);
   }
 
@@ -463,11 +643,20 @@ Status DSLog::Load(const std::string& dir) {
   if (predictor_blob.ok())
     DSLOG_RETURN_IF_ERROR(predictor.RestoreState(predictor_blob.value()));
 
-  std::unique_lock lock(mu_);
+  // Whole-catalog barrier: catalog lock then every shard, in the fixed
+  // global order, so readers see either the old catalog or the new one.
+  std::unique_lock lock(catalog_mu_);
+  std::vector<std::unique_lock<std::shared_mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (auto& shard : shards_) shard_locks.emplace_back(shard->mu);
   arrays_ = std::move(arrays);
-  edges_ = std::move(edges);
   predictor_ = std::move(predictor);
   store_.reset();
+  for (auto& shard : shards_) shard->edges.clear();
+  for (auto& [key, edge] : edges) {
+    EdgeShard& shard = ShardFor(edge.out_arr);
+    shard.edges[key] = std::move(edge);
+  }
   return Status::OK();
 }
 
@@ -477,7 +666,7 @@ Result<DSLog> DSLog::OpenInSitu(const std::string& path,
                                 const InSituOptions& options) {
   DSLOG_ASSIGN_OR_RETURN(std::unique_ptr<LogStore> store,
                          LogStore::Open(path, options.store));
-  DSLog log;
+  DSLog log(options.catalog);
   log.arrays_ = store->arrays();
   for (size_t i = 0; i < store->segments().size(); ++i) {
     const LogStore::SegmentInfo& seg = store->segments()[i];
@@ -486,7 +675,8 @@ Result<DSLog> DSLog::OpenInSitu(const std::string& path,
     edge.out_arr = seg.out_arr;
     edge.op_name = seg.op_name;
     edge.segment = static_cast<int32_t>(i);
-    log.edges_[EdgeKey(seg.in_arr, seg.out_arr)] = std::move(edge);
+    log.ShardFor(seg.out_arr).edges[EdgeKey(seg.in_arr, seg.out_arr)] =
+        std::move(edge);
   }
   if (!store->predictor_state().empty())
     DSLOG_RETURN_IF_ERROR(
@@ -497,27 +687,36 @@ Result<DSLog> DSLog::OpenInSitu(const std::string& path,
 
 Status DSLog::SaveLogStore(const std::string& path,
                            SegmentLayout layout) const {
-  std::shared_lock lock(mu_);
+  std::map<std::string, Edge> edges = SnapshotEdges();
+  std::shared_ptr<const LogStore> store = log_store();
   DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer, LogStoreWriter::Create(path));
-  for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
-  for (const auto& [key, edge] : edges_) {
-    EdgeSegmentBytes seg =
-        SerializedEdgeSegment(store_.get(), edge.segment, edge.table, layout);
+  {
+    std::shared_lock lock(catalog_mu_);
+    for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
+    writer.SetPredictorState(predictor_.SerializeState());
+  }
+  for (const auto& [key, edge] : edges) {
+    EdgeSegmentBytes seg = SerializedEdgeSegment(store.get(), edge.segment,
+                                                 edge.table.get(), layout);
     DSLOG_RETURN_IF_ERROR(
         writer.AppendRawSegment(edge.in_arr, edge.out_arr, edge.op_name,
                                 seg.bytes, seg.layout, seg.row_count));
   }
-  writer.SetPredictorState(predictor_.SerializeState());
   return writer.Finish();
 }
 
 Status DSLog::AppendLogStore(const std::string& path,
                              SegmentLayout layout) const {
-  std::shared_lock lock(mu_);
+  std::map<std::string, Edge> edges = SnapshotEdges();
+  std::shared_ptr<const LogStore> store = log_store();
   DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer,
                          LogStoreWriter::OpenForAppend(path));
-  for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
-  for (const auto& [key, edge] : edges_) {
+  {
+    std::shared_lock lock(catalog_mu_);
+    for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
+    writer.SetPredictorState(predictor_.SerializeState());
+  }
+  for (const auto& [key, edge] : edges) {
     // Skip only byte-identical segments: a re-registered edge whose
     // lineage changed must be re-persisted, not silently kept stale. The
     // comparison serializes in the *existing* segment's layout so an
@@ -530,7 +729,7 @@ Status DSLog::AppendLogStore(const std::string& path,
     bool have_bytes = false;
     if (existing != nullptr) {
       EdgeSegmentBytes probe = SerializedEdgeSegment(
-          store_.get(), edge.segment, edge.table, existing->layout);
+          store.get(), edge.segment, edge.table.get(), existing->layout);
       if (probe.layout == existing->layout &&
           existing->length == probe.bytes.size() &&
           existing->checksum == Hash64(probe.bytes))
@@ -543,18 +742,17 @@ Status DSLog::AppendLogStore(const std::string& path,
       }
     }
     if (!have_bytes)
-      seg = SerializedEdgeSegment(store_.get(), edge.segment, edge.table,
+      seg = SerializedEdgeSegment(store.get(), edge.segment, edge.table.get(),
                                   layout);
     DSLOG_RETURN_IF_ERROR(
         writer.AppendRawSegment(edge.in_arr, edge.out_arr, edge.op_name,
                                 seg.bytes, seg.layout, seg.row_count));
   }
-  writer.SetPredictorState(predictor_.SerializeState());
   return writer.Finish();
 }
 
 std::shared_ptr<const LogStore> DSLog::log_store() const {
-  std::shared_lock lock(mu_);
+  std::shared_lock lock(catalog_mu_);
   return store_;
 }
 

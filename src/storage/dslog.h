@@ -5,9 +5,14 @@
 //
 // Thread-safety: a DSLog is safe for any number of concurrent readers
 // (ProvQuery, ProvQueryBatch, and the const accessors) interleaved with
-// writers (DefineArray, RegisterOperation, Load). Reads take the catalog
-// lock shared; ingest and reuse-predictor updates take it exclusive. See
-// docs/ARCHITECTURE.md ("Concurrency model") for the full contract.
+// writers (DefineArray, RegisterOperation, StagedIngest, Load). The edge
+// catalog is lock-striped: edges live in N shards (hash of the edge's
+// output array), each under its own shared_mutex, so concurrent readers
+// and an ingesting writer only contend when they touch the same shard —
+// and even then a hop holds the shard lock just long enough to copy out
+// the edge's (refcounted) payload, never across a segment decode or a
+// θ-join. See docs/ARCHITECTURE.md ("Concurrency model") for the full
+// contract.
 
 #ifndef DSLOG_STORAGE_DSLOG_H_
 #define DSLOG_STORAGE_DSLOG_H_
@@ -32,6 +37,8 @@
 
 namespace dslog {
 
+class StagedIngest;
+
 /// Per-operation registration payload: the lineage captured between one
 /// output array and each input array (nullptr capture = rely on reuse).
 struct OperationRegistration {
@@ -54,21 +61,31 @@ struct DSLogOptions {
   /// paper stores "either or both versions depending on the distribution of
   /// forward and reverse queries"; this flag is the "both" configuration.
   bool materialize_forward = false;
+  /// Number of lock-striped shards the edge catalog is split across (each
+  /// shard has its own shared_mutex). Edges hash to a shard by output
+  /// array, so one RegisterOperation commits all its edges under a single
+  /// shard lock while readers of other shards proceed untouched. Clamped
+  /// to >= 1; 1 reproduces the old single-lock catalog (contention tests
+  /// sweep this).
+  int edge_shards = 16;
 };
 
 /// Configuration of DSLog::OpenInSitu.
 struct InSituOptions {
   /// Mapping, checksum, and decode-cache behaviour of the backing LogStore.
   LogStoreOptions store;
+  /// Catalog behaviour of the opened DSLog (shard count; the
+  /// materialize_forward flag is not applied to mapped edges).
+  DSLogOptions catalog;
 };
 
 /// The DSLog storage manager.
 class DSLog {
  public:
-  DSLog() = default;
-  explicit DSLog(DSLogOptions options) : options_(options) {}
+  DSLog() { InitShards(); }
+  explicit DSLog(DSLogOptions options) : options_(options) { InitShards(); }
 
-  /// Movable (each instance keeps its own lock; the catalog state moves).
+  /// Movable (each instance keeps its own locks; the catalog state moves).
   /// Moving a DSLog that other threads are still using is a data race, as
   /// with any container.
   DSLog(DSLog&& other) noexcept;
@@ -90,6 +107,12 @@ class DSLog {
   /// Answers prov_query(X, query_cells): lineage between cells of the first
   /// array on `path` and cells of the last (§III.A / §V). `query` holds
   /// boxes over the first array's indices.
+  ///
+  /// Isolation: each traversed edge is read atomically (a hop sees a fully
+  /// registered edge or none), and the hop pins the edge's table for the
+  /// query's duration, so a concurrent re-registration can never free data
+  /// mid-join. Across hops the query is *not* a snapshot: an edge
+  /// registered after the query started may be visible to a later hop.
   Result<BoxTable> ProvQuery(const std::vector<std::string>& path,
                              const BoxTable& query,
                              const QueryOptions& options = {}) const;
@@ -108,12 +131,12 @@ class DSLog {
       const QueryOptions& options = {}) const;
 
   /// Direct access to a stored edge's compressed table (bench/test hook).
-  /// The pointer is only stable while no writer runs; callers that overlap
-  /// writers should treat it as a presence check. On an in-situ catalog
-  /// this materializes the edge's segment into an owned table on first
-  /// call (even for zero-copy columnar segments — queries never pay this)
-  /// and keeps it pinned for the catalog's lifetime (nullptr if the
-  /// segment is corrupt).
+  /// The returned pointer stays valid for the catalog's lifetime (the
+  /// catalog pins the table), but reflects the edge at first call: callers
+  /// that overlap re-registrations should treat it as a presence check. On
+  /// an in-situ catalog this materializes the edge's segment into an owned
+  /// table on first call (even for zero-copy columnar segments — queries
+  /// never pay this); nullptr if the edge is absent or its segment corrupt.
   const CompressedTable* FindEdge(const std::string& in_arr,
                                   const std::string& out_arr) const;
 
@@ -129,7 +152,8 @@ class DSLog {
   /// state) to a directory, one gzip blob per edge (columnar in-situ
   /// segments are transcoded — the legacy dir format is ProvRC-GZip only).
   /// Every file is written atomically (temp + rename), so a crash mid-save
-  /// never leaves a torn file; catalog.bin is committed last.
+  /// never leaves a torn file; catalog.bin is committed last. Concurrent
+  /// ingest is safe; the saved edge set is a point-in-time snapshot.
   Status Save(const std::string& dir) const;
   /// Restores a catalog persisted by Save. Reuse-predictor state is
   /// restored when the directory carries it (directories written before
@@ -168,19 +192,31 @@ class DSLog {
   /// nullptr for a fully in-memory catalog.
   std::shared_ptr<const LogStore> log_store() const;
 
+  int edge_shard_count() const { return static_cast<int>(shards_.size()); }
+
  private:
+  friend class StagedIngest;
+
   struct Edge {
     std::string in_arr;
     std::string out_arr;
     std::string op_name;
-    CompressedTable table;  // backward representation (outputs absolute)
+    /// Backward representation (outputs absolute). Refcounted so a query
+    /// hop (or FindEdge pin) keeps the arenas alive after the shard lock
+    /// is released, even across a concurrent re-registration. nullptr for
+    /// lazy edges, which resolve through store_ by `segment`.
+    std::shared_ptr<const CompressedTable> table;
     /// Forward representation (§IV.C), present when
     /// options_.materialize_forward is set.
     std::shared_ptr<const ForwardTable> forward;
-    /// LogStore segment id backing this edge, or -1 when the table is
-    /// resident in `table`. Lazy edges keep `table` empty and resolve
-    /// through store_ on first touch.
+    /// LogStore segment id backing this edge, or -1 when resident.
     int32_t segment = -1;
+  };
+
+  /// One lock stripe of the edge catalog.
+  struct EdgeShard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, Edge> edges;
   };
 
   static std::string EdgeKey(const std::string& in_arr,
@@ -188,38 +224,94 @@ class DSLog {
     return EdgeStoreKey(in_arr, out_arr);
   }
 
-  /// ProvQuery body; caller must hold mu_ (shared or exclusive).
-  Result<BoxTable> ProvQueryLocked(const std::vector<std::string>& path,
-                                   const BoxTable& query,
-                                   const QueryOptions& options) const;
+  void InitShards();
+  EdgeShard& ShardFor(const std::string& out_arr) const;
 
-  /// The edge's scan view + backward index + lifetime pin: resident edges
-  /// view the catalog's arenas (pin carries only the cached index), lazy
-  /// edges resolve through the store's cache — a v2 segment borrows the
-  /// mapped bytes directly, a v1 segment decodes to an owned table held by
-  /// the pin. Caller must hold mu_ (shared suffices).
-  Result<LogStore::PinnedTable> ResolveEdgeView(const Edge& edge) const;
+  /// Copies edge in_arr -> out_arr out of its shard (shard lock held only
+  /// for the copy; the shared_ptr payloads outlive the lock). Edge with
+  /// empty names = not found.
+  bool FindEdgeCopy(const std::string& in_arr, const std::string& out_arr,
+                    Edge* out) const;
+
+  /// Resolves a copied edge into a query hop's view + index + pin. Takes
+  /// no catalog locks: resident edges view their pinned table, lazy edges
+  /// resolve through `store` (which synchronizes internally).
+  Result<LogStore::PinnedTable> ResolveEdgeView(const Edge& edge,
+                                                const LogStore* store) const;
+
+  /// Commits edges into their shards, one writer-lock acquisition per
+  /// distinct shard (edges of one operation share a shard by design).
+  void CommitEdges(std::vector<Edge> edges);
+
+  /// Point-in-time copy of every edge, keyed by EdgeKey (each shard lock
+  /// held shared only while it is copied).
+  std::map<std::string, Edge> SnapshotEdges() const;
 
   DSLogOptions options_;
-  /// Guards every member below. Readers (queries, const accessors) hold it
-  /// shared for their whole duration — including θ-join evaluation, so the
-  /// compressed tables they reference cannot be replaced mid-query;
-  /// writers (ingest, predictor updates, Load) hold it exclusive.
-  mutable std::shared_mutex mu_;
+  /// Guards arrays_, predictor_, and store_ (the catalog-level state).
+  /// Lock order: catalog_mu_ before any shard mu; a shard lock is never
+  /// held while taking catalog_mu_, another shard's mu (except the
+  /// ascending-order multi-lock of Load/move), or a LogStore decode.
+  mutable std::shared_mutex catalog_mu_;
   std::map<std::string, std::vector<int64_t>> arrays_;
-  std::map<std::string, Edge> edges_;
   ReusePredictor predictor_;
   /// Backing store of an in-situ catalog (nullptr otherwise). Const: the
-  /// store's decode cache synchronizes internally, so readers holding mu_
-  /// shared can decode concurrently.
+  /// store's decode cache synchronizes internally, so readers can decode
+  /// concurrently with no catalog lock held.
   std::shared_ptr<const LogStore> store_;
 
-  /// Decoded tables handed out by FindEdge on lazy edges, pinned for the
-  /// catalog's lifetime so the returned raw pointers stay valid. Keyed by
-  /// segment id: repeat calls reuse one pin (bounded by segment count).
+  /// The lock-striped edge catalog. The vector itself is immutable between
+  /// construction and destruction (Load/move replace contents under all
+  /// locks), so ShardFor needs no lock.
+  std::vector<std::unique_ptr<EdgeShard>> shards_;
+
+  /// Tables handed out by FindEdge, pinned for the catalog's lifetime so
+  /// the returned raw pointers stay valid across re-registration and LRU
+  /// eviction. Keyed by edge: repeat calls reuse one pin.
   mutable std::mutex findedge_pins_mu_;
-  mutable std::map<int32_t, std::shared_ptr<const CompressedTable>>
+  mutable std::map<std::string, std::shared_ptr<const CompressedTable>>
       findedge_pins_;
+};
+
+/// Per-thread staging log for batched ingest — the SmokedDuck
+/// per-thread-log-then-PostProcess capture pattern: Add() validates and
+/// ProvRC-compresses a captured registration with *no* catalog locks held;
+/// Drain() groups the staged edges by catalog shard and commits them,
+/// taking each shard's writer lock exactly once (and the catalog lock once
+/// for array validation + reuse bookkeeping). K ingesting threads each own
+/// a stager, so ingest convoys on neither one global mutex nor a
+/// per-operation lock round trip.
+///
+/// Only captured-lineage registrations can be staged (`captured` non-empty):
+/// serving lineage *from* the reuse index would require reading the
+/// predictor at Add() time, which is exactly the shared state staging
+/// avoids — use DSLog::RegisterOperation for predicted ingest. A stager is
+/// single-threaded; the DSLog must outlive it.
+class StagedIngest {
+ public:
+  explicit StagedIngest(DSLog* log) : log_(log) {}
+
+  /// Compresses `registration` and stages its edges. Takes no locks.
+  /// Array existence is validated at Drain() time (arrays may legitimately
+  /// be defined between Add and Drain).
+  Status Add(OperationRegistration registration);
+
+  /// Commits everything staged since the last Drain, in Add() order, and
+  /// returns one ReuseOutcome per staged registration. On error (e.g. an
+  /// undefined array) nothing is committed and the staged ops are kept.
+  Result<std::vector<ReuseOutcome>> Drain();
+
+  int64_t staged() const { return static_cast<int64_t>(ops_.size()); }
+
+ private:
+  struct StagedOp {
+    OperationRegistration reg;  // captured relations already consumed
+    std::vector<CompressedTable> tables;
+    std::vector<std::shared_ptr<const ForwardTable>> forward;
+  };
+
+  DSLog* log_;
+  std::vector<StagedOp> ops_;
 };
 
 /// Rewrites a legacy Save() directory as a single LogStore file at `path`

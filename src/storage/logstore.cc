@@ -1,5 +1,6 @@
 #include "storage/logstore.h"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -178,6 +179,15 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(
   store->segments_ = std::move(footer.segments);
   store->predictor_state_ = std::move(footer.predictor_state);
   store->touched_.assign(store->segments_.size(), 0);
+  store->num_cache_shards_ =
+      static_cast<size_t>(std::max(1, options.cache_shards));
+  // Equal budget slices, floored at 1 byte so the eviction loop still
+  // engages when a tiny test budget divides to zero.
+  store->shard_capacity_bytes_ =
+      std::max<int64_t>(1, options.cache_capacity_bytes /
+                               static_cast<int64_t>(store->num_cache_shards_));
+  store->cache_shards_ =
+      std::make_unique<CacheShard[]>(store->num_cache_shards_);
   return store;
 }
 
@@ -236,54 +246,56 @@ LogStore::ResolveSegment(size_t id, int64_t* charge, int64_t* decompressed,
 Result<LogStore::PinnedTable> LogStore::View(size_t id) const {
   if (id >= segments_.size())
     return Status::InvalidArgument("logstore segment id out of range");
+  CacheShard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_.find(id);
-    if (it != cache_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      ++stats_.cache_hits;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.cache.find(id);
+    if (it != shard.cache.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      ++shard.stats.cache_hits;
       const auto& seg = it->second.segment;
       return PinnedTable{seg->view, &seg->index, seg};
     }
-    ++stats_.cache_misses;
+    ++shard.stats.cache_misses;
   }
 
-  // Resolve outside the cache lock so cold segments decode in parallel.
+  // Resolve outside the shard lock so cold segments decode in parallel —
+  // even two segments of the same shard only serialize on the map update.
   int64_t charge = 0, decompressed = 0, rows_copied = 0;
   bool borrowed = false;
   DSLOG_ASSIGN_OR_RETURN(
       std::shared_ptr<const ResolvedSegment> resolved,
       ResolveSegment(id, &charge, &decompressed, &borrowed, &rows_copied));
 
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  ++stats_.decode_count;
-  stats_.bytes_decompressed += decompressed;
-  stats_.rows_materialized += rows_copied;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.decode_count;
+  shard.stats.bytes_decompressed += decompressed;
+  shard.stats.rows_materialized += rows_copied;
   if (borrowed)
-    ++stats_.segments_borrowed;
+    ++shard.stats.segments_borrowed;
   else
-    ++stats_.tables_materialized;
-  if (!touched_[id]) {
+    ++shard.stats.tables_materialized;
+  if (!touched_[id]) {  // id's shard lock guards touched_[id]; see decl
     touched_[id] = 1;
-    ++stats_.segments_touched;
+    ++shard.stats.segments_touched;
   }
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {  // lost the resolve race
+  auto it = shard.cache.find(id);
+  if (it != shard.cache.end()) {  // lost the resolve race
     const auto& seg = it->second.segment;
     return PinnedTable{seg->view, &seg->index, seg};
   }
-  lru_.push_front(id);
-  cache_[id] = CacheEntry{resolved, charge, lru_.begin()};
-  cache_bytes_ += charge;
-  // Evict past the budget, never the entry just inserted (a single segment
-  // larger than the whole budget must still be servable).
-  while (cache_bytes_ > options_.cache_capacity_bytes && lru_.size() > 1) {
-    size_t victim = lru_.back();
-    lru_.pop_back();
-    auto vit = cache_.find(victim);
-    cache_bytes_ -= vit->second.charge;
-    cache_.erase(vit);
-    ++stats_.evictions;
+  shard.lru.push_front(id);
+  shard.cache[id] = CacheEntry{resolved, charge, shard.lru.begin()};
+  shard.bytes += charge;
+  // Evict past the shard's budget slice, never the entry just inserted (a
+  // single segment larger than the whole budget must still be servable).
+  while (shard.bytes > shard_capacity_bytes_ && shard.lru.size() > 1) {
+    size_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto vit = shard.cache.find(victim);
+    shard.bytes -= vit->second.charge;
+    shard.cache.erase(vit);
+    ++shard.stats.evictions;
   }
   return PinnedTable{resolved->view, &resolved->index, resolved};
 }
@@ -306,8 +318,24 @@ Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
 }
 
 LogStoreStats LogStore::stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  LogStoreStats out = stats_;
+  // Sum per-shard counters (each under its own lock). Concurrent readers
+  // may land between shard reads; every counted event is in exactly one
+  // shard, so the totals are consistent once readers quiesce.
+  LogStoreStats out;
+  for (size_t i = 0; i < num_cache_shards_; ++i) {
+    CacheShard& shard = cache_shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const LogStoreStats& s = shard.stats;
+    out.segments_touched += s.segments_touched;
+    out.decode_count += s.decode_count;
+    out.bytes_decompressed += s.bytes_decompressed;
+    out.tables_materialized += s.tables_materialized;
+    out.rows_materialized += s.rows_materialized;
+    out.segments_borrowed += s.segments_borrowed;
+    out.cache_hits += s.cache_hits;
+    out.cache_misses += s.cache_misses;
+    out.evictions += s.evictions;
+  }
   out.segment_count = static_cast<int64_t>(segments_.size());
   return out;
 }

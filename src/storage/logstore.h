@@ -29,10 +29,13 @@
 // at open), turning any flipped byte or truncation into Status::Corruption
 // instead of UB.
 //
-// Thread-safety: LogStore is safe for concurrent readers; the decode cache
-// has its own mutex and decompression/index builds run outside it (two
-// threads racing on the same cold segment may both resolve it — both
-// results are valid and one wins the cache slot).
+// Thread-safety: LogStore is safe for concurrent readers. The decode cache
+// is lock-striped: segments map to cache_shards shards (id mod shard
+// count), each with its own mutex, LRU list, and byte budget, so readers
+// resolving different segments never contend on one cache lock.
+// Decompression/index builds run outside every lock (two threads racing on
+// the same cold segment may both resolve it — both results are valid and
+// one wins the cache slot).
 //
 // Writing goes through LogStoreWriter: Create() builds a fresh file and
 // commits it atomically (temp file + rename) in Finish(); OpenForAppend()
@@ -92,6 +95,12 @@ struct LogStoreOptions {
   /// Map the file (the in-situ fast path). false forces the whole-file
   /// read fallback — same behaviour, heap-backed.
   bool use_mmap = true;
+  /// Lock stripes of the decode cache. Each shard owns segments with
+  /// id % cache_shards == shard, a private LRU list, and an equal slice of
+  /// cache_capacity_bytes (never below 1 byte, so eviction still engages
+  /// on tiny budgets). Clamped to >= 1; 1 reproduces the old single-lock
+  /// cache (contention tests sweep this).
+  int cache_shards = 8;
 };
 
 /// Decode/cache counters (test + bench observability).
@@ -202,6 +211,22 @@ class LogStore {
       size_t id, int64_t* charge, int64_t* decompressed, bool* borrowed,
       int64_t* rows_copied) const;
 
+  /// One lock stripe of the decode cache: segments with
+  /// id % num_cache_shards_ == this shard's index. Stats are kept per
+  /// shard and summed in stats() so the hot path never touches a shared
+  /// counter.
+  struct CacheShard {
+    std::mutex mu;  // guards everything below
+    std::unordered_map<size_t, CacheEntry> cache;
+    std::list<size_t> lru;  // front = most recent
+    int64_t bytes = 0;
+    LogStoreStats stats;
+  };
+
+  CacheShard& ShardFor(size_t id) const {
+    return cache_shards_[id % num_cache_shards_];
+  }
+
   std::string path_;
   MmapFile file_;
   LogStoreOptions options_;
@@ -210,12 +235,17 @@ class LogStore {
   std::vector<SegmentInfo> segments_;
   std::string predictor_state_;
 
-  mutable std::mutex cache_mu_;  // guards everything below
-  mutable std::unordered_map<size_t, CacheEntry> cache_;
-  mutable std::list<size_t> lru_;  // front = most recent
-  mutable int64_t cache_bytes_ = 0;
-  mutable std::vector<uint8_t> touched_;  // per-segment resolved-once flag
-  mutable LogStoreStats stats_;
+  /// Striped cache state. The array and shard count are fixed at Open
+  /// (before any concurrency), so ShardFor needs no lock. A LogStore is
+  /// only handed out behind unique_ptr/shared_ptr, so the non-movable
+  /// shard array is fine. Per-shard byte budget: see cache_shards docs.
+  size_t num_cache_shards_ = 1;
+  int64_t shard_capacity_bytes_ = 0;
+  mutable std::unique_ptr<CacheShard[]> cache_shards_;
+  /// Per-segment resolved-once flag. Entry `id` is only read/written under
+  /// its owning shard's mutex — distinct ids are distinct memory locations,
+  /// so cross-shard access is race-free without a global lock.
+  mutable std::vector<uint8_t> touched_;
 };
 
 /// Write side: builds or extends a LogStore file.

@@ -19,8 +19,10 @@
 #include "array/op_registry.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "provrc/provrc.h"
 #include "query/box.h"
 #include "query/query_engine.h"
+#include "query/theta_join.h"
 #include "storage/dslog.h"
 #include "test_util.h"
 
@@ -61,6 +63,90 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
     });
   });
   EXPECT_EQ(count, 40);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadDistinguishesCallerFromWorkers) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  std::atomic<bool> worker_saw_flag{false};
+  std::atomic<bool> done{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  // Declared after mu/cv so its destructor joins the worker (which may
+  // still be inside notify_all) before they are destroyed.
+  ThreadPool pool(2);
+  pool.Submit([&] {
+    worker_saw_flag.store(ThreadPool::InWorkerThread());
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done.store(true);
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load(); });
+  EXPECT_TRUE(worker_saw_flag.load());
+  // The flag is per-thread, not per-pool: still false on the caller.
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerStaysOnThatWorker) {
+  // The inline-on-nesting contract, asserted thread-by-thread: a
+  // ParallelFor issued from inside a pool worker must run every iteration
+  // serially on that same worker thread (the fixed pool is never
+  // re-entered), while the issuing worker observes InWorkerThread().
+  std::atomic<bool> nested_on_same_thread{true};
+  std::atomic<bool> nested_saw_worker_flag{true};
+  std::atomic<bool> done{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  // Pool last: joins the notifying worker before mu/cv are destroyed.
+  ThreadPool pool(2);
+  pool.Submit([&] {
+    const std::thread::id worker_id = std::this_thread::get_id();
+    pool.ParallelFor(64, [&](int64_t) {
+      if (std::this_thread::get_id() != worker_id)
+        nested_on_same_thread.store(false);
+      if (!ThreadPool::InWorkerThread()) nested_saw_worker_flag.store(false);
+    });
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done.store(true);
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load(); });
+  EXPECT_TRUE(nested_on_same_thread.load());
+  EXPECT_TRUE(nested_saw_worker_flag.load());
+}
+
+TEST(ThreadPoolTest, CallerParticipatesWhenWorkersAreBusy) {
+  // Forward-progress half of the caller-participation contract: with every
+  // worker parked on a blocking task, ParallelFor must still complete all
+  // iterations (on the caller), not wait for a free worker.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  // Pool last: joins the gated workers before gate_mu/gate_cv are
+  // destroyed.
+  ThreadPool pool(2);
+  for (int i = 0; i < 2; ++i)
+    pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    });
+  const std::thread::id caller_id = std::this_thread::get_id();
+  std::atomic<int64_t> on_caller{0};
+  pool.ParallelFor(32, [&](int64_t) {
+    if (std::this_thread::get_id() == caller_id)
+      on_caller.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(on_caller.load(), 32);  // workers never got to help
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
 }
 
 TEST(ThreadPoolTest, MaxParallelismOneIsSequential) {
@@ -338,6 +424,79 @@ TEST_F(BatchFixture, BatchMatchesSequentialProvQuery) {
     EXPECT_EQ(ToTupleSet(batch.value()[i].ExpandToCells(), arity),
               ToTupleSet(single.value().ExpandToCells(), arity))
         << "batch entry " << i;
+  }
+}
+
+// Exact (not just set-) equality of two box tables: same boxes, same order.
+bool BoxTablesIdentical(const BoxTable& a, const BoxTable& b) {
+  if (a.ndim() != b.ndim() || a.num_boxes() != b.num_boxes()) return false;
+  for (int64_t i = 0; i < a.num_boxes(); ++i) {
+    auto ba = a.Box(i);
+    auto bb = b.Box(i);
+    for (size_t k = 0; k < ba.size(); ++k)
+      if (ba[k].lo != bb[k].lo || ba[k].hi != bb[k].hi) return false;
+  }
+  return true;
+}
+
+TEST_F(BatchFixture, TreeMergedParallelJoinIsDeterministic) {
+  // The per-thread-arena + pairwise-tree epilogue must produce the exact
+  // same table on every run (combine order is fixed by part index, not
+  // thread scheduling) and stay cell-set-equal to the serial plan.
+  CompressedTable table = ProvRcCompress(chain_[0].rel);
+  Rng rng(41);
+  BoxTable query = BoxTable::FromCells(
+      static_cast<int>(shapes_[1].size()),
+      SampleCells(shapes_[1], 24, &rng));  // backward: query out attrs
+
+  BoxTable serial = BackwardThetaJoin(query, table, /*num_threads=*/1);
+  serial.Merge();
+  const int arity = serial.ndim();
+
+  BoxTable first = BackwardThetaJoin(query, table, /*num_threads=*/8,
+                                     /*merge_result=*/true);
+  EXPECT_EQ(ToTupleSet(first.ExpandToCells(), arity),
+            ToTupleSet(serial.ExpandToCells(), arity));
+  for (int rep = 0; rep < 5; ++rep) {
+    BoxTable again = BackwardThetaJoin(query, table, /*num_threads=*/8,
+                                       /*merge_result=*/true);
+    EXPECT_TRUE(BoxTablesIdentical(first, again)) << "rep " << rep;
+  }
+
+  // Unmerged parallel output must equal the serial concatenation order
+  // exactly: the tree reduction is a fixed-order concatenation when no
+  // merging is requested.
+  BoxTable raw_serial = BackwardThetaJoin(query, table, /*num_threads=*/1);
+  BoxTable raw_parallel = BackwardThetaJoin(query, table, /*num_threads=*/8);
+  EXPECT_TRUE(BoxTablesIdentical(raw_serial, raw_parallel));
+}
+
+TEST_F(BatchFixture, TreeMergedForwardJoinsAreDeterministic) {
+  CompressedTable table = ProvRcCompress(chain_[0].rel);
+  ForwardTable fwd = ForwardTable::FromBackward(table);
+  Rng rng(43);
+  BoxTable query = BoxTable::FromCells(
+      static_cast<int>(shapes_[0].size()),
+      SampleCells(shapes_[0], 24, &rng));  // forward: query in attrs
+
+  BoxTable serial = ForwardThetaJoin(query, table, /*num_threads=*/1);
+  serial.Merge();
+  const int arity = serial.ndim();
+
+  BoxTable direct = ForwardThetaJoin(query, table, /*num_threads=*/8,
+                                     /*merge_result=*/true);
+  BoxTable materialized = fwd.Join(query, /*num_threads=*/8,
+                                   /*merge_result=*/true);
+  EXPECT_EQ(ToTupleSet(direct.ExpandToCells(), arity),
+            ToTupleSet(serial.ExpandToCells(), arity));
+  EXPECT_EQ(ToTupleSet(materialized.ExpandToCells(), arity),
+            ToTupleSet(serial.ExpandToCells(), arity));
+  for (int rep = 0; rep < 5; ++rep) {
+    EXPECT_TRUE(BoxTablesIdentical(
+        direct, ForwardThetaJoin(query, table, 8, true)))
+        << "direct rep " << rep;
+    EXPECT_TRUE(BoxTablesIdentical(materialized, fwd.Join(query, 8, true)))
+        << "materialized rep " << rep;
   }
 }
 
