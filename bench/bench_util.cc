@@ -117,6 +117,17 @@ void JsonReporter::TopBool(const std::string& key, bool value) {
 void JsonReporter::Write() {
   if (written_ || path_.empty()) return;
   written_ = true;
+  // Every document carries the dslog build type; debug documents are
+  // additionally tagged so downstream tooling can reject them. TopStr can
+  // not override these — a debug artifact must never claim to be release.
+  TopStr("dslog_build_type", kBuildType);
+  if (kDebugBuild) {
+    TopBool("debug_build", true);
+    std::fprintf(stderr,
+                 "JsonReporter: WARNING: dslog compiled without NDEBUG; "
+                 "writing debug-tagged (non-comparable) numbers to %s\n",
+                 path_.c_str());
+  }
   std::string doc = "{\"bench\": " + JsonEscape(bench_name_) +
                     ", \"num_cpus\": " +
                     JsonNumber(static_cast<double>(

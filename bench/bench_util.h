@@ -29,6 +29,19 @@
 namespace dslog {
 namespace bench {
 
+/// Build type of the dslog code compiled into this bench binary (distinct
+/// from google-benchmark's own library_build_type, which describes the
+/// system libbenchmark package). Debug-build numbers are not comparable to
+/// release numbers; JsonReporter stamps this into every document and tags
+/// debug documents so they can never be mistaken for real measurements.
+#ifdef NDEBUG
+inline constexpr bool kDebugBuild = false;
+inline constexpr const char kBuildType[] = "release";
+#else
+inline constexpr bool kDebugBuild = true;
+inline constexpr const char kBuildType[] = "debug";
+#endif
+
 /// One Table VII workload: an operation name plus the captured lineage
 /// relations it produced (one per input array).
 struct Table7Workload {

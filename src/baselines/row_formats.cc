@@ -88,8 +88,9 @@ class ArrayFormat : public StorageFormat {
     // Dense fixed-width payload, numpy-style: rows x arity int64 cells.
     size_t start = out.size();
     out.resize(start + rel.flat().size() * sizeof(int64_t));
-    std::memcpy(out.data() + start, rel.flat().data(),
-                rel.flat().size() * sizeof(int64_t));
+    if (!rel.flat().empty())  // empty vector may hand memcpy a null src
+      std::memcpy(out.data() + start, rel.flat().data(),
+                  rel.flat().size() * sizeof(int64_t));
     return out;
   }
 
@@ -105,8 +106,9 @@ class ArrayFormat : public StorageFormat {
     if (data.size() - pos != total * sizeof(int64_t))
       return Status::Corruption("ARR1: payload size mismatch");
     rel.mutable_flat().resize(total);
-    std::memcpy(rel.mutable_flat().data(), data.data() + pos,
-                total * sizeof(int64_t));
+    if (total > 0)  // empty vector may hand memcpy a null dst
+      std::memcpy(rel.mutable_flat().data(), data.data() + pos,
+                  total * sizeof(int64_t));
     return rel;
   }
 };

@@ -18,6 +18,11 @@ bool GetVarint64(std::string_view src, size_t* pos, uint64_t* out) {
   size_t p = *pos;
   while (p < src.size() && shift <= 63) {
     uint8_t byte = static_cast<uint8_t>(src[p++]);
+    // At shift 63 only the low bit of the payload fits in 64 bits; a 10th
+    // byte carrying any higher bit (or a continuation bit, caught by the
+    // shift bound) would silently wrap — reject it as malformed instead
+    // of decoding a value the encoder never wrote.
+    if (shift == 63 && (byte & 0xFE)) return false;
     v |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if (!(byte & 0x80)) {
       *pos = p;

@@ -21,11 +21,13 @@ BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
   for (const QueryHop& hop : hops) {
     if (hop.forward) {
       current = hop.forward_table != nullptr
-                    ? hop.forward_table->Join(current, num_threads, merge)
-                    : ForwardThetaJoin(current, hop.table, num_threads, merge);
+                    ? hop.forward_table->Join(current, num_threads, merge,
+                                              options.join_path)
+                    : ForwardThetaJoin(current, hop.table, num_threads, merge,
+                                       options.join_path);
     } else {
       current = BackwardThetaJoin(current, hop.table, hop.index, num_threads,
-                                  merge);
+                                  merge, options.join_path, &hop.stats);
     }
     if (current.empty()) break;
   }

@@ -13,6 +13,7 @@
 #include "provrc/compressed_table.h"
 #include "provrc/interval_index.h"
 #include "query/box.h"
+#include "query/join_planner.h"
 
 namespace dslog {
 
@@ -48,6 +49,12 @@ struct QueryHop {
   /// hops over lazily-decoded LogStore segments pin the cache entry here
   /// so a concurrent eviction cannot free it mid-query.
   std::shared_ptr<const void> pin;
+  /// Output-attribute-0 interval-column stats for the join planner,
+  /// available without touching the segment bytes (v3 LogStore footers
+  /// carry them). Backward hops only — a forward hop's probe column is
+  /// derived per call, so its planner uses the per-call index's stats.
+  /// Default (invalid) falls back to the hop index's exact stats.
+  IntervalColumnStats stats;
 };
 
 struct QueryOptions {
@@ -62,6 +69,12 @@ struct QueryOptions {
   /// Results are set-equivalent across settings. DSLog::ProvQueryBatch
   /// also uses this as the fan-out width across batch entries.
   int num_threads = 1;
+  /// Access-path selection for every θ-join probe of the query. kAuto
+  /// lets the cost-based planner (query/join_planner.h) choose per probe
+  /// from the hop's interval-column stats; the other values force the
+  /// index probe / SIMD sorted sweep / SIMD full scan. Any setting
+  /// returns bit-identical results — this knob only trades time.
+  JoinPath join_path = JoinPath::kAuto;
 };
 
 /// Evaluates a multi-hop in-situ query: `query` holds boxes over the first

@@ -67,23 +67,38 @@ BoxTable PartitionedJoin(const BoxTable& query, int result_ndim,
                         num_threads);
 }
 
-// Single-threaded backward kernel over the columns, probing `index`.
+// Planner input for a kernel: caller-provided stats (from the hop's v3
+// footer entry) when valid, else the index's exact build-time stats.
+const IntervalColumnStats& EffectiveStats(const IntervalColumnStats* stats,
+                                          const IntervalIndex& index) {
+  return (stats != nullptr && stats->valid()) ? *stats : index.stats();
+}
+
+// Single-threaded backward kernel over the columns. Each query box
+// resolves its access path (forced or planned per probe) and enumerates
+// the index through it; the candidate positions of the vectorized paths
+// compact into `scratch` (common/simd.h), reused across boxes. Candidate
+// emission order is path-invariant, so so is the output.
 BoxTable BackwardKernel(const BoxTable& query, const CompressedTableView& t,
-                        const IntervalIndex& index) {
+                        const IntervalIndex& index, JoinPath join_path,
+                        const IntervalColumnStats& stats) {
   const int32_t l = t.out_ndim;
   const int32_t m = t.in_ndim;
   const int64_t w = t.stride();
   BoxTable result(m);
   std::vector<int64_t> t_lo(static_cast<size_t>(l)), t_hi(static_cast<size_t>(l));
   std::vector<Interval> out_box(static_cast<size_t>(m));
+  std::vector<int32_t> scratch;
 
   for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
     const auto q = query.Box(qb);
-    index.ForEachOverlapping(q[0], [&](int64_t r) {
+    const AccessPath path = ResolveAccessPath(join_path, q[0], stats);
+    index.ForEachOverlapping(q[0], path, &scratch, [&](int64_t r) {
       const int64_t* row_lo = t.lo + r * w;
       const int64_t* row_hi = t.hi + r * w;
       // Step 1: joint intersection over the output attributes (attribute 0
-      // overlaps by construction of the index probe).
+      // overlaps by construction of the index probe). Branchless: every
+      // attribute folds into `hit`, no early exit in the loop body.
       bool hit = true;
       for (int32_t k = 0; k < l; ++k) {
         const int64_t lo = std::max(q[static_cast<size_t>(k)].lo, row_lo[k]);
@@ -113,17 +128,20 @@ BoxTable BackwardKernel(const BoxTable& query, const CompressedTableView& t,
 // Single-threaded forward kernel over the columns, probing `index` (built
 // over the rows' implied absolute input-attribute-0 intervals).
 BoxTable ForwardKernel(const BoxTable& query, const CompressedTableView& t,
-                       const IntervalIndex& index) {
+                       const IntervalIndex& index, JoinPath join_path) {
   const int32_t l = t.out_ndim;
   const int32_t m = t.in_ndim;
   const int64_t w = t.stride();
   BoxTable result(l);
   std::vector<Interval> ti(static_cast<size_t>(m));
   std::vector<Interval> out_box(static_cast<size_t>(l));
+  std::vector<int32_t> scratch;
+  const IntervalColumnStats& stats = index.stats();
 
   for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
     const auto q = query.Box(qb);
-    index.ForEachOverlapping(q[0], [&](int64_t r) {
+    const AccessPath path = ResolveAccessPath(join_path, q[0], stats);
+    index.ForEachOverlapping(q[0], path, &scratch, [&](int64_t r) {
       const int64_t* row_lo = t.lo + r * w;
       const int64_t* row_hi = t.hi + r * w;
       const int32_t* refs = t.ref + r * m;
@@ -168,7 +186,8 @@ BoxTable ForwardKernel(const BoxTable& query, const CompressedTableView& t,
 BoxTable BackwardThetaJoin(const BoxTable& query,
                            const CompressedTableView& table,
                            const IntervalIndex* index, int num_threads,
-                           bool merge_result) {
+                           bool merge_result, JoinPath join_path,
+                           const IntervalColumnStats* stats) {
   DSLOG_CHECK(query.ndim() == table.out_ndim)
       << "backward query arity mismatch";
   IntervalIndex ephemeral;
@@ -176,27 +195,31 @@ BoxTable BackwardThetaJoin(const BoxTable& query,
     ephemeral = table.BuildBackwardIndex();
     index = &ephemeral;
   }
+  const IntervalColumnStats& effective = EffectiveStats(stats, *index);
   if (num_threads > 1) {
     return PartitionedJoin(query, table.in_ndim, num_threads, merge_result,
-                           [&table, index](const BoxTable& q) {
-                             return BackwardKernel(q, table, *index);
+                           [&table, index, join_path,
+                            &effective](const BoxTable& q) {
+                             return BackwardKernel(q, table, *index, join_path,
+                                                   effective);
                            });
   }
-  BoxTable result = BackwardKernel(query, table, *index);
+  BoxTable result = BackwardKernel(query, table, *index, join_path, effective);
   if (merge_result) result.Merge();
   return result;
 }
 
 BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                           int num_threads, bool merge_result) {
+                           int num_threads, bool merge_result,
+                           JoinPath join_path) {
   std::shared_ptr<const IntervalIndex> index = table.BackwardIndex();
   return BackwardThetaJoin(query, table.view(), index.get(), num_threads,
-                           merge_result);
+                           merge_result, join_path);
 }
 
 BoxTable ForwardThetaJoin(const BoxTable& query,
                           const CompressedTableView& table, int num_threads,
-                          bool merge_result) {
+                          bool merge_result, JoinPath join_path) {
   DSLOG_CHECK(query.ndim() == table.in_ndim) << "forward query arity mismatch";
   // Implied absolute input-attribute-0 intervals drive the probe; they
   // depend on de-relativization, so the index is per call (its build cost
@@ -217,18 +240,20 @@ BoxTable ForwardThetaJoin(const BoxTable& query,
   IntervalIndex index(lo0.data(), hi0.data(), table.num_rows, 1);
   if (num_threads > 1) {
     return PartitionedJoin(query, table.out_ndim, num_threads, merge_result,
-                           [&table, &index](const BoxTable& q) {
-                             return ForwardKernel(q, table, index);
+                           [&table, &index, join_path](const BoxTable& q) {
+                             return ForwardKernel(q, table, index, join_path);
                            });
   }
-  BoxTable result = ForwardKernel(query, table, index);
+  BoxTable result = ForwardKernel(query, table, index, join_path);
   if (merge_result) result.Merge();
   return result;
 }
 
 BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                          int num_threads, bool merge_result) {
-  return ForwardThetaJoin(query, table.view(), num_threads, merge_result);
+                          int num_threads, bool merge_result,
+                          JoinPath join_path) {
+  return ForwardThetaJoin(query, table.view(), num_threads, merge_result,
+                          join_path);
 }
 
 ForwardTable ForwardTable::FromBackward(const CompressedTableView& table) {
@@ -292,22 +317,26 @@ ForwardTable ForwardTable::FromBackward(const CompressedTableView& table) {
 }
 
 BoxTable ForwardTable::Join(const BoxTable& query, int num_threads,
-                            bool merge_result) const {
+                            bool merge_result, JoinPath join_path) const {
   DSLOG_CHECK(query.ndim() == in_ndim()) << "forward query arity mismatch";
   if (num_threads > 1 || merge_result) {
     return PartitionedJoin(
         query, out_ndim(), num_threads, merge_result,
-        [this](const BoxTable& q) { return Join(q, 1); });
+        [this, join_path](const BoxTable& q) { return Join(q, 1, false,
+                                                           join_path); });
   }
   const int32_t l = static_cast<int32_t>(out_ndim());
   const int32_t m = static_cast<int32_t>(in_ndim());
   BoxTable result(l);
   std::vector<Interval> ti(static_cast<size_t>(m));
   std::vector<Interval> out_box(static_cast<size_t>(l));
+  std::vector<int32_t> scratch;
+  const IntervalColumnStats& stats = in0_index_.stats();
 
   for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
     const auto q = query.Box(qb);
-    in0_index_.ForEachOverlapping(q[0], [&](int64_t r) {
+    const AccessPath path = ResolveAccessPath(join_path, q[0], stats);
+    in0_index_.ForEachOverlapping(q[0], path, &scratch, [&](int64_t r) {
       const int64_t* row_in_lo = in_lo_.data() + r * m;
       const int64_t* row_in_hi = in_hi_.data() + r * m;
       bool hit = true;

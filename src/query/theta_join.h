@@ -18,6 +18,14 @@
 // rel_for de-relativization. (The published rel_for formula is garbled; see
 // docs/ARCHITECTURE.md for the derivation used here, which property tests
 // validate against the uncompressed ground truth.)
+//
+// Every join takes a JoinPath: how each probe enumerates the interval
+// index — pruned tree probe, SIMD sorted sweep, or SIMD full scan
+// (provrc/interval_index.h). The default kAuto asks the cost-based planner
+// (query/join_planner.h) per probe, using the hop's interval-column stats
+// (v3 LogStore footers carry them per segment; otherwise the index's own
+// exact stats). All paths emit candidates in the same order, so the result
+// is bit-identical whatever the planner (or a forced path) picks.
 
 #ifndef DSLOG_QUERY_THETA_JOIN_H_
 #define DSLOG_QUERY_THETA_JOIN_H_
@@ -27,6 +35,7 @@
 #include "provrc/compressed_table.h"
 #include "provrc/interval_index.h"
 #include "query/box.h"
+#include "query/join_planner.h"
 
 namespace dslog {
 
@@ -47,27 +56,36 @@ namespace dslog {
 
 /// Backward θ-join: query boxes over output attributes -> input-cell boxes.
 /// `index` is the table's out-attr-0 interval index; pass nullptr to have
-/// the kernel build an ephemeral one for this call.
+/// the kernel build an ephemeral one for this call. `stats` are the probe
+/// column's stats for the planner (e.g. from the segment's v3 footer
+/// entry); nullptr or invalid stats fall back to the index's own.
 BoxTable BackwardThetaJoin(const BoxTable& query,
                            const CompressedTableView& table,
                            const IntervalIndex* index = nullptr,
-                           int num_threads = 1, bool merge_result = false);
+                           int num_threads = 1, bool merge_result = false,
+                           JoinPath join_path = JoinPath::kAuto,
+                           const IntervalColumnStats* stats = nullptr);
 
 /// Convenience overload over an owned table: uses (and lazily builds) the
 /// table's cached index.
 BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                           int num_threads = 1, bool merge_result = false);
+                           int num_threads = 1, bool merge_result = false,
+                           JoinPath join_path = JoinPath::kAuto);
 
 /// Forward θ-join evaluated directly on the backward representation:
 /// query boxes over input attributes -> output-cell boxes. The probe
 /// column (implied absolute input attribute 0) depends on per-row
-/// de-relativization, so the index is built per call.
+/// de-relativization, so the index is built per call — the planner always
+/// uses that index's exact stats (footer stats describe the *output*
+/// column and do not apply here).
 BoxTable ForwardThetaJoin(const BoxTable& query,
                           const CompressedTableView& table,
-                          int num_threads = 1, bool merge_result = false);
+                          int num_threads = 1, bool merge_result = false,
+                          JoinPath join_path = JoinPath::kAuto);
 
 BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
-                          int num_threads = 1, bool merge_result = false);
+                          int num_threads = 1, bool merge_result = false,
+                          JoinPath join_path = JoinPath::kAuto);
 
 /// Materialized forward representation (inputs absolute, outputs possibly
 /// relative with clamping bounds) as described in §IV.C / Table III.
@@ -99,7 +117,8 @@ class ForwardTable {
 
   /// Forward θ-join over the materialized representation.
   BoxTable Join(const BoxTable& query, int num_threads = 1,
-                bool merge_result = false) const;
+                bool merge_result = false,
+                JoinPath join_path = JoinPath::kAuto) const;
 
  private:
   std::vector<int64_t> out_shape_;

@@ -362,6 +362,13 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
     hop.forward = forward;
     if (forward) hop.forward_table = edge.forward.get();
     hop.index = pinned.index;
+    // Planner stats from the segment's v3 footer entry, for backward hops
+    // only (a forward hop probes a per-call derived column, not out-attr
+    // 0). Pre-v3 stores leave the default-invalid stats and the joins fall
+    // back to the hop index's exact stats.
+    if (!forward && edge.segment >= 0 && store != nullptr)
+      hop.stats =
+          store->segments()[static_cast<size_t>(edge.segment)].out0_stats;
     auto pin = std::make_shared<HopPin>();
     pin->table = std::move(edge.table);
     pin->forward = std::move(edge.forward);
@@ -457,6 +464,7 @@ struct EdgeSegmentBytes {
   std::string bytes;
   SegmentLayout layout = SegmentLayout::kProvRcGzip;
   int64_t row_count = -1;
+  IntervalColumnStats out0_stats;  // planner stats; invalid when unknown
 };
 
 EdgeSegmentBytes SerializedEdgeSegment(const LogStore* store, int32_t segment,
@@ -466,13 +474,13 @@ EdgeSegmentBytes SerializedEdgeSegment(const LogStore* store, int32_t segment,
     const LogStore::SegmentInfo& seg =
         store->segments()[static_cast<size_t>(segment)];
     return {std::string(store->SegmentView(static_cast<size_t>(segment))),
-            seg.layout, seg.row_count};
+            seg.layout, seg.row_count, seg.out0_stats};
   }
   if (preferred == SegmentLayout::kColumnar)
     return {SerializeCompressedTableColumnar(*table), SegmentLayout::kColumnar,
-            table->num_rows()};
+            table->num_rows(), ComputeOut0Stats(*table)};
   return {SerializeCompressedTableGzip(*table), SegmentLayout::kProvRcGzip,
-          table->num_rows()};
+          table->num_rows(), ComputeOut0Stats(*table)};
 }
 
 /// ProvRC-GZip bytes of an edge for the legacy directory format, which
@@ -700,7 +708,8 @@ Status DSLog::SaveLogStore(const std::string& path,
                                                  edge.table.get(), layout);
     DSLOG_RETURN_IF_ERROR(
         writer.AppendRawSegment(edge.in_arr, edge.out_arr, edge.op_name,
-                                seg.bytes, seg.layout, seg.row_count));
+                                seg.bytes, seg.layout, seg.row_count,
+                                seg.out0_stats));
   }
   return writer.Finish();
 }
@@ -746,7 +755,8 @@ Status DSLog::AppendLogStore(const std::string& path,
                                   layout);
     DSLOG_RETURN_IF_ERROR(
         writer.AppendRawSegment(edge.in_arr, edge.out_arr, edge.op_name,
-                                seg.bytes, seg.layout, seg.row_count));
+                                seg.bytes, seg.layout, seg.row_count,
+                                seg.out0_stats));
   }
   return writer.Finish();
 }

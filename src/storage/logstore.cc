@@ -20,9 +20,11 @@ constexpr char kTrailerMagic[4] = {'D', 'S', 'L', 'F'};
 constexpr size_t kHeaderSize = sizeof(kHeaderMagic);
 // fixed64 footer_offset + fixed64 footer checksum + trailer magic.
 constexpr size_t kTrailerSize = 8 + 8 + sizeof(kTrailerMagic);
-// Version 2 adds per-segment layout + row count to the footer. Version-1
-// files (all segments ProvRC-GZip, no row counts) still open.
-constexpr uint32_t kFormatVersion = 2;
+// Version 2 adds per-segment layout + row count to the footer. Version 3
+// adds per-segment output-attribute-0 interval-column stats (join-planner
+// inputs). Version-1 files (all segments ProvRC-GZip, no row counts) and
+// version-2 files (no stats) still open.
+constexpr uint32_t kFormatVersion = 3;
 
 struct ParsedFooter {
   uint32_t format_version = 0;
@@ -107,6 +109,20 @@ Status ParseFile(std::string_view file, const std::string& path,
       seg.layout = SegmentLayout::kProvRcGzip;
       seg.row_count = -1;
     }
+    if (out->format_version >= 3) {
+      // Planner stats: sum_width = -1 marks "unknown" (e.g. raw-shuttled
+      // segments whose source predates stats); the bound fields are only
+      // meaningful when the stats are known.
+      IntervalColumnStats& st = seg.out0_stats;
+      if (!GetVarintSigned(footer, &pos, &st.sum_width) ||
+          st.sum_width < -1 ||
+          !GetVarintSigned(footer, &pos, &st.min_lo) ||
+          !GetVarintSigned(footer, &pos, &st.max_lo) ||
+          !GetVarintSigned(footer, &pos, &st.max_hi) ||
+          (st.sum_width >= 0 && (seg.row_count < 0 || st.min_lo > st.max_lo)))
+        return Status::Corruption("logstore footer: segment stats");
+      st.row_count = st.sum_width >= 0 ? seg.row_count : -1;
+    }
     if (seg.offset < kHeaderSize || seg.offset > footer_offset ||
         seg.length > footer_offset - seg.offset)
       return Status::Corruption("logstore footer: segment out of bounds: " +
@@ -141,6 +157,10 @@ std::string EncodeFooter(
     PutFixed64(&footer, seg.checksum);
     PutVarint64(&footer, static_cast<uint64_t>(seg.layout));
     PutVarintSigned(&footer, seg.row_count);
+    PutVarintSigned(&footer, seg.out0_stats.sum_width);
+    PutVarintSigned(&footer, seg.out0_stats.min_lo);
+    PutVarintSigned(&footer, seg.out0_stats.max_lo);
+    PutVarintSigned(&footer, seg.out0_stats.max_hi);
   }
   PutLengthPrefixed(&footer, predictor_state);
   return footer;
@@ -161,6 +181,28 @@ int64_t ApproxDecodedBytes(const CompressedTable& table) {
 }
 
 }  // namespace
+
+IntervalColumnStats ComputeOut0Stats(const CompressedTable& table) {
+  const CompressedTableView v = table.view();
+  const int64_t n = v.num_rows;
+  const int64_t w = v.stride();
+  IntervalColumnStats st;
+  st.row_count = n;
+  st.sum_width = 0;
+  if (n == 0) return st;  // valid, empty column
+  st.min_lo = v.lo[0];
+  st.max_lo = v.lo[0];
+  st.max_hi = v.hi[0];
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t lo = v.lo[r * w];
+    const int64_t hi = v.hi[r * w];
+    st.min_lo = std::min(st.min_lo, lo);
+    st.max_lo = std::max(st.max_lo, lo);
+    st.max_hi = std::max(st.max_hi, hi);
+    st.sum_width += hi - lo + 1;
+  }
+  return st;
+}
 
 // ----------------------------------------------------------------- reader --
 
@@ -392,7 +434,7 @@ Status LogStoreWriter::AppendEdge(const std::string& in_arr,
                           layout == SegmentLayout::kColumnar
                               ? SerializeCompressedTableColumnar(table)
                               : SerializeCompressedTableGzip(table),
-                          layout, table.num_rows());
+                          layout, table.num_rows(), ComputeOut0Stats(table));
 }
 
 Status LogStoreWriter::AppendRawSegment(const std::string& in_arr,
@@ -400,7 +442,8 @@ Status LogStoreWriter::AppendRawSegment(const std::string& in_arr,
                                         const std::string& op_name,
                                         std::string_view bytes,
                                         SegmentLayout layout,
-                                        int64_t row_count) {
+                                        int64_t row_count,
+                                        const IntervalColumnStats& out0_stats) {
   if (finished_) return Status::Internal("logstore writer already finished");
   // Columnar segments must start 8-aligned in the file so a mapped reader
   // can reinterpret the arenas in place; pad with dead bytes if the write
@@ -418,6 +461,7 @@ Status LogStoreWriter::AppendRawSegment(const std::string& in_arr,
   seg.checksum = Hash64(bytes);
   seg.layout = layout;
   seg.row_count = row_count;
+  seg.out0_stats = out0_stats;
   new_bytes_.append(bytes);
   auto [it, inserted] =
       edge_index_.try_emplace(EdgeStoreKey(in_arr, out_arr), segments_.size());

@@ -74,6 +74,11 @@ inline std::string EdgeStoreKey(const std::string& in_arr,
   return in_arr + "\x1f" + out_arr;
 }
 
+/// Exact output-attribute-0 interval-column stats of a table — one strided
+/// pass. Writers stamp these into v3 footers so readers can plan θ-joins
+/// against a segment without resolving it.
+IntervalColumnStats ComputeOut0Stats(const CompressedTable& table);
+
 /// On-disk encoding of one segment's table bytes.
 enum class SegmentLayout : uint32_t {
   /// ProvRC-GZip (the paper's storage default): smallest bytes, decoded
@@ -138,6 +143,12 @@ class LogStore {
     uint64_t checksum = 0;  // FNV-64 over the segment bytes
     SegmentLayout layout = SegmentLayout::kProvRcGzip;
     int64_t row_count = -1;  // -1 = unknown (v1 footers predate the field)
+    /// Output-attribute-0 interval-column stats (v3 footers): the join
+    /// planner's cost-model inputs, readable without touching the segment
+    /// bytes. Invalid (default) on pre-v3 footers and on raw-shuttled
+    /// segments whose source had no stats — the planner then falls back
+    /// to the resolved index's exact stats.
+    IntervalColumnStats out0_stats;
   };
 
   /// A resolved segment: the scan view, its backward-join index, and a pin
@@ -283,13 +294,15 @@ class LogStoreWriter {
 
   /// Same, but with pre-serialized segment bytes in `layout` (e.g. another
   /// store's SegmentView or a legacy gzip edge file) — no decode/re-encode.
-  /// `row_count` is carried into the footer (-1 = unknown).
+  /// `row_count` and `out0_stats` are carried into the footer (-1 = unknown
+  /// count; default-invalid stats when the source carried none).
   Status AppendRawSegment(const std::string& in_arr,
                           const std::string& out_arr,
                           const std::string& op_name,
                           std::string_view bytes,
                           SegmentLayout layout = SegmentLayout::kProvRcGzip,
-                          int64_t row_count = -1);
+                          int64_t row_count = -1,
+                          const IntervalColumnStats& out0_stats = {});
 
   /// Attaches the serialized reuse-predictor state ("" to clear).
   void SetPredictorState(std::string blob);

@@ -45,6 +45,48 @@ TEST(VarintTest, TruncatedFails) {
   EXPECT_FALSE(GetVarint64(buf, &pos, &out));
 }
 
+TEST(VarintTest, MaxValueUsesTenBytesAndRoundTrips) {
+  std::string buf;
+  PutVarint64(&buf, ~0ull);
+  EXPECT_EQ(buf.size(), 10u);
+  EXPECT_EQ(static_cast<uint8_t>(buf.back()), 0x01);  // only bit 63
+  size_t pos = 0;
+  uint64_t out;
+  ASSERT_TRUE(GetVarint64(buf, &pos, &out));
+  EXPECT_EQ(out, ~0ull);
+}
+
+TEST(VarintTest, OverflowingTenthByteRejected) {
+  // Ten continuation-free bytes whose final payload exceeds bit 63: the
+  // encoded value does not fit in uint64, so decoding must fail instead of
+  // silently wrapping. 0x02 at shift 63 is the smallest overflow — it used
+  // to wrap to 0, turning a corrupt length field into a "valid" zero.
+  for (uint8_t last : {0x02, 0x7E, 0x7F, 0x03}) {
+    std::string buf(9, '\x80');
+    buf.push_back(static_cast<char>(last));
+    size_t pos = 0;
+    uint64_t out;
+    EXPECT_FALSE(GetVarint64(buf, &pos, &out))
+        << "last byte 0x" << std::hex << static_cast<int>(last);
+  }
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // Eleven-plus-byte encodings (continuation bit still set at shift 63)
+  // must fail even if the trailing payload bits are all zero.
+  std::string buf(10, '\x80');
+  buf.push_back('\x00');
+  size_t pos = 0;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(buf, &pos, &out));
+  // A continuation bit on the 10th byte alone is already malformed.
+  std::string cont(9, '\x80');
+  cont.push_back('\x81');
+  cont.push_back('\x00');
+  pos = 0;
+  EXPECT_FALSE(GetVarint64(cont, &pos, &out));
+}
+
 TEST(VarintTest, ZigzagSymmetry) {
   for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-2},
                     int64_t{1} << 62, -(int64_t{1} << 62), INT64_MIN,

@@ -15,8 +15,10 @@
 
 #include "array/ndarray.h"
 #include "array/op_registry.h"
+#include "common/hash.h"
 #include "common/io.h"
 #include "common/mmap_file.h"
+#include "compress/varint.h"
 #include "common/random.h"
 #include "lineage/lineage_relation.h"
 #include "provrc/provrc.h"
@@ -635,6 +637,62 @@ TEST(LogStoreCorruptionTest, TruncationsAndGarbageAreCorruption) {
   }
   // The original still opens.
   EXPECT_TRUE(DSLog::OpenInSitu(path).ok());
+}
+
+TEST(LogStoreCorruptionTest, OverflowingFooterVarintIsCorruption) {
+  // Hand-crafted file whose footer *checksum is valid* but whose
+  // array-count varint is a ten-byte encoding overflowing uint64. The old
+  // decoder silently wrapped it to 0 and then "successfully" parsed the
+  // rest, opening an empty store from a corrupt footer; the decoder must
+  // reject the overflow as Corruption instead.
+  std::string footer;
+  PutVarint64(&footer, 3);     // format version
+  footer.append(9, '\x80');    // continuation bytes up to shift 63
+  footer.push_back('\x02');    // 10th byte: bit 64 set -> overflow -> "0"
+  PutVarint64(&footer, 0);     // num_segments (parses fine after the wrap)
+  PutVarint64(&footer, 0);     // predictor-state length
+  std::string file("DSLSTOR1");
+  const uint64_t footer_offset = file.size();
+  file += footer;
+  PutFixed64(&file, footer_offset);
+  PutFixed64(&file, Hash64(footer));  // checksum must NOT mask the varint
+  file += "DSLF";
+  const std::string path = TestPath("overflow_varint.dsl");
+  ASSERT_TRUE(WriteFile(path, file).ok());
+  auto opened = LogStore::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption)
+      << opened.status().ToString();
+}
+
+TEST(LogStoreTest, V3FooterCarriesSegmentStats) {
+  DSLog log;
+  BuildChain(&log, 0, 2, 32);
+  const std::string path = TestPath("stats_v3.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  auto store = LogStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store.value()->format_version(), 3u);
+  ASSERT_EQ(store.value()->segments().size(), 2u);
+  for (size_t id = 0; id < store.value()->segments().size(); ++id) {
+    const LogStore::SegmentInfo& seg = store.value()->segments()[id];
+    // Identity lineage over 32 cells compresses to one relative interval
+    // row covering out attr 0 = [0, 31]. The footer stats must match the
+    // resolved index's exact stats without touching the segment bytes.
+    ASSERT_TRUE(seg.out0_stats.valid());
+    EXPECT_EQ(seg.out0_stats.row_count, 1);
+    EXPECT_EQ(seg.out0_stats.min_lo, 0);
+    EXPECT_EQ(seg.out0_stats.max_hi, 31);
+    EXPECT_EQ(seg.out0_stats.sum_width, 32);
+    auto pinned = store.value()->View(id);
+    ASSERT_TRUE(pinned.ok());
+    const IntervalColumnStats& exact = pinned.value().index->stats();
+    EXPECT_EQ(seg.out0_stats.row_count, exact.row_count);
+    EXPECT_EQ(seg.out0_stats.min_lo, exact.min_lo);
+    EXPECT_EQ(seg.out0_stats.max_lo, exact.max_lo);
+    EXPECT_EQ(seg.out0_stats.max_hi, exact.max_hi);
+    EXPECT_EQ(seg.out0_stats.sum_width, exact.sum_width);
+  }
 }
 
 // ------------------------------------------------------------- concurrency --
