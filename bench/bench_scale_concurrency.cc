@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "query/box.h"
@@ -142,6 +143,10 @@ int main(int argc, char** argv) {
       DSLOG_CHECK(r.ok()) << r.status().ToString();
       DSLOG_CHECK(static_cast<int64_t>(r.value().size()) == entries);
     }
+    // Reset the registry so the per-bucket record carries only this thread
+    // count's pool/merge activity (the document-level "metrics" block then
+    // reflects the last bucket — each row's numbers live in its record).
+    metrics::Registry::Global().Reset();
     WallTimer timer;
     int64_t reps = 0;
     do {
@@ -150,19 +155,39 @@ int main(int argc, char** argv) {
       ++reps;
     } while (timer.ElapsedSeconds() < min_seconds);
     const double seconds = timer.ElapsedSeconds();
+    const metrics::RegistrySnapshot snap =
+        metrics::Registry::Global().Snapshot();
     const double qps =
         static_cast<double>(entries * reps) / seconds;
     if (threads == 1) qps_1 = qps;
     const double speedup = qps_1 > 0 ? qps / qps_1 : 0.0;
     std::printf("%8d %10lld %12.4f %12.1f %9.2fx\n", threads,
                 static_cast<long long>(reps), seconds, qps, speedup);
-    json.Add()
-        .Num("threads", threads)
+    auto& rec = json.Add();
+    rec.Num("threads", threads)
         .Num("batch_entries", static_cast<double>(entries))
         .Num("reps", static_cast<double>(reps))
         .Num("seconds", seconds)
         .Num("qps", qps)
-        .Num("speedup_vs_1", speedup);
+        .Num("speedup_vs_1", speedup)
+        .Num("pool_tasks_submitted", static_cast<double>(snap.CounterValue(
+                                         "dslog.pool.tasks_submitted")))
+        .Num("pool_pfor_calls", static_cast<double>(
+                                    snap.CounterValue("dslog.pool.pfor_calls")))
+        .Num("pool_pfor_inline",
+             static_cast<double>(snap.CounterValue("dslog.pool.pfor_inline")))
+        .Num("tree_merges", static_cast<double>(
+                                snap.CounterValue("dslog.join.tree_merges")));
+    if (const auto* depth = snap.FindHistogram("dslog.pool.queue_depth")) {
+      rec.Num("pool_queue_depth_p50", static_cast<double>(depth->Quantile(0.5)))
+          .Num("pool_queue_depth_p95",
+               static_cast<double>(depth->Quantile(0.95)))
+          .Num("pool_queue_depth_max", static_cast<double>(depth->max));
+    }
+    if (const auto* merge = snap.FindHistogram("dslog.join.tree_merge_us")) {
+      rec.Num("tree_merge_us_total", static_cast<double>(merge->sum))
+          .Num("tree_merge_us_p95", static_cast<double>(merge->Quantile(0.95)));
+    }
   }
 
   std::printf(

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/io.h"
+#include "common/metrics.h"
 #include "query/box.h"
 #include "query/query_engine.h"
 
@@ -134,6 +135,11 @@ void JsonReporter::Write() {
                         std::thread::hardware_concurrency()));
   for (const auto& [key, value] : top_fields_)
     doc += ", " + JsonEscape(key) + ": " + value;
+  // Every document carries a snapshot of the process-wide metrics registry
+  // (counters/gauges/histograms accumulated while the bench ran), so a
+  // perf number is always archived next to the cache/pool/join activity
+  // that produced it. CI rejects JsonReporter documents without this block.
+  doc += ", \"metrics\": " + metrics::Registry::Global().Snapshot().ToJson();
   doc += ", \"records\": [";
   bool first_record = true;
   for (const Record& r : records_) {

@@ -11,14 +11,27 @@
 //
 // With no argument, builds a small mixed-layout demo catalog in the
 // scratch dir and inspects that, so the example is runnable stand-alone.
+//
+// Traced-query mode runs one profiled lineage query against the store and
+// dumps both the QueryProfile (per-hop rows/paths/timings) and a Chrome
+// trace_event JSON file (load it at chrome://tracing or ui.perfetto.dev):
+//
+//   ./dslog_inspect --trace <log.dsl> [--query A B C ...] [--trace-out f.json]
+//
+// --query names the array path (default: one backward hop over the first
+// segment); the query box covers the whole first array on the path.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/hash.h"
 #include "common/io.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "lineage/lineage_relation.h"
+#include "query/box.h"
 #include "storage/dslog.h"
 #include "storage/logstore.h"
 
@@ -73,16 +86,83 @@ int64_t SegmentRows(const LogStore& store, size_t id, bool* decoded) {
   return table.value()->num_rows();
 }
 
+/// --trace mode: one profiled query through DSLog::OpenInSitu, profile
+/// dump to stdout, Chrome trace_event JSON to `trace_out`.
+int RunTracedQuery(const std::string& path,
+                   std::vector<std::string> query_path,
+                   const std::string& trace_out) {
+  auto opened = DSLog::OpenInSitu(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot open %s in situ: %s\n", path.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  DSLog log = std::move(opened).value();
+  if (query_path.empty()) {
+    // Default: one backward hop over the store's first segment.
+    auto store = log.log_store();
+    if (store == nullptr || store->segments().empty()) {
+      std::fprintf(stderr, "store has no segments; pass --query A B ...\n");
+      return 1;
+    }
+    const LogStore::SegmentInfo& seg = store->segments().front();
+    query_path = {seg.out_arr, seg.in_arr};
+  }
+  auto shape = log.ArrayShape(query_path.front());
+  if (!shape.ok()) {
+    std::fprintf(stderr, "unknown array %s: %s\n", query_path.front().c_str(),
+                 shape.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Interval> box;
+  for (int64_t d : shape.value()) box.push_back({0, d - 1});
+
+  QueryOptions options;
+  options.profile = true;
+  QueryProfile profile;
+  auto result =
+      log.ProvQuery(query_path, BoxTable::FromBox(std::move(box)), options,
+                    &profile);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("traced query over %s:\n%s", path.c_str(),
+              profile.ToText().c_str());
+  Status st = trace::WriteJson(trace_out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot write trace: %s\n", st.ToString().c_str());
+    return 3;
+  }
+  std::printf("\nwrote %lld trace event(s) to %s (open in chrome://tracing)\n",
+              static_cast<long long>(trace::EventCount()), trace_out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool traced = false;
+  std::string trace_out = "trace.json";
   std::string path;
-  if (argc > 1) {
-    path = argv[1];
-  } else {
+  std::vector<std::string> query_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      traced = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      while (i + 1 < argc && argv[i + 1][0] != '-') query_path.push_back(argv[++i]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
     path = BuildDemoStore();
     std::printf("(no file given; inspecting demo store %s)\n\n", path.c_str());
   }
+  if (traced) return RunTracedQuery(path, std::move(query_path), trace_out);
 
   auto opened = LogStore::Open(path);
   if (!opened.ok()) {

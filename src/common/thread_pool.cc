@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 
 namespace dslog {
 
@@ -13,6 +15,36 @@ namespace {
 // Set for the lifetime of a worker thread; lets ParallelFor detect
 // re-entrant use from inside the pool and degrade to inline execution.
 thread_local bool tls_in_pool_worker = false;
+
+// Pool observability (common/metrics.h). Submitted tasks are coarse
+// (θ-join partitions, batch entries), so two clock reads per task and a
+// few relaxed counter adds are noise against the task body. References
+// resolved once.
+struct PoolMetrics {
+  metrics::Counter& tasks_submitted;
+  metrics::Counter& pfor_calls;
+  metrics::Counter& pfor_inline;
+  metrics::Counter& pfor_helpers;
+  metrics::Histogram& queue_depth;
+  metrics::Histogram& task_wait_us;
+  metrics::Histogram& task_run_us;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      metrics::Registry& reg = metrics::Registry::Global();
+      return new PoolMetrics{
+          reg.counter("dslog.pool.tasks_submitted"),
+          reg.counter("dslog.pool.pfor_calls"),
+          reg.counter("dslog.pool.pfor_inline"),
+          reg.counter("dslog.pool.pfor_helpers"),
+          reg.histogram("dslog.pool.queue_depth"),
+          reg.histogram("dslog.pool.task_wait_us"),
+          reg.histogram("dslog.pool.task_run_us"),
+      };
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -34,10 +66,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics& pm = PoolMetrics::Get();
+  pm.tasks_submitted.Increment();
+  // Wrap to measure queue wait (enqueue -> dequeue) and run time. The
+  // timer's epoch travels with the task.
+  auto timed = [task = std::move(task), &pm, wait = WallTimer()]() mutable {
+    pm.task_wait_us.Record(
+        static_cast<int64_t>(wait.ElapsedSeconds() * 1e6));
+    WallTimer run;
+    task();
+    pm.task_run_us.Record(static_cast<int64_t>(run.ElapsedSeconds() * 1e6));
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return;
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(timed));
+    pm.queue_depth.Record(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -60,8 +104,11 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
                              int max_parallelism) {
   if (n <= 0) return;
+  PoolMetrics& pm = PoolMetrics::Get();
+  pm.pfor_calls.Increment();
   if (n == 1 || max_parallelism == 1 || workers_.empty() ||
       tls_in_pool_worker) {
+    pm.pfor_inline.Increment();
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -100,6 +147,7 @@ void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
                           : static_cast<int64_t>(workers_.size()) + 1;
   const int64_t helpers = std::min<int64_t>(
       {n - 1, static_cast<int64_t>(workers_.size()), cap - 1});
+  pm.pfor_helpers.Add(helpers);
   for (int64_t h = 0; h < helpers; ++h)
     Submit([state, run] { run(state); });
   run(state);

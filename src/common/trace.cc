@@ -1,0 +1,215 @@
+#include "common/trace.h"
+
+#ifndef DSLOG_TRACE_DISABLED
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/io.h"
+
+namespace dslog {
+namespace trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Microseconds since the first call (steady clock, so durations are
+/// immune to wall-clock adjustments; trace viewers only need a shared
+/// monotonic origin).
+int64_t NowUs() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               origin)
+      .count();
+}
+
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  int64_t ts_us;
+  int64_t dur_us;
+  uint32_t tid;
+  int num_args;
+  const char* arg_keys[Span::kMaxArgs];
+  int64_t arg_vals[Span::kMaxArgs];
+};
+
+/// One buffer per thread. The mutex is uncontended in steady state (only
+/// the owning thread appends); an exporter takes it briefly to copy.
+struct EventBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+struct BufferList {
+  std::mutex mu;
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+};
+
+BufferList& Buffers() {
+  static BufferList* g = new BufferList();  // leaked: outlive thread exits
+  return *g;
+}
+
+/// Small sequential thread ids render better in trace viewers than the
+/// opaque std::thread::id hash.
+uint32_t ThreadId() noexcept {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+EventBuffer& LocalBuffer() {
+  thread_local const std::shared_ptr<EventBuffer> buf = [] {
+    auto b = std::make_shared<EventBuffer>();
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mu);
+    list.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::string JsonQuote(const char* s) {
+  std::string out = "\"";
+  for (; s != nullptr && *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+bool Enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Clear() noexcept {
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (auto& b : list.buffers) {
+    std::lock_guard<std::mutex> block(b->mu);
+    b->events.clear();
+  }
+}
+
+int64_t EventCount() noexcept {
+  int64_t n = 0;
+  BufferList& list = Buffers();
+  std::lock_guard<std::mutex> lock(list.mu);
+  for (auto& b : list.buffers) {
+    std::lock_guard<std::mutex> block(b->mu);
+    n += static_cast<int64_t>(b->events.size());
+  }
+  return n;
+}
+
+std::string ExportJson() {
+  // Copy out under the per-buffer locks, format outside them.
+  std::vector<TraceEvent> all;
+  {
+    BufferList& list = Buffers();
+    std::lock_guard<std::mutex> lock(list.mu);
+    for (auto& b : list.buffers) {
+      std::lock_guard<std::mutex> block(b->mu);
+      all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[128];
+  for (const TraceEvent& e : all) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  {\"name\": " + JsonQuote(e.name) +
+           ", \"cat\": " + JsonQuote(e.cat) + ", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"ts\": %" PRId64 ", \"dur\": %" PRId64
+                  ", \"pid\": 1, \"tid\": %u",
+                  e.ts_us, e.dur_us, e.tid);
+    out += buf;
+    if (e.num_args > 0) {
+      out += ", \"args\": {";
+      for (int i = 0; i < e.num_args; ++i) {
+        if (i > 0) out += ", ";
+        std::snprintf(buf, sizeof(buf), "%" PRId64, e.arg_vals[i]);
+        out += JsonQuote(e.arg_keys[i]) + ": " + buf;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteJson(const std::string& path) {
+  return WriteFileAtomic(path, ExportJson());
+}
+
+Span::Span(const char* name, const char* cat) noexcept
+    : active_(Enabled()) {
+  if (!active_) return;
+  name_ = name;
+  cat_ = cat;
+  start_us_ = NowUs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ts_us = start_us_;
+  e.dur_us = NowUs() - start_us_;
+  e.tid = ThreadId();
+  e.num_args = num_args_;
+  for (int i = 0; i < num_args_; ++i) {
+    e.arg_keys[i] = arg_keys_[i];
+    e.arg_vals[i] = arg_vals_[i];
+  }
+  EventBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(e);
+}
+
+void Span::Arg(const char* key, int64_t value) noexcept {
+  if (!active_ || num_args_ >= kMaxArgs) return;
+  arg_keys_[num_args_] = key;
+  arg_vals_[num_args_] = value;
+  ++num_args_;
+}
+
+}  // namespace trace
+}  // namespace dslog
+
+#else  // DSLOG_TRACE_DISABLED: no out-of-line code to emit
+
+namespace dslog {
+namespace trace {
+// Everything is defined inline in trace.h when tracing is compiled out.
+}  // namespace trace
+}  // namespace dslog
+
+#endif  // DSLOG_TRACE_DISABLED

@@ -1,0 +1,127 @@
+// RAII scoped trace spans flushed to Chrome trace_event JSON
+// (chrome://tracing / Perfetto "load trace" both accept the output).
+//
+// Two off switches, one per cost class:
+//   - Build time: configure with -DDSLOG_TRACE=OFF and the whole API
+//     compiles to empty inline bodies (kCompiledIn == false); a Span is an
+//     empty object the optimizer deletes, so instrumented code carries
+//     zero text.
+//   - Run time (default build): spans check one relaxed atomic bool at
+//     construction. Tracing starts disabled; queries that request
+//     QueryOptions::profile (and tools like dslog_inspect --trace) turn it
+//     on around the work they want captured. A disabled span is a single
+//     predictable branch — no clock read, no allocation, no atomics in
+//     steady state beyond the one relaxed load.
+//
+// When enabled, completed spans append to a thread-local buffer whose
+// mutex is uncontended except while an exporter drains it; buffers are
+// owned by a global list via shared_ptr so events survive thread exit.
+// Span name/category/arg-key strings must be string literals (stored as
+// const char*, formatted only at export). Spans are placed per query, per
+// hop, per pool task, per segment resolution — never per row.
+
+#ifndef DSLOG_COMMON_TRACE_H_
+#define DSLOG_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dslog {
+namespace trace {
+
+#ifdef DSLOG_TRACE_DISABLED
+
+inline constexpr bool kCompiledIn = false;
+
+inline bool Enabled() noexcept { return false; }
+inline void SetEnabled(bool) noexcept {}
+inline void Clear() noexcept {}
+inline int64_t EventCount() noexcept { return 0; }
+inline std::string ExportJson() { return "{\"traceEvents\": []}\n"; }
+inline Status WriteJson(const std::string& path) {
+  return Status::InvalidArgument(
+      "tracing compiled out (DSLOG_TRACE=OFF); cannot write " + path);
+}
+
+class Span {
+ public:
+  explicit Span(const char*, const char* = nullptr) noexcept {}
+  void Arg(const char*, int64_t) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#else  // tracing compiled in
+
+inline constexpr bool kCompiledIn = true;
+
+/// Process-wide runtime switch (relaxed atomic; default off).
+bool Enabled() noexcept;
+void SetEnabled(bool on) noexcept;
+
+/// Drops every buffered event (typically called before a capture).
+void Clear() noexcept;
+
+/// Number of buffered completed spans across all threads.
+int64_t EventCount() noexcept;
+
+/// Renders all buffered events as one Chrome trace_event JSON document
+/// ({"traceEvents": [...]}). Does not clear the buffers.
+std::string ExportJson();
+
+/// ExportJson() to a file.
+Status WriteJson(const std::string& path);
+
+/// One timed scope. `name` and `cat` must be string literals (or
+/// otherwise outlive the export).
+class Span {
+ public:
+  static constexpr int kMaxArgs = 4;
+
+  explicit Span(const char* name, const char* cat = "dslog") noexcept;
+  ~Span();
+
+  /// Attaches an integer argument shown in the trace viewer. Silently
+  /// drops args past kMaxArgs; `key` must be a string literal.
+  void Arg(const char* key, int64_t value) noexcept;
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_;
+  int num_args_ = 0;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  int64_t start_us_ = 0;
+  const char* arg_keys_[kMaxArgs];
+  int64_t arg_vals_[kMaxArgs];
+};
+
+#endif  // DSLOG_TRACE_DISABLED
+
+/// Enables tracing for a lexical scope and restores the previous state on
+/// exit. Used by profiled queries: the query engine turns tracing on for
+/// the duration of a profile=true query without clobbering a wider
+/// capture started by a tool.
+class EnabledScope {
+ public:
+  explicit EnabledScope(bool on) noexcept : prev_(Enabled()) {
+    if (on != prev_) SetEnabled(on);
+  }
+  ~EnabledScope() {
+    if (Enabled() != prev_) SetEnabled(prev_);
+  }
+  EnabledScope(const EnabledScope&) = delete;
+  EnabledScope& operator=(const EnabledScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace trace
+}  // namespace dslog
+
+#endif  // DSLOG_COMMON_TRACE_H_

@@ -41,21 +41,21 @@ constexpr double kSweepPerRowNs = 0.24;
 constexpr double kScanPerRowNs = 0.27;
 constexpr double kSearchPerLevelNs = 2.0;
 
-}  // namespace
+struct ModelCosts {
+  double probe = 0.0;
+  double sweep = 0.0;
+  double scan = 0.0;
+  double est_rows = 0.0;  // hit_frac * n
+};
 
-AccessPath ChooseAccessPath(const Interval& probe,
-                            const IntervalColumnStats& stats) {
-  const int64_t n = stats.row_count;
-  // Tiny tables sit below every crossover: the whole column fits in a few
-  // vector registers, so scan unconditionally.
-  if (n >= 0 && n <= 64) return AccessPath::kFullScan;
-  // Without stats the hit count is unknowable; the tree probe is the only
-  // path whose cost stays bounded by the actual output.
-  if (!stats.valid()) return AccessPath::kIndexProbe;
-
-  const double dn = static_cast<double>(n);
+// The uniform-lo cost model, shared by the decision-only and the auditable
+// entry points so the two can never drift. Requires stats.valid() and
+// row_count >= 1 (valid stats imply min_lo <= max_lo, so lo_span >= 1).
+ModelCosts ComputeModelCosts(const Interval& probe,
+                             const IntervalColumnStats& stats) {
+  const double dn = static_cast<double>(stats.row_count);
   const double levels = static_cast<double>(
-      std::bit_width(static_cast<uint64_t>(n)));
+      std::bit_width(static_cast<uint64_t>(stats.row_count)));
   const double lo_span =
       static_cast<double>(stats.max_lo - stats.min_lo) + 1.0;
   const double probe_width = static_cast<double>(probe.hi - probe.lo) + 1.0;
@@ -69,18 +69,62 @@ AccessPath ChooseAccessPath(const Interval& probe,
   const double hit_frac = std::min(
       prefix_frac, clamp01((probe_width + stats.avg_width() - 1.0) / lo_span));
 
-  const double cost_probe =
-      kProbePerLevelNs * levels + kProbePerHitNs * hit_frac * dn;
-  const double cost_sweep =
-      kSearchPerLevelNs * levels + kSweepPerRowNs * prefix_frac * dn;
-  const double cost_scan = kScanPerRowNs * dn;
+  ModelCosts costs;
+  costs.probe = kProbePerLevelNs * levels + kProbePerHitNs * hit_frac * dn;
+  costs.sweep = kSearchPerLevelNs * levels + kSweepPerRowNs * prefix_frac * dn;
+  costs.scan = kScanPerRowNs * dn;
+  costs.est_rows = hit_frac * dn;
+  return costs;
+}
 
-  // Ties break toward the output-sensitive probe, then the sweep: when the
-  // model is uncertain the path with the smaller worst case wins.
-  if (cost_probe <= cost_sweep && cost_probe <= cost_scan)
+// Ties break toward the output-sensitive probe, then the sweep: when the
+// model is uncertain the path with the smaller worst case wins.
+AccessPath PickCheapest(const ModelCosts& costs) {
+  if (costs.probe <= costs.sweep && costs.probe <= costs.scan)
     return AccessPath::kIndexProbe;
-  if (cost_sweep <= cost_scan) return AccessPath::kSortedSweep;
+  if (costs.sweep <= costs.scan) return AccessPath::kSortedSweep;
   return AccessPath::kFullScan;
+}
+
+}  // namespace
+
+AccessPath ChooseAccessPath(const Interval& probe,
+                            const IntervalColumnStats& stats) {
+  const int64_t n = stats.row_count;
+  // Tiny tables sit below every crossover: the whole column fits in a few
+  // vector registers, so scan unconditionally.
+  if (n >= 0 && n <= 64) return AccessPath::kFullScan;
+  // Without stats the hit count is unknowable; the tree probe is the only
+  // path whose cost stays bounded by the actual output.
+  if (!stats.valid()) return AccessPath::kIndexProbe;
+  return PickCheapest(ComputeModelCosts(probe, stats));
+}
+
+PathCostEstimate EstimateAccessPathCosts(const Interval& probe,
+                                         const IntervalColumnStats& stats) {
+  PathCostEstimate e;
+  const int64_t n = stats.row_count;
+  // Shortcuts mirror ChooseAccessPath exactly. The expected candidate
+  // count is still reported when stats allow it (small tables are planned
+  // by rule, but their estimate remains auditable); the per-path costs are
+  // left 0 — no costs were compared, and reporting fabricated ones would
+  // make mispredict audits chase decisions the model never made.
+  if (n >= 0 && n <= 64) {
+    e.chosen = AccessPath::kFullScan;
+    if (stats.valid() && n >= 1) e.est_rows = ComputeModelCosts(probe, stats).est_rows;
+    return e;
+  }
+  if (!stats.valid()) {
+    e.chosen = AccessPath::kIndexProbe;
+    return e;
+  }
+  const ModelCosts costs = ComputeModelCosts(probe, stats);
+  e.cost_ns[static_cast<int>(AccessPath::kIndexProbe)] = costs.probe;
+  e.cost_ns[static_cast<int>(AccessPath::kSortedSweep)] = costs.sweep;
+  e.cost_ns[static_cast<int>(AccessPath::kFullScan)] = costs.scan;
+  e.est_rows = costs.est_rows;
+  e.chosen = PickCheapest(costs);
+  return e;
 }
 
 }  // namespace dslog

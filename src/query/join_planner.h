@@ -39,6 +39,27 @@ const char* JoinPathName(JoinPath path);
 AccessPath ChooseAccessPath(const Interval& probe,
                             const IntervalColumnStats& stats);
 
+/// The planner's full cost breakdown for one probe — the auditable form
+/// recorded into QueryProfile when QueryOptions::profile is set. `chosen`
+/// always equals ChooseAccessPath(probe, stats); the costs and expected
+/// candidate count expose *why*, so mispredict ratios (estimated vs actual
+/// rows) can be asserted against the model.
+struct PathCostEstimate {
+  /// Modeled enumeration cost in relative ns, indexed by AccessPath
+  /// (kIndexProbe, kSortedSweep, kFullScan). Zero when the decision came
+  /// from a shortcut (tiny table, unknown stats) — no costs were compared.
+  double cost_ns[3] = {0.0, 0.0, 0.0};
+  /// Expected candidate rows the probe enumerates (hit fraction x rows)
+  /// under the uniform-lo model; 0 when stats are unknown.
+  double est_rows = 0.0;
+  AccessPath chosen = AccessPath::kIndexProbe;
+};
+
+/// ChooseAccessPath plus the model internals. Only the profiled kernels
+/// call this — the unprofiled hot path keeps the estimate-free form.
+PathCostEstimate EstimateAccessPathCosts(const Interval& probe,
+                                         const IntervalColumnStats& stats);
+
 /// Resolves a (possibly kAuto) JoinPath into the concrete AccessPath for
 /// one probe.
 inline AccessPath ResolveAccessPath(JoinPath path, const Interval& probe,

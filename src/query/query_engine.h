@@ -6,7 +6,9 @@
 #ifndef DSLOG_QUERY_QUERY_ENGINE_H_
 #define DSLOG_QUERY_QUERY_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lineage/lineage_relation.h"
@@ -57,6 +59,63 @@ struct QueryHop {
   IntervalColumnStats stats;
 };
 
+/// Per-hop observability record of a profiled query. Storage fields are
+/// filled by DSLog::ProvQuery (which knows the edge and how its segment
+/// resolved); join fields by InSituQuery from the hop's JoinCounters.
+struct HopProfile {
+  // --- edge identity (empty for hand-built InSituQuery hop vectors) ---
+  std::string in_arr;
+  std::string out_arr;
+  std::string op_name;
+  bool forward = false;
+  /// Forward hop served by the materialized §IV.C representation.
+  bool used_forward_table = false;
+
+  // --- segment resolution (LogStore-backed hops only) ---
+  bool from_store = false;  // hop resolved through a LogStore segment
+  bool cache_hit = false;   // served from the decode LRU, no resolve paid
+  bool borrowed = false;    // v2 zero-copy borrow (no decode, no copy)
+  int64_t segment_bytes = 0;        // on-disk segment length
+  int64_t bytes_decompressed = 0;   // gzip input consumed by this resolve
+  int64_t rows_materialized = 0;    // rows copied into owned arenas
+  int64_t resolve_us = 0;           // checksum + decode + index build
+
+  // --- θ-join execution ---
+  int64_t table_rows = 0;    // rows of the hop's stored table
+  int64_t probes = 0;        // query boxes probed into the hop
+  int64_t rows_scanned = 0;  // candidate rows the interval index enumerated
+  int64_t rows_emitted = 0;  // boxes emitted by the kernels (pre-Merge)
+  int64_t result_boxes = 0;  // boxes handed to the next hop (post-Merge)
+  /// The path the caller requested (kAuto = planner decides per probe).
+  JoinPath requested_path = JoinPath::kAuto;
+  /// Probes resolved to each concrete AccessPath (index by AccessPath:
+  /// kIndexProbe, kSortedSweep, kFullScan).
+  int64_t path_probes[3] = {0, 0, 0};
+  /// Planner-expected candidate rows (sum over probes) — compare against
+  /// rows_scanned for the mispredict ratio.
+  double est_rows = 0.0;
+  /// Planner cost-model output per path in relative ns (sum over probes).
+  double est_cost_ns[3] = {0.0, 0.0, 0.0};
+  double wall_ms = 0.0;
+};
+
+/// Observability record of one profiled query (QueryOptions::profile).
+/// Collection costs one JoinCounters flush per kernel invocation and a few
+/// clock reads per hop — nothing in the per-candidate inner loops.
+struct QueryProfile {
+  std::string simd_isa;  // compile-time SIMD dispatch (common/simd.h)
+  int num_threads = 1;
+  bool merge_between_hops = true;
+  double wall_ms = 0.0;
+  int64_t result_boxes = 0;
+  std::vector<HopProfile> hops;
+
+  /// One JSON object (stable field order; hops as an array).
+  std::string ToJson() const;
+  /// Human-readable multi-line dump (one hop per line).
+  std::string ToText() const;
+};
+
 struct QueryOptions {
   /// Projection + adjacent-interval merge between hops (§V.B.3). Disabling
   /// reproduces the DSLog-NoMerge baseline of Fig 9.
@@ -75,12 +134,22 @@ struct QueryOptions {
   /// index probe / SIMD sorted sweep / SIMD full scan. Any setting
   /// returns bit-identical results — this knob only trades time.
   JoinPath join_path = JoinPath::kAuto;
+  /// Collect a QueryProfile (pass one to InSituQuery/ProvQuery) and enable
+  /// trace spans (common/trace.h) for the query's duration. false keeps
+  /// the hot path exactly as unprofiled builds always ran it: no planner
+  /// estimates, no atomics in join inner loops, no clock reads per hop.
+  bool profile = false;
 };
 
 /// Evaluates a multi-hop in-situ query: `query` holds boxes over the first
 /// array on the path; the result holds boxes over the last array.
+/// With `options.profile` set and `profile` non-null, fills `profile` with
+/// per-hop execution detail; hop entries that already exist (DSLog::
+/// ProvQuery pre-fills edge identity and segment-resolution fields) keep
+/// those fields and gain the join fields.
 BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
-                     const QueryOptions& options = {});
+                     const QueryOptions& options = {},
+                     QueryProfile* profile = nullptr);
 
 /// One step over an *uncompressed* relation. `frontier` holds flattened
 /// cell tuples of the current array (arity = relation side arity).

@@ -1,13 +1,64 @@
 #include "query/theta_join.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
 
 namespace dslog {
 
 namespace {
+
+// Plain-integer accumulator a kernel fills and flushes once at return.
+// Keeps the profiling contract visible in the code: the per-candidate
+// callbacks touch only these locals (registers), and the one FlushTo call
+// per kernel invocation is the only place atomics appear.
+struct LocalJoinCounters {
+  int64_t probes = 0;
+  int64_t rows_scanned = 0;
+  int64_t rows_emitted = 0;
+  int64_t path_probes[3] = {0, 0, 0};
+  double est_rows = 0.0;
+  double est_cost_ns[3] = {0.0, 0.0, 0.0};
+
+  void FlushTo(JoinCounters* counters) const {
+    if (counters == nullptr) return;
+    counters->probes.fetch_add(probes, std::memory_order_relaxed);
+    counters->rows_scanned.fetch_add(rows_scanned, std::memory_order_relaxed);
+    counters->rows_emitted.fetch_add(rows_emitted, std::memory_order_relaxed);
+    counters->est_rows_x1000.fetch_add(
+        static_cast<int64_t>(std::llround(est_rows * 1000.0)),
+        std::memory_order_relaxed);
+    for (int k = 0; k < 3; ++k) {
+      counters->path_probes[k].fetch_add(path_probes[k],
+                                         std::memory_order_relaxed);
+      counters->est_cost_ns_x1000[k].fetch_add(
+          static_cast<int64_t>(std::llround(est_cost_ns[k] * 1000.0)),
+          std::memory_order_relaxed);
+    }
+  }
+};
+
+// Per-probe path resolution, profiled flavor: records the planner's cost
+// breakdown alongside the (identical) decision. The unprofiled kernels
+// call ResolveAccessPath directly instead — no estimates, no bookkeeping.
+AccessPath ResolveAndRecord(JoinPath join_path, const Interval& probe,
+                            const IntervalColumnStats& stats,
+                            LocalJoinCounters* local) {
+  const PathCostEstimate e = EstimateAccessPathCosts(probe, stats);
+  const AccessPath path = join_path == JoinPath::kAuto
+                              ? e.chosen
+                              : ResolveAccessPath(join_path, probe, stats);
+  ++local->probes;
+  ++local->path_probes[static_cast<int>(path)];
+  local->est_rows += e.est_rows;
+  for (int k = 0; k < 3; ++k) local->est_cost_ns[k] += e.cost_ns[k];
+  return path;
+}
 
 // Pairwise tree reduction of per-worker output arenas on the shared pool.
 // Round k combines fixed index pairs (2p, 2p+1) — an odd tail rides to the
@@ -19,6 +70,16 @@ namespace {
 BoxTable TreeMergeParts(std::vector<BoxTable> parts, int result_ndim,
                         bool merge_result, int num_threads) {
   if (parts.empty()) return BoxTable(result_ndim);
+  if (parts.size() == 1) return std::move(parts.front());
+  // The reduction only runs for parallel joins, so two clock reads + a few
+  // relaxed adds per call are amortized into the combine work.
+  static metrics::Counter& merges =
+      metrics::Registry::Global().counter("dslog.join.tree_merges");
+  static metrics::Histogram& merge_us =
+      metrics::Registry::Global().histogram("dslog.join.tree_merge_us");
+  trace::Span span("TreeMergeParts", "join");
+  span.Arg("parts", static_cast<int64_t>(parts.size()));
+  WallTimer timer;
   while (parts.size() > 1) {
     const size_t pairs = parts.size() / 2;
     std::vector<BoxTable> next(parts.size() - pairs);
@@ -35,6 +96,8 @@ BoxTable TreeMergeParts(std::vector<BoxTable> parts, int result_ndim,
     if (parts.size() % 2 == 1) next.back() = std::move(parts.back());
     parts = std::move(next);
   }
+  merges.Increment();
+  merge_us.Record(static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
   return std::move(parts.front());
 }
 
@@ -81,7 +144,8 @@ const IntervalColumnStats& EffectiveStats(const IntervalColumnStats* stats,
 // emission order is path-invariant, so so is the output.
 BoxTable BackwardKernel(const BoxTable& query, const CompressedTableView& t,
                         const IntervalIndex& index, JoinPath join_path,
-                        const IntervalColumnStats& stats) {
+                        const IntervalColumnStats& stats,
+                        JoinCounters* counters) {
   const int32_t l = t.out_ndim;
   const int32_t m = t.in_ndim;
   const int64_t w = t.stride();
@@ -89,11 +153,16 @@ BoxTable BackwardKernel(const BoxTable& query, const CompressedTableView& t,
   std::vector<int64_t> t_lo(static_cast<size_t>(l)), t_hi(static_cast<size_t>(l));
   std::vector<Interval> out_box(static_cast<size_t>(m));
   std::vector<int32_t> scratch;
+  LocalJoinCounters local;
 
   for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
     const auto q = query.Box(qb);
-    const AccessPath path = ResolveAccessPath(join_path, q[0], stats);
+    const AccessPath path =
+        counters == nullptr
+            ? ResolveAccessPath(join_path, q[0], stats)
+            : ResolveAndRecord(join_path, q[0], stats, &local);
     index.ForEachOverlapping(q[0], path, &scratch, [&](int64_t r) {
+      ++local.rows_scanned;
       const int64_t* row_lo = t.lo + r * w;
       const int64_t* row_hi = t.hi + r * w;
       // Step 1: joint intersection over the output attributes (attribute 0
@@ -122,13 +191,16 @@ BoxTable BackwardKernel(const BoxTable& query, const CompressedTableView& t,
       result.AddBox(out_box);
     });
   }
+  local.rows_emitted = result.num_boxes();
+  local.FlushTo(counters);
   return result;
 }
 
 // Single-threaded forward kernel over the columns, probing `index` (built
 // over the rows' implied absolute input-attribute-0 intervals).
 BoxTable ForwardKernel(const BoxTable& query, const CompressedTableView& t,
-                       const IntervalIndex& index, JoinPath join_path) {
+                       const IntervalIndex& index, JoinPath join_path,
+                       JoinCounters* counters) {
   const int32_t l = t.out_ndim;
   const int32_t m = t.in_ndim;
   const int64_t w = t.stride();
@@ -137,11 +209,16 @@ BoxTable ForwardKernel(const BoxTable& query, const CompressedTableView& t,
   std::vector<Interval> out_box(static_cast<size_t>(l));
   std::vector<int32_t> scratch;
   const IntervalColumnStats& stats = index.stats();
+  LocalJoinCounters local;
 
   for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
     const auto q = query.Box(qb);
-    const AccessPath path = ResolveAccessPath(join_path, q[0], stats);
+    const AccessPath path =
+        counters == nullptr
+            ? ResolveAccessPath(join_path, q[0], stats)
+            : ResolveAndRecord(join_path, q[0], stats, &local);
     index.ForEachOverlapping(q[0], path, &scratch, [&](int64_t r) {
+      ++local.rows_scanned;
       const int64_t* row_lo = t.lo + r * w;
       const int64_t* row_hi = t.hi + r * w;
       const int32_t* refs = t.ref + r * m;
@@ -178,6 +255,8 @@ BoxTable ForwardKernel(const BoxTable& query, const CompressedTableView& t,
       result.AddBox(out_box);
     });
   }
+  local.rows_emitted = result.num_boxes();
+  local.FlushTo(counters);
   return result;
 }
 
@@ -187,7 +266,8 @@ BoxTable BackwardThetaJoin(const BoxTable& query,
                            const CompressedTableView& table,
                            const IntervalIndex* index, int num_threads,
                            bool merge_result, JoinPath join_path,
-                           const IntervalColumnStats* stats) {
+                           const IntervalColumnStats* stats,
+                           JoinCounters* counters) {
   DSLOG_CHECK(query.ndim() == table.out_ndim)
       << "backward query arity mismatch";
   IntervalIndex ephemeral;
@@ -198,28 +278,31 @@ BoxTable BackwardThetaJoin(const BoxTable& query,
   const IntervalColumnStats& effective = EffectiveStats(stats, *index);
   if (num_threads > 1) {
     return PartitionedJoin(query, table.in_ndim, num_threads, merge_result,
-                           [&table, index, join_path,
-                            &effective](const BoxTable& q) {
+                           [&table, index, join_path, &effective,
+                            counters](const BoxTable& q) {
                              return BackwardKernel(q, table, *index, join_path,
-                                                   effective);
+                                                   effective, counters);
                            });
   }
-  BoxTable result = BackwardKernel(query, table, *index, join_path, effective);
+  BoxTable result =
+      BackwardKernel(query, table, *index, join_path, effective, counters);
   if (merge_result) result.Merge();
   return result;
 }
 
 BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
                            int num_threads, bool merge_result,
-                           JoinPath join_path) {
+                           JoinPath join_path, JoinCounters* counters) {
   std::shared_ptr<const IntervalIndex> index = table.BackwardIndex();
   return BackwardThetaJoin(query, table.view(), index.get(), num_threads,
-                           merge_result, join_path);
+                           merge_result, join_path, /*stats=*/nullptr,
+                           counters);
 }
 
 BoxTable ForwardThetaJoin(const BoxTable& query,
                           const CompressedTableView& table, int num_threads,
-                          bool merge_result, JoinPath join_path) {
+                          bool merge_result, JoinPath join_path,
+                          JoinCounters* counters) {
   DSLOG_CHECK(query.ndim() == table.in_ndim) << "forward query arity mismatch";
   // Implied absolute input-attribute-0 intervals drive the probe; they
   // depend on de-relativization, so the index is per call (its build cost
@@ -240,20 +323,22 @@ BoxTable ForwardThetaJoin(const BoxTable& query,
   IntervalIndex index(lo0.data(), hi0.data(), table.num_rows, 1);
   if (num_threads > 1) {
     return PartitionedJoin(query, table.out_ndim, num_threads, merge_result,
-                           [&table, &index, join_path](const BoxTable& q) {
-                             return ForwardKernel(q, table, index, join_path);
+                           [&table, &index, join_path,
+                            counters](const BoxTable& q) {
+                             return ForwardKernel(q, table, index, join_path,
+                                                  counters);
                            });
   }
-  BoxTable result = ForwardKernel(query, table, index, join_path);
+  BoxTable result = ForwardKernel(query, table, index, join_path, counters);
   if (merge_result) result.Merge();
   return result;
 }
 
 BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
                           int num_threads, bool merge_result,
-                          JoinPath join_path) {
+                          JoinPath join_path, JoinCounters* counters) {
   return ForwardThetaJoin(query, table.view(), num_threads, merge_result,
-                          join_path);
+                          join_path, counters);
 }
 
 ForwardTable ForwardTable::FromBackward(const CompressedTableView& table) {
@@ -317,13 +402,15 @@ ForwardTable ForwardTable::FromBackward(const CompressedTableView& table) {
 }
 
 BoxTable ForwardTable::Join(const BoxTable& query, int num_threads,
-                            bool merge_result, JoinPath join_path) const {
+                            bool merge_result, JoinPath join_path,
+                            JoinCounters* counters) const {
   DSLOG_CHECK(query.ndim() == in_ndim()) << "forward query arity mismatch";
   if (num_threads > 1 || merge_result) {
     return PartitionedJoin(
         query, out_ndim(), num_threads, merge_result,
-        [this, join_path](const BoxTable& q) { return Join(q, 1, false,
-                                                           join_path); });
+        [this, join_path, counters](const BoxTable& q) {
+          return Join(q, 1, false, join_path, counters);
+        });
   }
   const int32_t l = static_cast<int32_t>(out_ndim());
   const int32_t m = static_cast<int32_t>(in_ndim());
@@ -332,11 +419,16 @@ BoxTable ForwardTable::Join(const BoxTable& query, int num_threads,
   std::vector<Interval> out_box(static_cast<size_t>(l));
   std::vector<int32_t> scratch;
   const IntervalColumnStats& stats = in0_index_.stats();
+  LocalJoinCounters local;
 
   for (int64_t qb = 0; qb < query.num_boxes(); ++qb) {
     const auto q = query.Box(qb);
-    const AccessPath path = ResolveAccessPath(join_path, q[0], stats);
+    const AccessPath path =
+        counters == nullptr
+            ? ResolveAccessPath(join_path, q[0], stats)
+            : ResolveAndRecord(join_path, q[0], stats, &local);
     in0_index_.ForEachOverlapping(q[0], path, &scratch, [&](int64_t r) {
+      ++local.rows_scanned;
       const int64_t* row_in_lo = in_lo_.data() + r * m;
       const int64_t* row_in_hi = in_hi_.data() + r * m;
       bool hit = true;
@@ -364,6 +456,8 @@ BoxTable ForwardTable::Join(const BoxTable& query, int num_threads,
       result.AddBox(out_box);
     });
   }
+  local.rows_emitted = result.num_boxes();
+  local.FlushTo(counters);
   return result;
 }
 

@@ -30,6 +30,8 @@
 #ifndef DSLOG_QUERY_THETA_JOIN_H_
 #define DSLOG_QUERY_THETA_JOIN_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "provrc/compressed_table.h"
@@ -38,6 +40,45 @@
 #include "query/join_planner.h"
 
 namespace dslog {
+
+/// Instrumentation sink for one join call (query profiling). The contract
+/// that keeps profiling out of the hot path: kernels count into plain
+/// local integers and flush them here ONCE per kernel invocation — with a
+/// partitioned join, once per partition — so the per-candidate inner loop
+/// never touches an atomic, profiled or not. With `counters == nullptr`
+/// (the default everywhere) the kernels also skip the planner's
+/// cost-estimate bookkeeping entirely. Planner estimates accumulate as
+/// fixed-point x1000 integers so the sink needs no atomic<double>.
+struct JoinCounters {
+  /// Query boxes evaluated (index probes issued).
+  std::atomic<int64_t> probes{0};
+  /// Candidate rows enumerated by the interval index across all probes.
+  std::atomic<int64_t> rows_scanned{0};
+  /// Boxes emitted by the kernels, before any Merge canonicalization.
+  std::atomic<int64_t> rows_emitted{0};
+  /// Probes resolved to each concrete AccessPath (index by AccessPath).
+  std::atomic<int64_t> path_probes[3] = {};
+  /// Planner-expected candidate rows, x1000 (sum over probes).
+  std::atomic<int64_t> est_rows_x1000{0};
+  /// Planner per-path cost model output in ns x1000 (index by AccessPath).
+  std::atomic<int64_t> est_cost_ns_x1000[3] = {};
+
+  int64_t path_probes_total() const {
+    return path_probes[0].load(std::memory_order_relaxed) +
+           path_probes[1].load(std::memory_order_relaxed) +
+           path_probes[2].load(std::memory_order_relaxed);
+  }
+  double est_rows() const {
+    return static_cast<double>(
+               est_rows_x1000.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  double est_cost_ns(int path) const {
+    return static_cast<double>(
+               est_cost_ns_x1000[path].load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+};
 
 // All joins accept a `num_threads` knob: when >= 2 the query-box table is
 // partitioned into contiguous slices, each evaluated into its own private
@@ -64,13 +105,15 @@ BoxTable BackwardThetaJoin(const BoxTable& query,
                            const IntervalIndex* index = nullptr,
                            int num_threads = 1, bool merge_result = false,
                            JoinPath join_path = JoinPath::kAuto,
-                           const IntervalColumnStats* stats = nullptr);
+                           const IntervalColumnStats* stats = nullptr,
+                           JoinCounters* counters = nullptr);
 
 /// Convenience overload over an owned table: uses (and lazily builds) the
 /// table's cached index.
 BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
                            int num_threads = 1, bool merge_result = false,
-                           JoinPath join_path = JoinPath::kAuto);
+                           JoinPath join_path = JoinPath::kAuto,
+                           JoinCounters* counters = nullptr);
 
 /// Forward θ-join evaluated directly on the backward representation:
 /// query boxes over input attributes -> output-cell boxes. The probe
@@ -81,11 +124,13 @@ BoxTable BackwardThetaJoin(const BoxTable& query, const CompressedTable& table,
 BoxTable ForwardThetaJoin(const BoxTable& query,
                           const CompressedTableView& table,
                           int num_threads = 1, bool merge_result = false,
-                          JoinPath join_path = JoinPath::kAuto);
+                          JoinPath join_path = JoinPath::kAuto,
+                          JoinCounters* counters = nullptr);
 
 BoxTable ForwardThetaJoin(const BoxTable& query, const CompressedTable& table,
                           int num_threads = 1, bool merge_result = false,
-                          JoinPath join_path = JoinPath::kAuto);
+                          JoinPath join_path = JoinPath::kAuto,
+                          JoinCounters* counters = nullptr);
 
 /// Materialized forward representation (inputs absolute, outputs possibly
 /// relative with clamping bounds) as described in §IV.C / Table III.
@@ -118,7 +163,8 @@ class ForwardTable {
   /// Forward θ-join over the materialized representation.
   BoxTable Join(const BoxTable& query, int num_threads = 1,
                 bool merge_result = false,
-                JoinPath join_path = JoinPath::kAuto) const;
+                JoinPath join_path = JoinPath::kAuto,
+                JoinCounters* counters = nullptr) const;
 
  private:
   std::vector<int64_t> out_shape_;

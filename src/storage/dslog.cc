@@ -7,8 +7,11 @@
 
 #include "common/hash.h"
 #include "common/io.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "compress/varint.h"
 #include "provrc/provrc.h"
 #include "provrc/serialize.h"
@@ -234,6 +237,15 @@ Status StagedIngest::Add(OperationRegistration reg) {
 }
 
 Result<std::vector<ReuseOutcome>> StagedIngest::Drain() {
+  static metrics::Counter& drains =
+      metrics::Registry::Global().counter("dslog.ingest.drains");
+  static metrics::Counter& drained_ops =
+      metrics::Registry::Global().counter("dslog.ingest.ops_drained");
+  static metrics::Histogram& drain_us =
+      metrics::Registry::Global().histogram("dslog.ingest.drain_us");
+  trace::Span span("StagedIngest.Drain", "ingest");
+  span.Arg("ops", staged());
+  WallTimer timer;
   std::vector<ReuseOutcome> outcomes(ops_.size());
   {
     // One catalog-lock round trip for the whole batch: validate every
@@ -273,8 +285,11 @@ Result<std::vector<ReuseOutcome>> StagedIngest::Drain() {
       edges.push_back(std::move(edge));
     }
   }
+  drained_ops.Add(static_cast<int64_t>(ops_.size()));
   log_->CommitEdges(std::move(edges));
   ops_.clear();
+  drains.Increment();
+  drain_us.Record(static_cast<int64_t>(timer.ElapsedSeconds() * 1e6));
   return outcomes;
 }
 
@@ -291,7 +306,7 @@ bool DSLog::FindEdgeCopy(const std::string& in_arr, const std::string& out_arr,
 }
 
 Result<LogStore::PinnedTable> DSLog::ResolveEdgeView(
-    const Edge& edge, const LogStore* store) const {
+    const Edge& edge, const LogStore* store, LogStore::ViewEvent* ev) const {
   if (edge.segment < 0) {
     // Resident edge: view the pinned table's arenas. The pin carries the
     // lazily-built index so eviction semantics match lazy edges.
@@ -305,7 +320,7 @@ Result<LogStore::PinnedTable> DSLog::ResolveEdgeView(
   if (store == nullptr)
     return Status::Internal("lazy edge without a backing store: " +
                             edge.in_arr + " -> " + edge.out_arr);
-  return store->View(static_cast<size_t>(edge.segment));
+  return store->View(static_cast<size_t>(edge.segment), ev);
 }
 
 const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
@@ -334,9 +349,12 @@ const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
 
 Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
                                   const BoxTable& query,
-                                  const QueryOptions& options) const {
+                                  const QueryOptions& options,
+                                  QueryProfile* profile) const {
   if (path.size() < 2)
     return Status::InvalidArgument("query path needs >= 2 arrays");
+  const bool prof = options.profile && profile != nullptr;
+  if (prof) profile->hops.clear();
   // One brief catalog-lock acquisition to pin the backing store for the
   // query's duration; every hop after this touches only its own shard.
   std::shared_ptr<const LogStore> store = log_store();
@@ -356,7 +374,25 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
       return Status::NotFound("no lineage between " + path[k] + " and " +
                               path[k + 1]);
     }
-    DSLOG_ASSIGN_OR_RETURN(auto pinned, ResolveEdgeView(edge, store.get()));
+    LogStore::ViewEvent ev;
+    DSLOG_ASSIGN_OR_RETURN(
+        auto pinned, ResolveEdgeView(edge, store.get(), prof ? &ev : nullptr));
+    if (prof) {
+      // Pre-fill this hop's edge identity + segment-resolution fields;
+      // InSituQuery keeps them and adds the join-execution fields.
+      HopProfile hp;
+      hp.in_arr = edge.in_arr;
+      hp.out_arr = edge.out_arr;
+      hp.op_name = edge.op_name;
+      hp.from_store = edge.segment >= 0;
+      hp.cache_hit = ev.cache_hit;
+      hp.borrowed = ev.borrowed;
+      hp.segment_bytes = ev.segment_bytes;
+      hp.bytes_decompressed = ev.bytes_decompressed;
+      hp.rows_materialized = ev.rows_materialized;
+      hp.resolve_us = ev.resolve_us;
+      profile->hops.push_back(std::move(hp));
+    }
     QueryHop hop;
     hop.table = pinned.view;
     hop.forward = forward;
@@ -377,12 +413,13 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
     hop.pin = std::move(pin);
     hops.push_back(std::move(hop));
   }
-  return InSituQuery(hops, query, options);
+  return InSituQuery(hops, query, options, prof ? profile : nullptr);
 }
 
 Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
     const std::vector<std::vector<std::string>>& paths,
-    const std::vector<BoxTable>& queries, const QueryOptions& options) const {
+    const std::vector<BoxTable>& queries, const QueryOptions& options,
+    std::vector<QueryProfile>* profiles) const {
   if (paths.size() != queries.size())
     return Status::InvalidArgument(
         "ProvQueryBatch: paths/queries size mismatch (" +
@@ -401,6 +438,11 @@ Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
   // be re-entered (a nested ParallelFor from a worker runs inline).
   if (n >= num_threads) per_query.num_threads = 1;
 
+  const bool prof = options.profile && profiles != nullptr;
+  if (prof) {
+    profiles->clear();
+    profiles->resize(paths.size());
+  }
   std::vector<BoxTable> results(paths.size());
   std::vector<Status> statuses(paths.size(), Status::OK());
   ThreadPool::Shared().ParallelFor(
@@ -408,8 +450,10 @@ Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
       [&](int64_t i) {
         const size_t idx = static_cast<size_t>(i);
         // Entries lock nothing beyond per-hop shard reads, so concurrent
-        // writers make progress throughout a long batch.
-        auto r = ProvQuery(paths[idx], queries[idx], per_query);
+        // writers make progress throughout a long batch. Each profiled
+        // entry writes only its own pre-sized slot.
+        auto r = ProvQuery(paths[idx], queries[idx], per_query,
+                           prof ? &(*profiles)[idx] : nullptr);
         if (r.ok())
           results[idx] = std::move(r).value();
         else

@@ -113,9 +113,15 @@ class DSLog {
   /// query's duration, so a concurrent re-registration can never free data
   /// mid-join. Across hops the query is *not* a snapshot: an edge
   /// registered after the query started may be visible to a later hop.
+  ///
+  /// With `options.profile` set and `profile` non-null, fills `profile`
+  /// with per-hop observability: edge identity and how each hop's segment
+  /// resolved (cache hit / zero-copy borrow / decode, bytes, resolve time)
+  /// from this layer, plus the join-execution fields from InSituQuery.
   Result<BoxTable> ProvQuery(const std::vector<std::string>& path,
                              const BoxTable& query,
-                             const QueryOptions& options = {}) const;
+                             const QueryOptions& options = {},
+                             QueryProfile* profile = nullptr) const;
 
   /// Answers a batch of path queries (`paths[i]` evaluated against
   /// `queries[i]`), fanning the entries across the shared ThreadPool with
@@ -125,10 +131,15 @@ class DSLog {
   /// When the batch is smaller than num_threads, entries still fan out and
   /// the leftover threads serve the caller-executed entries' partitioned
   /// θ-joins.
+  ///
+  /// With `options.profile` set and `profiles` non-null, `profiles` is
+  /// resized to the batch size and entry i receives entry i's
+  /// QueryProfile (each batch worker writes only its own slot).
   Result<std::vector<BoxTable>> ProvQueryBatch(
       const std::vector<std::vector<std::string>>& paths,
       const std::vector<BoxTable>& queries,
-      const QueryOptions& options = {}) const;
+      const QueryOptions& options = {},
+      std::vector<QueryProfile>* profiles = nullptr) const;
 
   /// Direct access to a stored edge's compressed table (bench/test hook).
   /// The returned pointer stays valid for the catalog's lifetime (the
@@ -235,9 +246,12 @@ class DSLog {
 
   /// Resolves a copied edge into a query hop's view + index + pin. Takes
   /// no catalog locks: resident edges view their pinned table, lazy edges
-  /// resolve through `store` (which synchronizes internally).
-  Result<LogStore::PinnedTable> ResolveEdgeView(const Edge& edge,
-                                                const LogStore* store) const;
+  /// resolve through `store` (which synchronizes internally). `ev`, when
+  /// non-null, receives how a lazy edge's segment resolved (untouched for
+  /// resident edges).
+  Result<LogStore::PinnedTable> ResolveEdgeView(
+      const Edge& edge, const LogStore* store,
+      LogStore::ViewEvent* ev = nullptr) const;
 
   /// Commits edges into their shards, one writer-lock acquisition per
   /// distinct shard (edges of one operation share a shard by design).

@@ -8,6 +8,9 @@
 
 #include "common/hash.h"
 #include "common/io.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
 #include "compress/varint.h"
 #include "provrc/serialize.h"
 
@@ -180,6 +183,43 @@ int64_t ApproxDecodedBytes(const CompressedTable& table) {
                                   static_cast<int64_t>(table.in_ndim()) * 4);
 }
 
+/// Process-wide mirror of the per-store cache counters (the exact per-store
+/// numbers stay on LogStore::stats(); the registry aggregates across all
+/// open stores for dashboards/benches). References resolved once.
+struct LogStoreMetrics {
+  metrics::Counter& cache_hits;
+  metrics::Counter& cache_misses;
+  metrics::Counter& decodes;
+  metrics::Counter& borrows;
+  metrics::Counter& bytes_decompressed;
+  metrics::Counter& rows_materialized;
+  metrics::Counter& evictions;
+  metrics::Histogram& resolve_us;
+
+  static LogStoreMetrics& Get() {
+    static LogStoreMetrics* m = [] {
+      metrics::Registry& reg = metrics::Registry::Global();
+      return new LogStoreMetrics{
+          reg.counter("dslog.logstore.cache_hits"),
+          reg.counter("dslog.logstore.cache_misses"),
+          reg.counter("dslog.logstore.decodes"),
+          reg.counter("dslog.logstore.borrows"),
+          reg.counter("dslog.logstore.bytes_decompressed"),
+          reg.counter("dslog.logstore.rows_materialized"),
+          reg.counter("dslog.logstore.evictions"),
+          reg.histogram("dslog.logstore.resolve_us"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// All ShardStats writes happen under the owning shard's mutex; relaxed
+/// stores keep lock-free readers race-free (see header).
+inline void BumpRelaxed(std::atomic<int64_t>& c, int64_t d = 1) {
+  c.fetch_add(d, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 IntervalColumnStats ComputeOut0Stats(const CompressedTable& table) {
@@ -285,41 +325,69 @@ LogStore::ResolveSegment(size_t id, int64_t* charge, int64_t* decompressed,
   return std::shared_ptr<const ResolvedSegment>(std::move(resolved));
 }
 
-Result<LogStore::PinnedTable> LogStore::View(size_t id) const {
+Result<LogStore::PinnedTable> LogStore::View(size_t id, ViewEvent* ev) const {
   if (id >= segments_.size())
     return Status::InvalidArgument("logstore segment id out of range");
+  LogStoreMetrics& lsm = LogStoreMetrics::Get();
   CacheShard& shard = ShardFor(id);
+  if (ev != nullptr)
+    ev->segment_bytes = static_cast<int64_t>(segments_[id].length);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.cache.find(id);
     if (it != shard.cache.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-      ++shard.stats.cache_hits;
+      BumpRelaxed(shard.stats.cache_hits);
+      lsm.cache_hits.Increment();
+      if (ev != nullptr) ev->cache_hit = true;
       const auto& seg = it->second.segment;
       return PinnedTable{seg->view, &seg->index, seg};
     }
-    ++shard.stats.cache_misses;
+    BumpRelaxed(shard.stats.cache_misses);
+    lsm.cache_misses.Increment();
   }
 
   // Resolve outside the shard lock so cold segments decode in parallel —
   // even two segments of the same shard only serialize on the map update.
+  // One span + two clock reads per cold resolve: amortized into the
+  // checksum + decode + index build it brackets.
+  trace::Span resolve_span("LogStore.Resolve", "storage");
+  resolve_span.Arg("segment", static_cast<int64_t>(id));
+  WallTimer resolve_timer;
   int64_t charge = 0, decompressed = 0, rows_copied = 0;
   bool borrowed = false;
   DSLOG_ASSIGN_OR_RETURN(
       std::shared_ptr<const ResolvedSegment> resolved,
       ResolveSegment(id, &charge, &decompressed, &borrowed, &rows_copied));
+  const int64_t resolve_us =
+      static_cast<int64_t>(resolve_timer.ElapsedSeconds() * 1e6);
+  resolve_span.Arg("borrowed", borrowed ? 1 : 0);
+  resolve_span.Arg("rows_materialized", rows_copied);
+  lsm.resolve_us.Record(resolve_us);
+  lsm.decodes.Increment();
+  if (borrowed)
+    lsm.borrows.Increment();
+  else
+    lsm.rows_materialized.Add(rows_copied);
+  if (decompressed > 0) lsm.bytes_decompressed.Add(decompressed);
+  if (ev != nullptr) {
+    ev->borrowed = borrowed;
+    ev->bytes_decompressed = decompressed;
+    ev->rows_materialized = rows_copied;
+    ev->resolve_us = resolve_us;
+  }
 
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.stats.decode_count;
-  shard.stats.bytes_decompressed += decompressed;
-  shard.stats.rows_materialized += rows_copied;
+  BumpRelaxed(shard.stats.decode_count);
+  BumpRelaxed(shard.stats.bytes_decompressed, decompressed);
+  BumpRelaxed(shard.stats.rows_materialized, rows_copied);
   if (borrowed)
-    ++shard.stats.segments_borrowed;
+    BumpRelaxed(shard.stats.segments_borrowed);
   else
-    ++shard.stats.tables_materialized;
+    BumpRelaxed(shard.stats.tables_materialized);
   if (!touched_[id]) {  // id's shard lock guards touched_[id]; see decl
     touched_[id] = 1;
-    ++shard.stats.segments_touched;
+    BumpRelaxed(shard.stats.segments_touched);
   }
   auto it = shard.cache.find(id);
   if (it != shard.cache.end()) {  // lost the resolve race
@@ -337,7 +405,8 @@ Result<LogStore::PinnedTable> LogStore::View(size_t id) const {
     auto vit = shard.cache.find(victim);
     shard.bytes -= vit->second.charge;
     shard.cache.erase(vit);
-    ++shard.stats.evictions;
+    BumpRelaxed(shard.stats.evictions);
+    lsm.evictions.Increment();
   }
   return PinnedTable{resolved->view, &resolved->index, resolved};
 }
@@ -360,23 +429,28 @@ Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
 }
 
 LogStoreStats LogStore::stats() const {
-  // Sum per-shard counters (each under its own lock). Concurrent readers
-  // may land between shard reads; every counted event is in exactly one
-  // shard, so the totals are consistent once readers quiesce.
+  // Sum per-shard counters. Taking each shard's mutex makes that shard's
+  // contribution a consistent cut (all writes happen under it), so the
+  // per-shard invariants documented on LogStoreStats carry into the sum.
+  // Concurrent readers may land between shard reads; every counted event
+  // is in exactly one shard, so totals are exact once readers quiesce.
   LogStoreStats out;
   for (size_t i = 0; i < num_cache_shards_; ++i) {
     CacheShard& shard = cache_shards_[i];
     std::lock_guard<std::mutex> lock(shard.mu);
-    const LogStoreStats& s = shard.stats;
-    out.segments_touched += s.segments_touched;
-    out.decode_count += s.decode_count;
-    out.bytes_decompressed += s.bytes_decompressed;
-    out.tables_materialized += s.tables_materialized;
-    out.rows_materialized += s.rows_materialized;
-    out.segments_borrowed += s.segments_borrowed;
-    out.cache_hits += s.cache_hits;
-    out.cache_misses += s.cache_misses;
-    out.evictions += s.evictions;
+    const ShardStats& s = shard.stats;
+    const auto ld = [](const std::atomic<int64_t>& v) {
+      return v.load(std::memory_order_relaxed);
+    };
+    out.segments_touched += ld(s.segments_touched);
+    out.decode_count += ld(s.decode_count);
+    out.bytes_decompressed += ld(s.bytes_decompressed);
+    out.tables_materialized += ld(s.tables_materialized);
+    out.rows_materialized += ld(s.rows_materialized);
+    out.segments_borrowed += ld(s.segments_borrowed);
+    out.cache_hits += ld(s.cache_hits);
+    out.cache_misses += ld(s.cache_misses);
+    out.evictions += ld(s.evictions);
   }
   out.segment_count = static_cast<int64_t>(segments_.size());
   return out;

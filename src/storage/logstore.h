@@ -48,6 +48,7 @@
 #ifndef DSLOG_STORAGE_LOGSTORE_H_
 #define DSLOG_STORAGE_LOGSTORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -108,7 +109,15 @@ struct LogStoreOptions {
   int cache_shards = 8;
 };
 
-/// Decode/cache counters (test + bench observability).
+/// Decode/cache counters (test + bench observability). This is the
+/// *snapshot* type returned by LogStore::stats(); the live counters are
+/// per-cache-shard relaxed atomics mutated under the owning shard's mutex,
+/// so a snapshot taken under that mutex is internally consistent for the
+/// shard (its invariants hold: decode_count <= cache_misses,
+/// tables_materialized + segments_borrowed == decode_count,
+/// segments_touched <= decode_count). Cross-shard skew is bounded to
+/// events that complete while stats() walks the shards — every event is
+/// counted in exactly one shard, so totals are exact once readers quiesce.
 struct LogStoreStats {
   int64_t segment_count = 0;
   /// Distinct segments resolved at least once since open.
@@ -172,10 +181,23 @@ class LogStore {
   /// Serialized ReusePredictor state ("" when the file carries none).
   const std::string& predictor_state() const { return predictor_state_; }
 
+  /// Per-call observability record of one View() resolution (profiling).
+  /// Costs nothing beyond two clock reads on the cold-resolve path; the
+  /// cache-hit path fills only the booleans/bytes.
+  struct ViewEvent {
+    bool cache_hit = false;
+    bool borrowed = false;             // v2 zero-copy borrow
+    int64_t segment_bytes = 0;         // on-disk segment length
+    int64_t bytes_decompressed = 0;    // gzip input consumed (0 on hit/v2)
+    int64_t rows_materialized = 0;     // rows copied into owned arenas
+    int64_t resolve_us = 0;            // checksum + decode + index build
+  };
+
   /// The scan view of segment `id`, resolving on first touch (gzip decode
   /// for v1, zero-copy borrow for v2) and serving repeats from the LRU
-  /// cache. This is the query path.
-  Result<PinnedTable> View(size_t id) const;
+  /// cache. This is the query path. `ev`, when non-null, receives how this
+  /// call resolved (profiled queries thread it into their HopProfile).
+  Result<PinnedTable> View(size_t id, ViewEvent* ev = nullptr) const;
 
   /// The segment as an owned CompressedTable (bench/test hook and legacy
   /// transcodes). v1 serves the cached decode; v2 materializes a fresh
@@ -222,16 +244,34 @@ class LogStore {
       size_t id, int64_t* charge, int64_t* decompressed, bool* borrowed,
       int64_t* rows_copied) const;
 
+  /// Live per-shard counters: relaxed atomics *written only under the
+  /// owning shard's mutex* (so the per-shard invariants documented on
+  /// LogStoreStats always hold between mutations) but readable without it
+  /// — stats() still takes the mutex per shard so each shard's snapshot is
+  /// a consistent cut, while TSan sees no data race from any lock-free
+  /// probing of individual fields.
+  struct ShardStats {
+    std::atomic<int64_t> segments_touched{0};
+    std::atomic<int64_t> decode_count{0};
+    std::atomic<int64_t> bytes_decompressed{0};
+    std::atomic<int64_t> tables_materialized{0};
+    std::atomic<int64_t> rows_materialized{0};
+    std::atomic<int64_t> segments_borrowed{0};
+    std::atomic<int64_t> cache_hits{0};
+    std::atomic<int64_t> cache_misses{0};
+    std::atomic<int64_t> evictions{0};
+  };
+
   /// One lock stripe of the decode cache: segments with
   /// id % num_cache_shards_ == this shard's index. Stats are kept per
   /// shard and summed in stats() so the hot path never touches a shared
   /// counter.
   struct CacheShard {
-    std::mutex mu;  // guards everything below
+    std::mutex mu;  // guards everything below (stats: writes only)
     std::unordered_map<size_t, CacheEntry> cache;
     std::list<size_t> lru;  // front = most recent
     int64_t bytes = 0;
-    LogStoreStats stats;
+    ShardStats stats;
   };
 
   CacheShard& ShardFor(size_t id) const {

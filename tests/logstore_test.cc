@@ -5,6 +5,7 @@
 // segment bytes, truncated footers — every failure must surface as
 // Status::Corruption, never UB; the CI ASan job runs this whole suite).
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -801,6 +802,76 @@ TEST(LogStoreConcurrencyTest, ShardedLruChurnOnSharedEdges) {
     EXPECT_GE(stats.decode_count, stats.segments_touched)
         << "shards=" << shards;
   }
+}
+
+TEST(LogStoreConcurrencyTest, StatsSnapshotsAreConsistentUnderLoad) {
+  // The LogStoreStats satellite: a stats() reader racing 8 View() writer
+  // threads must never observe a torn snapshot. The live counters are
+  // per-shard relaxed atomics written only under the shard mutex, and
+  // stats() sums per-shard cuts taken under each mutex — so the invariants
+  // documented on LogStoreStats must hold in EVERY intermediate snapshot,
+  // not just at quiescence. Mixed-layout store so both fill kinds
+  // (materialized gzip decode, zero-copy columnar borrow) are in play.
+  DSLog log;
+  BuildChain(&log, 0, 4, 32);
+  const std::string path = TestPath("stats_consistency.dsl");
+  ASSERT_TRUE(log.SaveLogStore(path, SegmentLayout::kProvRcGzip).ok());
+  BuildChain(&log, 4, 4, 32);
+  ASSERT_TRUE(log.AppendLogStore(path).ok());
+
+  auto opened = LogStore::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const LogStore& store = *opened.value();
+  const int64_t num_segments = static_cast<int64_t>(store.segments().size());
+  ASSERT_EQ(num_segments, 8);
+
+  constexpr int kThreads = 8;
+  constexpr int kViewsPerThread = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<int> view_failures{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const LogStoreStats s = store.stats();
+      EXPECT_EQ(s.segment_count, num_segments);
+      EXPECT_LE(s.segments_touched, num_segments);
+      EXPECT_LE(s.segments_touched, s.decode_count);
+      EXPECT_LE(s.decode_count, s.cache_misses);
+      EXPECT_EQ(s.tables_materialized + s.segments_borrowed, s.decode_count);
+      EXPECT_GE(s.cache_hits, 0);
+      EXPECT_GE(s.bytes_decompressed, 0);
+      EXPECT_GE(s.rows_materialized, 0);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(3000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kViewsPerThread; ++i) {
+        const size_t id = static_cast<size_t>(rng.Uniform(
+            static_cast<uint64_t>(num_segments)));
+        if (!store.View(id).ok()) ++view_failures;
+      }
+    });
+  }
+  for (auto& thread : writers) thread.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(view_failures.load(), 0);
+
+  // At quiescence the totals are exact: every View() was a hit or a miss,
+  // all 8 segments were touched, gzip fills materialized rows while
+  // columnar fills borrowed.
+  const LogStoreStats s = store.stats();
+  EXPECT_EQ(s.cache_hits + s.cache_misses,
+            static_cast<int64_t>(kThreads) * kViewsPerThread);
+  EXPECT_EQ(s.segments_touched, num_segments);
+  EXPECT_EQ(s.tables_materialized + s.segments_borrowed, s.decode_count);
+  EXPECT_GT(s.tables_materialized, 0);  // the 4 gzip segments
+  EXPECT_GT(s.segments_borrowed, 0);    // the 4 columnar segments
+  EXPECT_GT(s.bytes_decompressed, 0);
+  EXPECT_GT(s.rows_materialized, 0);
 }
 
 }  // namespace

@@ -342,5 +342,66 @@ TEST(JoinPathSweepTest, QueryOptionsForcePathsThroughInSituQuery) {
   }
 }
 
+// ----------------------------------------------------- planner auditability --
+
+// The planner's row estimate (JoinCounters::est_rows, summed over probes)
+// must track the candidate rows the index actually enumerated across the
+// whole selectivity sweep. MakeWideTable is the model's best case (uniform
+// width-4 strips), so a generous fixed bound holds with margin; a
+// regression in the stats plumbing or the hit-fraction math blows past it.
+TEST(JoinPlannerAuditTest, MispredictRatioBoundedAcrossSelectivitySweep) {
+  const int64_t rows = 4096;
+  CompressedTable table = MakeWideTable(rows, 33);
+  double worst_ratio = 1.0;
+  for (double frac : kSelectivities) {
+    BoxTable q = MakeSweepQuery(rows, frac, 11);
+    JoinCounters counters;
+    const BoxTable result = BackwardThetaJoin(q, table, 1, false,
+                                              JoinPath::kAuto, &counters);
+    // Accounting invariants first: every probe resolved to exactly one
+    // path, and the estimate was produced for every probe.
+    EXPECT_EQ(counters.probes.load(), q.num_boxes()) << "frac=" << frac;
+    EXPECT_EQ(counters.path_probes_total(), q.num_boxes()) << "frac=" << frac;
+    EXPECT_EQ(counters.rows_emitted.load(), result.num_boxes());
+
+    const auto scanned = static_cast<double>(counters.rows_scanned.load());
+    const double est = counters.est_rows();
+    ASSERT_GT(scanned, 0.0) << "frac=" << frac;
+    ASSERT_GT(est, 0.0) << "frac=" << frac;
+    const double ratio = est / scanned;
+    // Fixed per-selectivity bound (observed ratios sit in ~[0.8, 1.05]).
+    EXPECT_GE(ratio, 0.25) << "frac=" << frac << " est=" << est
+                           << " scanned=" << scanned;
+    EXPECT_LE(ratio, 4.0) << "frac=" << frac << " est=" << est
+                          << " scanned=" << scanned;
+    worst_ratio = std::max(worst_ratio, std::max(ratio, 1.0 / ratio));
+  }
+  // Aggregate: the sweep as a whole must stay near-calibrated.
+  EXPECT_LE(worst_ratio, 2.0);
+}
+
+// ChooseAccessPath and EstimateAccessPathCosts must never disagree: the
+// profile's "cheapest estimated path" has to be the path the join took.
+TEST(JoinPlannerAuditTest, EstimateAndChoiceAgree) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalColumnStats stats;
+    stats.row_count = rng.UniformRange(65, 1 << 20);
+    stats.min_lo = rng.UniformRange(0, 1000);
+    stats.max_lo = stats.min_lo + rng.UniformRange(1, 1 << 22);
+    stats.max_hi = stats.max_lo + rng.UniformRange(0, 64);
+    stats.sum_width = stats.row_count * rng.UniformRange(1, 32);
+    Interval probe{rng.UniformRange(-100, stats.max_hi), 0};
+    probe.hi = probe.lo + rng.UniformRange(0, 1 << 21);
+    const PathCostEstimate costs = EstimateAccessPathCosts(probe, stats);
+    EXPECT_EQ(costs.chosen, ChooseAccessPath(probe, stats))
+        << "trial " << trial;
+    EXPECT_GE(costs.est_rows, 0.0);
+    EXPECT_LE(costs.cost_ns[static_cast<int>(costs.chosen)],
+              std::min({costs.cost_ns[0], costs.cost_ns[1], costs.cost_ns[2]}) +
+                  1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace dslog
