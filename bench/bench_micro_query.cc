@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <sstream>
 
 #include "array/ndarray.h"
 #include "array/op.h"
@@ -14,6 +15,7 @@
 #include "provrc/provrc.h"
 #include "query/box.h"
 #include "query/theta_join.h"
+#include "storage/signatures.h"
 
 namespace dslog {
 namespace {
@@ -162,6 +164,115 @@ void BM_ForwardThetaJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * table.num_rows());
 }
 BENCHMARK(BM_ForwardThetaJoin)->Arg(1 << 12)->Arg(1 << 15);
+
+// ------------------------------------------------- reuse-predictor keys --
+//
+// The predictor used to build its dim/gen/base keys with an ostringstream
+// per lookup and rehash the op arguments once per key builder. The current
+// path hashes the arguments once and either streams key bytes into a
+// reserved string (map path) or through the hash alone (sealed path).
+// BM_PredictorLegacyKeyBuild is a faithful replica of the retired builder,
+// kept here so the delta stays measurable.
+
+constexpr int64_t kPredictorOps = 512;
+
+std::string PredictorOpName(int64_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "op%05lld", static_cast<long long>(i));
+  return buf;
+}
+
+/// Predictor with kPredictorOps promoted dim/gen signatures (each op
+/// registered twice with identical lineage, the §VI.C m = 1 promotion).
+ReusePredictor MakePromotedPredictor() {
+  LineageRelation rel(1, 1);
+  rel.set_shapes({4}, {4});
+  rel.mutable_flat() = {0, 0};
+  const std::vector<CompressedTable> tables = {ProvRcCompress(rel)};
+  ReusePredictor p;
+  for (int64_t i = 0; i < kPredictorOps; ++i) {
+    OpArgs args;
+    args.SetInt("k", i);
+    for (int rep = 0; rep < 2; ++rep)
+      p.ProcessRegistration(PredictorOpName(i), args, {{4}}, {4},
+                            /*content_hash=*/static_cast<uint64_t>(i), tables);
+  }
+  return p;
+}
+
+std::string LegacyDimKey(const std::string& op_name, const OpArgs& args,
+                         const std::vector<std::vector<int64_t>>& in_shapes) {
+  std::ostringstream key;
+  key << op_name << '#' << args.Hash();
+  for (const auto& shape : in_shapes) {
+    key << '|';
+    for (size_t i = 0; i < shape.size(); ++i) {
+      if (i) key << ',';
+      key << shape[i];
+    }
+  }
+  return key.str();
+}
+
+std::string LegacyGenKey(const std::string& op_name, const OpArgs& args) {
+  std::ostringstream key;
+  key << op_name << '#' << args.Hash();
+  return key.str();
+}
+
+void BM_PredictorLegacyKeyBuild(benchmark::State& state) {
+  OpArgs args;
+  args.SetInt("k", 7);
+  const std::string op = PredictorOpName(7);
+  const std::vector<std::vector<int64_t>> shapes = {{4}};
+  int64_t i = 0;
+  for (auto _ : state) {
+    // One Predict's worth of key construction: dim key then gen key, the
+    // argument hash recomputed by each builder (as the old code did).
+    std::string dim = LegacyDimKey(op, args, shapes);
+    std::string gen = LegacyGenKey(op, args);
+    benchmark::DoNotOptimize(dim);
+    benchmark::DoNotOptimize(gen);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorLegacyKeyBuild);
+
+// range(0): 0 = map path (unsealed), 1 = sealed perfect-hash path.
+// range(1): 0 = promoted hit, 1 = absent op (miss).
+void BM_PredictorPredict(benchmark::State& state) {
+  ReusePredictor p = MakePromotedPredictor();
+  if (state.range(0) == 1) {
+    ReusePredictor restored;
+    Status st = restored.RestoreState(p.SerializeState());
+    if (!st.ok() || !restored.sealed()) {
+      state.SkipWithError("predictor did not seal");
+      return;
+    }
+    p = std::move(restored);
+  }
+  const bool miss = state.range(1) == 1;
+  std::vector<OpArgs> args(static_cast<size_t>(kPredictorOps));
+  std::vector<std::string> ops(static_cast<size_t>(kPredictorOps));
+  for (int64_t i = 0; i < kPredictorOps; ++i) {
+    args[static_cast<size_t>(i)].SetInt("k", i);
+    ops[static_cast<size_t>(i)] =
+        miss ? "absent" + PredictorOpName(i) : PredictorOpName(i);
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    const auto idx = static_cast<size_t>(i++ % kPredictorOps);
+    auto tables = p.Predict(ops[idx], args[idx], {{4}}, {4});
+    benchmark::DoNotOptimize(tables);
+  }
+  state.SetLabel(std::string(state.range(0) ? "sealed" : "map") + "/" +
+                 (miss ? "miss" : "hit"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorPredict)
+    ->ArgNames({"sealed", "miss"})
+    ->ArgsProduct({{0, 1}, {0, 1}});
 
 void BM_BoxTableMerge(benchmark::State& state) {
   Rng rng(8);

@@ -154,8 +154,39 @@ void JsonReporter::Write() {
     }
     doc += '}';
   }
-  doc += "\n]}\n";
-  Status st = WriteFile(path_, doc);
+  doc += "\n]}";
+
+  std::string out = doc + "\n";
+  if (!nested_key_.empty()) {
+    // Splice this document as a top-level field of the host document
+    // already at path_, replacing any previous section with the same key
+    // (always the last field, so a truncate-and-reappend is exact).
+    auto host = ReadFileToString(path_);
+    bool spliced = false;
+    if (host.ok()) {
+      std::string text = std::move(host).ValueOrDie();
+      while (!text.empty() &&
+             (text.back() == '\n' || text.back() == '\r' ||
+              text.back() == ' '))
+        text.pop_back();
+      const std::string marker = ", " + JsonEscape(nested_key_) + ": {";
+      size_t cut = text.rfind(marker);
+      if (cut == std::string::npos && !text.empty() && text.back() == '}')
+        cut = text.size() - 1;  // strip the host's closing brace
+      if (cut != std::string::npos) {
+        text.resize(cut);
+        text += ", " + JsonEscape(nested_key_) + ": " + doc + "}\n";
+        out = std::move(text);
+        spliced = true;
+      }
+    }
+    if (!spliced)
+      std::fprintf(stderr,
+                   "JsonReporter: %s missing or not a JSON object; writing "
+                   "the %s document standalone\n",
+                   path_.c_str(), nested_key_.c_str());
+  }
+  Status st = WriteFile(path_, out);
   if (!st.ok()) {
     std::fprintf(stderr, "JsonReporter: cannot write %s: %s\n", path_.c_str(),
                  st.ToString().c_str());

@@ -236,6 +236,16 @@ class JsonReporter {
   void TopNum(const std::string& key, double value);
   void TopBool(const std::string& key, bool value);
 
+  /// Nested mode: Write() splices this reporter's document as the value of
+  /// top-level field `key` inside the JsonReporter document already at
+  /// path(), instead of overwriting the file. Re-splicing replaces a
+  /// previous section with the same key, so repeated runs are idempotent;
+  /// when the host file is missing or not a JSON object the document is
+  /// written standalone. Lets a satellite bench (bench_catalog_scale) ride
+  /// inside an archived document (BENCH_storage.json) without clobbering
+  /// the host bench's records.
+  void set_nested_key(std::string key) { nested_key_ = std::move(key); }
+
   /// Writes the document now; otherwise the destructor does. No-op when
   /// disabled or already written.
   void Write();
@@ -243,6 +253,7 @@ class JsonReporter {
  private:
   std::string bench_name_;
   std::string path_;
+  std::string nested_key_;
   /// key -> already-rendered JSON literal, insertion-ordered.
   std::vector<std::pair<std::string, std::string>> top_fields_;
   std::deque<Record> records_;

@@ -180,6 +180,12 @@ int main(int argc, char** argv) {
               store.mapped() ? "mmap" : "heap read fallback");
   std::printf("  arrays         : %zu\n", store.arrays().size());
   std::printf("  segments       : %zu\n", store.segments().size());
+  if (store.edge_index_kind() == LogStore::EdgeIndexKind::kPhf)
+    std::printf("  edge index     : perfect-hash (%.2f bits/key, %u-bit "
+                "fingerprints)\n",
+                store.index_bits_per_key(), store.index_fingerprint_bits());
+  else
+    std::printf("  edge index     : lazy name map (no on-disk index)\n");
   std::printf("  predictor blob : %s\n\n",
               HumanBytes(static_cast<int64_t>(store.predictor_state().size()))
                   .c_str());

@@ -41,6 +41,44 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a;
 }
 
+/// 64-bit hash over 8-byte lanes (MurmurHash64A construction). Roughly an
+/// order of magnitude faster than the byte-at-a-time Hash64 on megabyte
+/// buffers, which matters for checksumming wide catalog footers at open
+/// time. NOT byte-compatible with Hash64; persisted format versions pick
+/// one explicitly.
+inline uint64_t Hash64Wide(const void* data, size_t n,
+                           uint64_t seed = kFnvOffset) {
+  constexpr uint64_t kMul = 0xc6a4a7935bd1e995ULL;
+  constexpr int kShift = 47;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ (static_cast<uint64_t>(n) * kMul);
+  const size_t lanes = n / 8;
+  for (size_t i = 0; i < lanes; ++i) {
+    uint64_t k;
+    std::memcpy(&k, p + i * 8, 8);
+    k *= kMul;
+    k ^= k >> kShift;
+    k *= kMul;
+    h ^= k;
+    h *= kMul;
+  }
+  const unsigned char* tail = p + lanes * 8;
+  uint64_t t = 0;
+  for (size_t i = 0; i < n % 8; ++i) t |= static_cast<uint64_t>(tail[i]) << (8 * i);
+  if (n % 8 != 0) {
+    h ^= t;
+    h *= kMul;
+  }
+  h ^= h >> kShift;
+  h *= kMul;
+  h ^= h >> kShift;
+  return h;
+}
+
+inline uint64_t Hash64Wide(std::string_view s, uint64_t seed = kFnvOffset) {
+  return Hash64Wide(s.data(), s.size(), seed);
+}
+
 }  // namespace dslog
 
 #endif  // DSLOG_COMMON_HASH_H_

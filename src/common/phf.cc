@@ -1,0 +1,312 @@
+#include "common/phf.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dslog {
+namespace {
+
+constexpr uint32_t kPhfMagic = 0x46485044u;  // "DPHF" little-endian
+constexpr uint32_t kPhfVersion = 1;
+constexpr uint32_t kFingerprintBits = 8;
+constexpr size_t kHeaderBytes = 48;
+constexpr int kBucketLambda = 4;  // average keys per bucket
+
+// Deterministic seed schedule: construction must be reproducible (same key
+// set, same bytes) so serialized stores are bit-stable, so there is no
+// random source here — just a fixed base seed and a fixed stride between
+// retry attempts. With slot slack (below) the first seed succeeds with
+// overwhelming probability; the retries are a belt-and-braces fallback.
+constexpr uint64_t kSeedBase = 0x5851f42d4c957f2dULL;
+constexpr uint64_t kSeedStep = 0x14057b7ef767814fULL;
+constexpr int kMaxSeedAttempts = 8;
+
+// Displacement salt: must match between builder and view.
+constexpr uint64_t kDispSalt = 0x9e3779b97f4a7c15ULL;
+
+// Hash-table size for n keys: ~6% slack over minimal. The bounded 16-bit
+// displacement search needs every bucket — including the last singletons —
+// to see a non-vanishing fraction of free slots; in a minimal table the
+// final singleton faces O(1) free slots out of n and 2^16 probes fail with
+// probability ~e^(-65536/n), which is near-certain by n = 10^6. The slack
+// keeps >= n/16 slots free at all times, making failure probability
+// negligible at any n. Rank compaction (occupancy bitmap + directory) maps
+// the sparse table back onto dense [0, n).
+inline uint64_t SlotsFor(uint64_t n) { return n == 0 ? 0 : n + n / 16 + 1; }
+
+inline uint64_t BitmapWords(uint64_t slots) { return (slots + 63) / 64; }
+
+// MurmurHash3 64-bit finalizer. Bijective, so distinct inputs stay
+// distinct; all bucket/fingerprint/position derivation goes through it.
+inline uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t PositionOf(uint64_t hb, uint16_t disp, uint64_t slots) {
+  return Mix(hb ^ (kDispSalt * (static_cast<uint64_t>(disp) + 1))) % slots;
+}
+
+inline size_t Pad8(size_t v) { return (v + 7) & ~static_cast<size_t>(7); }
+
+inline void PutU32(std::string* s, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  s->append(buf, 4);
+}
+
+inline void PutU64(std::string* s, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  s->append(buf, 8);
+}
+
+inline uint32_t ReadU32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t ReadU64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint16_t ReadU16(const unsigned char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+std::string Serialize(uint64_t n, uint64_t seed,
+                      const std::vector<uint16_t>& disp,
+                      const std::vector<uint8_t>& fp,
+                      const std::vector<uint64_t>& occ,
+                      const std::vector<uint32_t>& rank) {
+  std::string out;
+  const size_t disp_bytes = Pad8(2 * disp.size());
+  const size_t fp_bytes = Pad8(fp.size());
+  const size_t rank_bytes = Pad8(4 * rank.size());
+  out.reserve(kHeaderBytes + disp_bytes + fp_bytes + 8 * occ.size() +
+              rank_bytes);
+  PutU32(&out, kPhfMagic);
+  PutU32(&out, kPhfVersion);
+  PutU64(&out, n);
+  PutU64(&out, SlotsFor(n));
+  PutU64(&out, disp.size());
+  PutU64(&out, seed);
+  PutU32(&out, kFingerprintBits);
+  PutU32(&out, 0);  // reserved
+  out.append(reinterpret_cast<const char*>(disp.data()), 2 * disp.size());
+  out.append(disp_bytes - 2 * disp.size(), '\0');
+  out.append(reinterpret_cast<const char*>(fp.data()), fp.size());
+  out.append(fp_bytes - fp.size(), '\0');
+  for (uint64_t w : occ) PutU64(&out, w);
+  for (uint32_t r : rank) PutU32(&out, r);
+  out.append(rank_bytes - 4 * rank.size(), '\0');
+  return out;
+}
+
+// One full construction attempt under `seed`. On success fills disp and the
+// slot occupancy and returns true; on displacement exhaustion returns false
+// so the caller can move to the next seed.
+bool TryBuild(const std::vector<uint64_t>& hashes, uint64_t seed, uint64_t m,
+              std::vector<uint16_t>* disp, std::vector<bool>* occupied,
+              std::vector<uint64_t>* hb_out, std::vector<uint32_t>* bucket_of) {
+  const uint64_t n = hashes.size();
+  const uint64_t slots = SlotsFor(n);
+  // Bucketize into CSR form: bucket_of, counts -> offsets -> members.
+  std::vector<uint64_t>& hb = *hb_out;
+  hb.assign(n, 0);
+  bucket_of->assign(n, 0);
+  std::vector<uint32_t> bucket_size(m, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    hb[i] = Mix(hashes[i] ^ seed);
+    (*bucket_of)[i] = static_cast<uint32_t>(hb[i] % m);
+    ++bucket_size[(*bucket_of)[i]];
+  }
+  std::vector<uint32_t> bucket_off(m + 1, 0);
+  for (uint64_t b = 0; b < m; ++b) bucket_off[b + 1] = bucket_off[b] + bucket_size[b];
+  std::vector<uint32_t> members(n);
+  {
+    std::vector<uint32_t> cursor(bucket_off.begin(), bucket_off.end() - 1);
+    for (uint64_t i = 0; i < n; ++i) members[cursor[(*bucket_of)[i]]++] = static_cast<uint32_t>(i);
+  }
+
+  // Largest buckets first: they have the fewest viable displacements, so
+  // they get first pick of free slots.
+  std::vector<uint32_t> order(m);
+  for (uint64_t b = 0; b < m; ++b) order[b] = static_cast<uint32_t>(b);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (bucket_size[a] != bucket_size[b]) return bucket_size[a] > bucket_size[b];
+    return a < b;
+  });
+
+  occupied->assign(slots, false);
+  std::vector<uint64_t> trial;
+  disp->assign(m, 0);
+  for (uint32_t b : order) {
+    const uint32_t begin = bucket_off[b], end = bucket_off[b + 1];
+    if (begin == end) continue;
+    bool placed = false;
+    for (uint32_t d = 0; d <= 0xffff; ++d) {
+      trial.clear();
+      bool clash = false;
+      for (uint32_t s = begin; s < end && !clash; ++s) {
+        const uint64_t pos = PositionOf(hb[members[s]], static_cast<uint16_t>(d), slots);
+        if ((*occupied)[pos]) {
+          clash = true;
+          break;
+        }
+        for (uint64_t t : trial) {
+          if (t == pos) {
+            clash = true;
+            break;
+          }
+        }
+        trial.push_back(pos);
+      }
+      if (!clash) {
+        for (uint64_t pos : trial) (*occupied)[pos] = true;
+        (*disp)[b] = static_cast<uint16_t>(d);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> PhfBuilder::Build(const std::vector<uint64_t>& hashes) {
+  const uint64_t n = hashes.size();
+  if (n == 0) return Serialize(0, kSeedBase, {}, {}, {}, {});
+  if (n > 0xffffffffull) {
+    return Status::Internal("PhfBuilder: rank directory limited to 2^32 keys");
+  }
+
+  {
+    std::vector<uint64_t> sorted(hashes);
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument("PhfBuilder: duplicate key hashes");
+    }
+  }
+
+  const uint64_t m = (n + kBucketLambda - 1) / kBucketLambda;
+  const uint64_t slots = SlotsFor(n);
+  std::vector<uint16_t> disp;
+  std::vector<bool> occupied;
+  std::vector<uint64_t> hb;
+  std::vector<uint32_t> bucket_of;
+  for (int attempt = 0; attempt < kMaxSeedAttempts; ++attempt) {
+    const uint64_t seed = kSeedBase + kSeedStep * static_cast<uint64_t>(attempt);
+    if (!TryBuild(hashes, seed, m, &disp, &occupied, &hb, &bucket_of)) continue;
+
+    // Fingerprints live in the sparse table (holes keep fp 0; the bitmap,
+    // not the fingerprint, is what rejects a probe landing on a hole).
+    std::vector<uint8_t> fp(slots, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t pos = PositionOf(hb[i], disp[bucket_of[i]], slots);
+      fp[pos] = static_cast<uint8_t>(hb[i] >> 56);
+    }
+
+    // Occupancy bitmap + per-word rank prefix sums compact the sparse
+    // table back onto dense [0, n).
+    const uint64_t words = BitmapWords(slots);
+    std::vector<uint64_t> occ(words, 0);
+    for (uint64_t s = 0; s < slots; ++s) {
+      if (occupied[s]) occ[s >> 6] |= uint64_t{1} << (s & 63);
+    }
+    std::vector<uint32_t> rank(words, 0);
+    uint32_t running = 0;
+    for (uint64_t w = 0; w < words; ++w) {
+      rank[w] = running;
+      running += static_cast<uint32_t>(std::popcount(occ[w]));
+    }
+    DSLOG_CHECK(running == n);
+    return Serialize(n, seed, disp, fp, occ, rank);
+  }
+  return Status::Internal(
+      Format("PhfBuilder: displacement search exhausted after %d seeds over "
+             "%llu keys",
+             kMaxSeedAttempts, static_cast<unsigned long long>(n)));
+}
+
+Result<PhfView> PhfView::Bind(std::string_view block) {
+  const auto* p = reinterpret_cast<const unsigned char*>(block.data());
+  if (block.size() < kHeaderBytes) {
+    return Status::Corruption("PHF block shorter than header");
+  }
+  if (ReadU32(p) != kPhfMagic) return Status::Corruption("PHF bad magic");
+  if (ReadU32(p + 4) != kPhfVersion) {
+    return Status::Corruption("PHF unsupported version");
+  }
+  const uint64_t n = ReadU64(p + 8);
+  const uint64_t slots = ReadU64(p + 16);
+  const uint64_t m = ReadU64(p + 24);
+  const uint64_t seed = ReadU64(p + 32);
+  const uint32_t fp_bits = ReadU32(p + 40);
+  const uint32_t reserved = ReadU32(p + 44);
+  if (n > block.size()) return Status::Corruption("PHF key count exceeds block");
+  const uint64_t want_m = (n + kBucketLambda - 1) / kBucketLambda;
+  if (m != want_m || slots != SlotsFor(n) || fp_bits != kFingerprintBits ||
+      reserved != 0) {
+    return Status::Corruption("PHF header fields inconsistent");
+  }
+  const uint64_t words = BitmapWords(slots);
+  const size_t disp_bytes = Pad8(2 * static_cast<size_t>(m));
+  const size_t fp_bytes = Pad8(static_cast<size_t>(slots));
+  const size_t expect = kHeaderBytes + disp_bytes + fp_bytes +
+                        8 * static_cast<size_t>(words) +
+                        Pad8(4 * static_cast<size_t>(words));
+  if (block.size() != expect) {
+    return Status::Corruption(
+        Format("PHF block size %zu, expected %zu", block.size(), expect));
+  }
+  PhfView v;
+  v.block_ = block;
+  v.n_ = n;
+  v.slots_ = slots;
+  v.m_ = m;
+  v.seed_ = seed;
+  v.fingerprint_bits_ = fp_bits;
+  v.disp_ = p + kHeaderBytes;
+  v.fp_ = v.disp_ + disp_bytes;
+  v.occ_ = v.fp_ + fp_bytes;
+  v.rank_ = v.occ_ + 8 * static_cast<size_t>(words);
+  return v;
+}
+
+int64_t PhfView::Lookup(uint64_t hash) const {
+  if (n_ == 0) return -1;
+  const uint64_t hb = Mix(hash ^ seed_);
+  const uint64_t b = hb % m_;
+  const uint16_t d = ReadU16(disp_ + 2 * b);
+  const uint64_t pos = PositionOf(hb, d, slots_);
+  if (fp_[pos] != static_cast<uint8_t>(hb >> 56)) return -1;
+  const uint64_t word = pos >> 6;
+  const uint64_t bits = ReadU64(occ_ + 8 * word);
+  const uint64_t bit = uint64_t{1} << (pos & 63);
+  if (!(bits & bit)) return -1;
+  const uint64_t r = ReadU32(rank_ + 4 * word) +
+                     static_cast<uint64_t>(std::popcount(bits & (bit - 1)));
+  // Payload bytes (bitmap/rank) are integrity-checked by the enclosing
+  // footer checksum, not at Bind; clamp so corrupt payloads can never send
+  // a caller out of range.
+  if (r >= n_) return -1;
+  return static_cast<int64_t>(r);
+}
+
+}  // namespace dslog

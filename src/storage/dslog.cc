@@ -295,13 +295,34 @@ Result<std::vector<ReuseOutcome>> StagedIngest::Drain() {
 
 // ----------------------------------------------------------------- queries --
 
-bool DSLog::FindEdgeCopy(const std::string& in_arr, const std::string& out_arr,
-                         Edge* out) const {
-  EdgeShard& shard = ShardFor(out_arr);
-  std::shared_lock lock(shard.mu);
-  auto it = shard.edges.find(EdgeKey(in_arr, out_arr));
-  if (it == shard.edges.end()) return false;
-  *out = it->second;  // string + shared_ptr copies only
+Result<bool> DSLog::FindEdgeCopy(const std::string& in_arr,
+                                 const std::string& out_arr,
+                                 const LogStore* store, Edge* out) const {
+  {
+    EdgeShard& shard = ShardFor(out_arr);
+    std::shared_lock lock(shard.mu);
+    auto it = shard.edges.find(EdgeKey(in_arr, out_arr));
+    if (it != shard.edges.end()) {
+      *out = it->second;  // string + shared_ptr copies only
+      return true;
+    }
+  }
+  // Shard miss: probe the store's segment index (the v4 perfect-hash index
+  // is O(1) and touches no segment bytes; v1–v3 files build their name map
+  // on first probe). Mapped edges are never materialized into the shards,
+  // so this is the common path for an in-situ catalog.
+  if (store == nullptr) return false;
+  DSLOG_ASSIGN_OR_RETURN(int64_t segment,
+                         store->FindSegmentId(in_arr, out_arr));
+  if (segment < 0) return false;
+  const LogStore::SegmentInfo seg =
+      store->segment_info(static_cast<size_t>(segment));
+  out->in_arr = seg.in_arr;
+  out->out_arr = seg.out_arr;
+  out->op_name = seg.op_name;
+  out->table = nullptr;
+  out->forward = nullptr;
+  out->segment = static_cast<int32_t>(segment);
   return true;
 }
 
@@ -325,8 +346,10 @@ Result<LogStore::PinnedTable> DSLog::ResolveEdgeView(
 
 const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
                                        const std::string& out_arr) const {
+  std::shared_ptr<const LogStore> store = log_store();
   Edge edge;
-  if (!FindEdgeCopy(in_arr, out_arr, &edge)) return nullptr;
+  auto found = FindEdgeCopy(in_arr, out_arr, store.get(), &edge);
+  if (!found.ok() || !found.value()) return nullptr;
   const std::string key = EdgeKey(in_arr, out_arr);
   {
     std::lock_guard<std::mutex> pins_lock(findedge_pins_mu_);
@@ -337,7 +360,6 @@ const CompressedTable* DSLog::FindEdge(const std::string& in_arr,
   if (edge.segment < 0) {
     table = edge.table;
   } else {
-    std::shared_ptr<const LogStore> store = log_store();
     if (store == nullptr) return nullptr;
     auto materialized = store->Table(static_cast<size_t>(edge.segment));
     if (!materialized.ok()) return nullptr;
@@ -365,14 +387,19 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
     // Forward hop: path[k] is the relation's input array; backward hop:
     // path[k] is its output array. Each lookup copies the edge out under
     // its shard's reader lock — the lock is dropped before any decode or
-    // index build (the "shard lock never held across decode" contract).
-    if (FindEdgeCopy(path[k], path[k + 1], &edge)) {
+    // index build (the "shard lock never held across decode" contract) —
+    // then falls back to the pinned store's segment index.
+    DSLOG_ASSIGN_OR_RETURN(
+        bool fwd, FindEdgeCopy(path[k], path[k + 1], store.get(), &edge));
+    if (fwd) {
       forward = true;
-    } else if (FindEdgeCopy(path[k + 1], path[k], &edge)) {
-      forward = false;
     } else {
-      return Status::NotFound("no lineage between " + path[k] + " and " +
-                              path[k + 1]);
+      DSLOG_ASSIGN_OR_RETURN(
+          bool bwd, FindEdgeCopy(path[k + 1], path[k], store.get(), &edge));
+      if (!bwd)
+        return Status::NotFound("no lineage between " + path[k] + " and " +
+                                path[k + 1]);
+      forward = false;
     }
     LogStore::ViewEvent ev;
     DSLOG_ASSIGN_OR_RETURN(
@@ -398,13 +425,14 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
     hop.forward = forward;
     if (forward) hop.forward_table = edge.forward.get();
     hop.index = pinned.index;
-    // Planner stats from the segment's v3 footer entry, for backward hops
+    // Planner stats from the segment's footer entry, for backward hops
     // only (a forward hop probes a per-call derived column, not out-attr
-    // 0). Pre-v3 stores leave the default-invalid stats and the joins fall
-    // back to the hop index's exact stats.
+    // 0). Read id-addressed so a v4 store never materializes its segment
+    // vector on the query path; pre-v3 stores yield the default-invalid
+    // stats and the joins fall back to the hop index's exact stats.
     if (!forward && edge.segment >= 0 && store != nullptr)
       hop.stats =
-          store->segments()[static_cast<size_t>(edge.segment)].out0_stats;
+          store->segment_out0_stats(static_cast<size_t>(edge.segment));
     auto pin = std::make_shared<HopPin>();
     pin->table = std::move(edge.table);
     pin->forward = std::move(edge.forward);
@@ -472,9 +500,23 @@ Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(
 
 std::map<std::string, DSLog::Edge> DSLog::SnapshotEdges() const {
   std::map<std::string, Edge> all;
+  // Mapped edges first: the store's segments are immutable, so enumerating
+  // them takes no lock. Resident edges overwrite same-key entries below —
+  // a re-registered edge shadows the stale persisted segment.
+  if (std::shared_ptr<const LogStore> store = log_store()) {
+    for (size_t i = 0; i < store->segment_count(); ++i) {
+      const LogStore::SegmentInfo seg = store->segment_info(i);
+      Edge edge;
+      edge.in_arr = seg.in_arr;
+      edge.out_arr = seg.out_arr;
+      edge.op_name = seg.op_name;
+      edge.segment = static_cast<int32_t>(i);
+      all[EdgeKey(seg.in_arr, seg.out_arr)] = std::move(edge);
+    }
+  }
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    for (const auto& [key, edge] : shard->edges) all.emplace(key, edge);
+    for (const auto& [key, edge] : shard->edges) all[key] = edge;
   }
   return all;
 }
@@ -485,8 +527,7 @@ int64_t DSLog::StorageFootprintBytes() const {
   int64_t total = 0;
   for (const auto& [key, edge] : edges) {
     if (edge.segment >= 0)
-      total += static_cast<int64_t>(
-          store->segments()[static_cast<size_t>(edge.segment)].length);
+      total += store->segment_length(static_cast<size_t>(edge.segment));
     else
       total += static_cast<int64_t>(
           SerializeCompressedTableGzip(*edge.table).size());
@@ -515,8 +556,8 @@ EdgeSegmentBytes SerializedEdgeSegment(const LogStore* store, int32_t segment,
                                        const CompressedTable* table,
                                        SegmentLayout preferred) {
   if (segment >= 0) {
-    const LogStore::SegmentInfo& seg =
-        store->segments()[static_cast<size_t>(segment)];
+    const LogStore::SegmentInfo seg =
+        store->segment_info(static_cast<size_t>(segment));
     return {std::string(store->SegmentView(static_cast<size_t>(segment))),
             seg.layout, seg.row_count, seg.out0_stats};
   }
@@ -533,8 +574,8 @@ EdgeSegmentBytes SerializedEdgeSegment(const LogStore* store, int32_t segment,
 Result<std::string> GzipEdgeBytes(const LogStore* store, int32_t segment,
                                   const CompressedTable* table) {
   if (segment < 0) return SerializeCompressedTableGzip(*table);
-  const LogStore::SegmentInfo& seg =
-      store->segments()[static_cast<size_t>(segment)];
+  const LogStore::SegmentInfo seg =
+      store->segment_info(static_cast<size_t>(segment));
   std::string_view raw = store->SegmentView(static_cast<size_t>(segment));
   if (seg.layout == SegmentLayout::kProvRcGzip) return std::string(raw);
   DSLOG_ASSIGN_OR_RETURN(CompressedTable owned,
@@ -720,16 +761,9 @@ Result<DSLog> DSLog::OpenInSitu(const std::string& path,
                          LogStore::Open(path, options.store));
   DSLog log(options.catalog);
   log.arrays_ = store->arrays();
-  for (size_t i = 0; i < store->segments().size(); ++i) {
-    const LogStore::SegmentInfo& seg = store->segments()[i];
-    Edge edge;
-    edge.in_arr = seg.in_arr;
-    edge.out_arr = seg.out_arr;
-    edge.op_name = seg.op_name;
-    edge.segment = static_cast<int32_t>(i);
-    log.ShardFor(seg.out_arr).edges[EdgeKey(seg.in_arr, seg.out_arr)] =
-        std::move(edge);
-  }
+  // No per-edge state is built here: lookups resolve through the store's
+  // segment index (FindEdgeCopy's fallback), so open cost is the footer
+  // parse + index bind, independent of the number of stored edges.
   if (!store->predictor_state().empty())
     DSLOG_RETURN_IF_ERROR(
         log.predictor_.RestoreState(store->predictor_state()));
@@ -737,11 +771,12 @@ Result<DSLog> DSLog::OpenInSitu(const std::string& path,
   return log;
 }
 
-Status DSLog::SaveLogStore(const std::string& path,
-                           SegmentLayout layout) const {
+Status DSLog::SaveLogStore(const std::string& path, SegmentLayout layout,
+                           const LogStoreWriterOptions& writer_options) const {
   std::map<std::string, Edge> edges = SnapshotEdges();
   std::shared_ptr<const LogStore> store = log_store();
-  DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer, LogStoreWriter::Create(path));
+  DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer,
+                         LogStoreWriter::Create(path, writer_options));
   {
     std::shared_lock lock(catalog_mu_);
     for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);
@@ -758,12 +793,13 @@ Status DSLog::SaveLogStore(const std::string& path,
   return writer.Finish();
 }
 
-Status DSLog::AppendLogStore(const std::string& path,
-                             SegmentLayout layout) const {
+Status DSLog::AppendLogStore(
+    const std::string& path, SegmentLayout layout,
+    const LogStoreWriterOptions& writer_options) const {
   std::map<std::string, Edge> edges = SnapshotEdges();
   std::shared_ptr<const LogStore> store = log_store();
   DSLOG_ASSIGN_OR_RETURN(LogStoreWriter writer,
-                         LogStoreWriter::OpenForAppend(path));
+                         LogStoreWriter::OpenForAppend(path, writer_options));
   {
     std::shared_lock lock(catalog_mu_);
     for (const auto& [name, shape] : arrays_) writer.PutArray(name, shape);

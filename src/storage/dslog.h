@@ -174,13 +174,17 @@ class DSLog {
   // ---------------------------------------------- single-file LogStore --
 
   /// Opens a LogStore file for in-situ querying: the file is mapped, the
-  /// edge index and reuse-predictor state are restored, and edge tables
-  /// are decompressed lazily — a path query only decodes the segments it
-  /// traverses (LRU-cached, size-bounded). The catalog stays writable:
-  /// RegisterOperation adds ordinary in-memory edges next to the mapped
-  /// ones (persist them with AppendLogStore). materialize_forward is not
-  /// applied to mapped edges; forward hops run directly on the backward
-  /// representation.
+  /// reuse-predictor state is restored, and edge tables are decompressed
+  /// lazily — a path query only decodes the segments it traverses
+  /// (LRU-cached, size-bounded). No per-edge catalog state is materialized
+  /// at open: mapped edges resolve through the store's own segment index
+  /// (the v4 perfect-hash index, or a lazily built name map for v1–v3
+  /// files), so open cost is independent of the number of stored edges.
+  /// The catalog stays writable: RegisterOperation adds ordinary in-memory
+  /// edges next to the mapped ones (persist them with AppendLogStore); a
+  /// resident edge shadows the mapped segment with the same key.
+  /// materialize_forward is not applied to mapped edges; forward hops run
+  /// directly on the backward representation.
   static Result<DSLog> OpenInSitu(const std::string& path,
                                   const InSituOptions& options = {});
 
@@ -190,14 +194,23 @@ class DSLog {
   /// compact v1 store. In-situ edges are shuttled as raw segments without
   /// re-encoding, keeping whatever layout they already have (so a store
   /// can legitimately mix versions; dslog_inspect shows which is which).
+  /// `writer_options` selects the footer version (v4 + perfect-hash index
+  /// by default; footer_version = 3 writes the legacy map-indexed form for
+  /// compatibility A/B runs).
   Status SaveLogStore(const std::string& path,
-                      SegmentLayout layout = SegmentLayout::kColumnar) const;
+                      SegmentLayout layout = SegmentLayout::kColumnar,
+                      const LogStoreWriterOptions& writer_options = {}) const;
 
   /// Incremental persistence: appends edges not yet present in the file at
   /// `path` (plus new arrays and the current predictor state) through
-  /// LogStoreWriter::OpenForAppend. Existing segments are not rewritten.
-  Status AppendLogStore(const std::string& path,
-                        SegmentLayout layout = SegmentLayout::kColumnar) const;
+  /// LogStoreWriter::OpenForAppend. Existing segments are not rewritten,
+  /// but the footer is: an appended v1–v3 store is resealed with
+  /// `writer_options.footer_version` (v4 by default), upgrading it to the
+  /// perfect-hash index in place.
+  Status AppendLogStore(
+      const std::string& path,
+      SegmentLayout layout = SegmentLayout::kColumnar,
+      const LogStoreWriterOptions& writer_options = {}) const;
 
   /// The backing LogStore of an in-situ catalog (decode/cache stats), or
   /// nullptr for a fully in-memory catalog.
@@ -238,11 +251,17 @@ class DSLog {
   void InitShards();
   EdgeShard& ShardFor(const std::string& out_arr) const;
 
-  /// Copies edge in_arr -> out_arr out of its shard (shard lock held only
-  /// for the copy; the shared_ptr payloads outlive the lock). Edge with
-  /// empty names = not found.
-  bool FindEdgeCopy(const std::string& in_arr, const std::string& out_arr,
-                    Edge* out) const;
+  /// Resolves edge in_arr -> out_arr: the shard map first (shard lock held
+  /// only for the copy; the shared_ptr payloads outlive the lock), then —
+  /// on a miss, when `store` is non-null — the store's segment index,
+  /// synthesizing a lazy Edge from the matched segment's metadata. Returns
+  /// false when neither holds the edge; an error only on store-index
+  /// corruption. The shard lock is released before the store probe, so a
+  /// concurrently committed resident edge may shadow the store's segment
+  /// for one lookup but never produces a torn edge.
+  Result<bool> FindEdgeCopy(const std::string& in_arr,
+                            const std::string& out_arr, const LogStore* store,
+                            Edge* out) const;
 
   /// Resolves a copied edge into a query hop's view + index + pin. Takes
   /// no catalog locks: resident edges view their pinned table, lazy edges
@@ -257,8 +276,10 @@ class DSLog {
   /// distinct shard (edges of one operation share a shard by design).
   void CommitEdges(std::vector<Edge> edges);
 
-  /// Point-in-time copy of every edge, keyed by EdgeKey (each shard lock
-  /// held shared only while it is copied).
+  /// Point-in-time copy of every edge, keyed by EdgeKey: the backing
+  /// store's segments (as lazy edges) merged with the resident shard
+  /// overlay, resident edges shadowing same-key segments. Each shard lock
+  /// is held shared only while that shard is copied.
   std::map<std::string, Edge> SnapshotEdges() const;
 
   DSLogOptions options_;

@@ -25,17 +25,104 @@ constexpr size_t kHeaderSize = sizeof(kHeaderMagic);
 constexpr size_t kTrailerSize = 8 + 8 + sizeof(kTrailerMagic);
 // Version 2 adds per-segment layout + row count to the footer. Version 3
 // adds per-segment output-attribute-0 interval-column stats (join-planner
-// inputs). Version-1 files (all segments ProvRC-GZip, no row counts) and
-// version-2 files (no stats) still open.
-constexpr uint32_t kFormatVersion = 3;
+// inputs). Version 4 replaces the varint segment index with the flat
+// PHF-indexed block documented in logstore.h (fixed records + name heap +
+// minimal-perfect-hash edge index; wide footer checksum). Version-1 files
+// (all segments ProvRC-GZip, no row counts), version-2 files (no stats)
+// and version-3 files all still open.
+constexpr uint32_t kFormatVersion = 4;
+
+// v4 fixed segment record: field offsets within one 88-byte record. All
+// fields little-endian; the record block starts 8-aligned in the file and
+// 88 is a multiple of 8, so every field is naturally aligned under mmap
+// (reads still go through memcpy for the heap-read fallback).
+constexpr size_t kRecOffset = 0;     // u64 absolute file offset
+constexpr size_t kRecLength = 8;     // u64 segment byte length
+constexpr size_t kRecChecksum = 16;  // u64 FNV-64 of the segment bytes
+constexpr size_t kRecNameOff = 24;   // u64 offset into the name heap
+constexpr size_t kRecRowCount = 32;  // i64 (-1 unknown)
+constexpr size_t kRecSumWidth = 40;  // i64 planner stats (-1 unknown)
+constexpr size_t kRecMinLo = 48;     // i64
+constexpr size_t kRecMaxLo = 56;     // i64
+constexpr size_t kRecMaxHi = 64;     // i64
+constexpr size_t kRecInLen = 72;     // u32 in_arr name length
+constexpr size_t kRecOutLen = 76;    // u32 out_arr name length
+constexpr size_t kRecOpLen = 80;     // u32 op_name length
+constexpr size_t kRecLayout = 84;    // u32 SegmentLayout
+constexpr size_t kRecSize = 88;
+
+inline size_t Pad8(size_t v) { return (v + 7) & ~static_cast<size_t>(7); }
+
+inline uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline void AppendU64(std::string* s, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  s->append(buf, 8);
+}
+
+inline void AppendU32(std::string* s, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  s->append(buf, 4);
+}
 
 struct ParsedFooter {
   uint32_t format_version = 0;
   uint64_t footer_offset = 0;
   std::map<std::string, std::vector<int64_t>> arrays;
+  /// v1-v3 only: the eagerly parsed segment entries.
   std::vector<LogStore::SegmentInfo> segments;
+  /// v4 only: zero-copy views into the footer (valid while the file view
+  /// they were parsed from lives).
+  uint64_t num_segments = 0;
+  std::string_view seg_records;
+  std::string_view name_heap;
+  std::string_view phf_block;
   std::string predictor_state;
 };
+
+/// Decodes one v4 flat record into an owned SegmentInfo. Name extents are
+/// trusted only after a bounds check; out-of-heap names (impossible on a
+/// checksum-verified footer) come back empty rather than reading wild.
+LogStore::SegmentInfo DecodeV4Record(std::string_view records,
+                                     std::string_view heap, size_t id) {
+  const char* rec = records.data() + id * kRecSize;
+  LogStore::SegmentInfo seg;
+  seg.offset = LoadU64(rec + kRecOffset);
+  seg.length = LoadU64(rec + kRecLength);
+  seg.checksum = LoadU64(rec + kRecChecksum);
+  seg.row_count = static_cast<int64_t>(LoadU64(rec + kRecRowCount));
+  IntervalColumnStats& st = seg.out0_stats;
+  st.sum_width = static_cast<int64_t>(LoadU64(rec + kRecSumWidth));
+  st.min_lo = static_cast<int64_t>(LoadU64(rec + kRecMinLo));
+  st.max_lo = static_cast<int64_t>(LoadU64(rec + kRecMaxLo));
+  st.max_hi = static_cast<int64_t>(LoadU64(rec + kRecMaxHi));
+  st.row_count = st.sum_width >= 0 ? seg.row_count : -1;
+  seg.layout = static_cast<SegmentLayout>(LoadU32(rec + kRecLayout));
+  const uint64_t name_off = LoadU64(rec + kRecNameOff);
+  const uint64_t in_len = LoadU32(rec + kRecInLen);
+  const uint64_t out_len = LoadU32(rec + kRecOutLen);
+  const uint64_t op_len = LoadU32(rec + kRecOpLen);
+  if (name_off <= heap.size() &&
+      in_len + out_len + op_len <= heap.size() - name_off) {
+    const char* base = heap.data() + name_off;
+    seg.in_arr.assign(base, in_len);
+    seg.out_arr.assign(base + in_len, out_len);
+    seg.op_name.assign(base + in_len + out_len, op_len);
+  }
+  return seg;
+}
 
 /// Validates header + trailer of a whole-file view and decodes the footer.
 Status ParseFile(std::string_view file, const std::string& path,
@@ -57,15 +144,22 @@ Status ParseFile(std::string_view file, const std::string& path,
   std::string_view footer = file.substr(
       static_cast<size_t>(footer_offset),
       file.size() - kTrailerSize - static_cast<size_t>(footer_offset));
-  if (Hash64(footer) != footer_hash)
-    return Status::Corruption("logstore footer checksum mismatch: " + path);
 
-  out->footer_offset = footer_offset;
+  // The footer version picks the footer checksum function, so peek it
+  // before verifying: v4 uses the wide 8-byte-lane hash (footers scale
+  // with the catalog; byte-wise FNV over a 100 MB footer would dominate a
+  // million-edge open), v1-v3 keep byte-wise FNV for compatibility.
   size_t pos = 0;
   uint64_t version;
   if (!GetVarint64(footer, &pos, &version) || version == 0 ||
       version > kFormatVersion)
     return Status::Corruption("logstore unsupported format version: " + path);
+  const uint64_t computed_hash =
+      version >= 4 ? Hash64Wide(footer) : Hash64(footer);
+  if (computed_hash != footer_hash)
+    return Status::Corruption("logstore footer checksum mismatch: " + path);
+
+  out->footer_offset = footer_offset;
   out->format_version = static_cast<uint32_t>(version);
 
   uint64_t num_arrays;
@@ -85,6 +179,39 @@ Status ParseFile(std::string_view file, const std::string& path,
       d = static_cast<int64_t>(v);
     }
     out->arrays[std::move(name)] = std::move(shape);
+  }
+
+  if (out->format_version >= 4) {
+    // Flat footer: predictor blob ends the varint prelude, then padding to
+    // 8 (the footer itself starts 8-aligned in the file, enforced by the
+    // writer and checked here, so footer-relative alignment is absolute
+    // alignment), then the zero-deserialization index block.
+    if (footer_offset % 8 != 0)
+      return Status::Corruption("logstore v4 footer misaligned: " + path);
+    if (!GetLengthPrefixed(footer, &pos, &out->predictor_state))
+      return Status::Corruption("logstore footer: predictor state");
+    pos = Pad8(pos);
+    if (footer.size() < pos || footer.size() - pos < 24)
+      return Status::Corruption("logstore v4 footer: index header: " + path);
+    out->num_segments = LoadU64(footer.data() + pos);
+    const uint64_t heap_size = LoadU64(footer.data() + pos + 8);
+    const uint64_t phf_size = LoadU64(footer.data() + pos + 16);
+    pos += 24;
+    const size_t remaining = footer.size() - pos;
+    if (out->num_segments > remaining / kRecSize)
+      return Status::Corruption("logstore v4 footer: record count: " + path);
+    const size_t rec_bytes = static_cast<size_t>(out->num_segments) * kRecSize;
+    if (heap_size > remaining - rec_bytes ||
+        phf_size > remaining - rec_bytes - heap_size)
+      return Status::Corruption("logstore v4 footer: block sizes: " + path);
+    out->seg_records = footer.substr(pos, rec_bytes);
+    pos += rec_bytes;
+    out->name_heap = footer.substr(pos, static_cast<size_t>(heap_size));
+    pos = Pad8(pos + static_cast<size_t>(heap_size));
+    if (footer.size() < pos || footer.size() - pos != phf_size)
+      return Status::Corruption("logstore v4 footer: trailing bytes: " + path);
+    out->phf_block = footer.substr(pos, static_cast<size_t>(phf_size));
+    return Status::OK();
   }
 
   uint64_t num_segments;
@@ -143,7 +270,7 @@ std::string EncodeFooter(
     const std::vector<LogStore::SegmentInfo>& segments,
     const std::string& predictor_state) {
   std::string footer;
-  PutVarint64(&footer, kFormatVersion);
+  PutVarint64(&footer, 3);  // legacy varint footer version
   PutVarint64(&footer, arrays.size());
   for (const auto& [name, shape] : arrays) {
     PutLengthPrefixed(&footer, name);
@@ -169,10 +296,62 @@ std::string EncodeFooter(
   return footer;
 }
 
-std::string EncodeTrailer(uint64_t footer_offset, const std::string& footer) {
+/// Encodes the v4 flat footer. `segments` must already sit in final id
+/// order (PHF position order when `phf_block` is non-empty); `phf_block`
+/// may be empty, in which case readers use the lazy map fallback.
+std::string EncodeFooterV4(
+    const std::map<std::string, std::vector<int64_t>>& arrays,
+    const std::vector<LogStore::SegmentInfo>& segments,
+    const std::string& predictor_state, const std::string& phf_block) {
+  std::string footer;
+  PutVarint64(&footer, 4);
+  PutVarint64(&footer, arrays.size());
+  for (const auto& [name, shape] : arrays) {
+    PutLengthPrefixed(&footer, name);
+    PutVarint64(&footer, shape.size());
+    for (int64_t d : shape) PutVarint64(&footer, static_cast<uint64_t>(d));
+  }
+  PutLengthPrefixed(&footer, predictor_state);
+  footer.resize(Pad8(footer.size()), '\0');
+
+  std::string heap;
+  std::string records;
+  records.reserve(segments.size() * kRecSize);
+  for (const LogStore::SegmentInfo& seg : segments) {
+    const uint64_t name_off = heap.size();
+    heap.append(seg.in_arr);
+    heap.append(seg.out_arr);
+    heap.append(seg.op_name);
+    AppendU64(&records, seg.offset);
+    AppendU64(&records, seg.length);
+    AppendU64(&records, seg.checksum);
+    AppendU64(&records, name_off);
+    AppendU64(&records, static_cast<uint64_t>(seg.row_count));
+    AppendU64(&records, static_cast<uint64_t>(seg.out0_stats.sum_width));
+    AppendU64(&records, static_cast<uint64_t>(seg.out0_stats.min_lo));
+    AppendU64(&records, static_cast<uint64_t>(seg.out0_stats.max_lo));
+    AppendU64(&records, static_cast<uint64_t>(seg.out0_stats.max_hi));
+    AppendU32(&records, static_cast<uint32_t>(seg.in_arr.size()));
+    AppendU32(&records, static_cast<uint32_t>(seg.out_arr.size()));
+    AppendU32(&records, static_cast<uint32_t>(seg.op_name.size()));
+    AppendU32(&records, static_cast<uint32_t>(seg.layout));
+  }
+  AppendU64(&footer, segments.size());
+  AppendU64(&footer, heap.size());
+  AppendU64(&footer, phf_block.size());
+  footer.append(records);
+  footer.append(heap);
+  footer.resize(Pad8(footer.size()), '\0');
+  footer.append(phf_block);
+  return footer;
+}
+
+std::string EncodeTrailer(uint64_t footer_offset, const std::string& footer,
+                          uint32_t footer_version) {
   std::string trailer;
   PutFixed64(&trailer, footer_offset);
-  PutFixed64(&trailer, Hash64(footer));
+  PutFixed64(&trailer,
+             footer_version >= 4 ? Hash64Wide(footer) : Hash64(footer));
   trailer.append(kTrailerMagic, sizeof(kTrailerMagic));
   return trailer;
 }
@@ -252,15 +431,43 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(
                          MmapFile::Open(path, options.use_mmap));
   ParsedFooter footer;
   DSLOG_RETURN_IF_ERROR(ParseFile(file.view(), path, &footer));
+  // ParsedFooter's v4 views point into `file`'s buffer; capture their
+  // offsets before the move so they can be re-based onto store->file_
+  // (a moved heap-fallback buffer is not guaranteed address-stable).
+  const char* old_base = file.view().data();
+  const auto view_offset = [old_base](std::string_view v) {
+    return v.empty() ? 0 : static_cast<size_t>(v.data() - old_base);
+  };
+  const size_t rec_off = view_offset(footer.seg_records);
+  const size_t heap_off = view_offset(footer.name_heap);
+  const size_t phf_off = view_offset(footer.phf_block);
   std::unique_ptr<LogStore> store(new LogStore());
   store->path_ = path;
   store->file_ = std::move(file);
   store->options_ = options;
   store->format_version_ = footer.format_version;
   store->arrays_ = std::move(footer.arrays);
-  store->segments_ = std::move(footer.segments);
   store->predictor_state_ = std::move(footer.predictor_state);
-  store->touched_.assign(store->segments_.size(), 0);
+  if (footer.format_version >= 4) {
+    store->num_segments_ = static_cast<size_t>(footer.num_segments);
+    std::string_view whole = store->file_.view();
+    store->seg_records_ = whole.substr(rec_off, footer.seg_records.size());
+    store->name_heap_ = whole.substr(heap_off, footer.name_heap.size());
+    if (options.use_phf_index && !footer.phf_block.empty()) {
+      auto phf = PhfView::Bind(whole.substr(phf_off, footer.phf_block.size()));
+      if (!phf.ok())
+        return phf.status().WithMessagePrefix("logstore " + path + ": ");
+      if (phf.value().size() != footer.num_segments)
+        return Status::Corruption("logstore PHF size != segment count: " +
+                                  path);
+      store->phf_ = phf.value();
+      store->phf_enabled_ = true;
+    }
+  } else {
+    store->segments_ = std::move(footer.segments);
+    store->num_segments_ = store->segments_.size();
+  }
+  store->touched_.assign(store->num_segments_, 0);
   store->num_cache_shards_ =
       static_cast<size_t>(std::max(1, options.cache_shards));
   // Equal budget slices, floored at 1 byte so the eviction loop still
@@ -273,10 +480,147 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(
   return store;
 }
 
+uint64_t LogStore::RecU64(size_t id, size_t field_offset) const {
+  return LoadU64(seg_records_.data() + id * kRecSize + field_offset);
+}
+
+int64_t LogStore::RecI64(size_t id, size_t field_offset) const {
+  return static_cast<int64_t>(RecU64(id, field_offset));
+}
+
+uint32_t LogStore::RecU32(size_t id, size_t field_offset) const {
+  return LoadU32(seg_records_.data() + id * kRecSize + field_offset);
+}
+
+bool LogStore::SegNames(size_t id, std::string_view* in_arr,
+                        std::string_view* out_arr,
+                        std::string_view* op_name) const {
+  const uint64_t name_off = RecU64(id, kRecNameOff);
+  const uint64_t in_len = RecU32(id, kRecInLen);
+  const uint64_t out_len = RecU32(id, kRecOutLen);
+  const uint64_t op_len = RecU32(id, kRecOpLen);
+  if (name_off > name_heap_.size() ||
+      in_len + out_len + op_len > name_heap_.size() - name_off)
+    return false;
+  *in_arr = name_heap_.substr(static_cast<size_t>(name_off),
+                              static_cast<size_t>(in_len));
+  *out_arr = name_heap_.substr(static_cast<size_t>(name_off + in_len),
+                               static_cast<size_t>(out_len));
+  *op_name = name_heap_.substr(static_cast<size_t>(name_off + in_len + out_len),
+                               static_cast<size_t>(op_len));
+  return true;
+}
+
+LogStore::SegmentInfo LogStore::segment_info(size_t id) const {
+  if (format_version_ < 4) return segments_[id];
+  return DecodeV4Record(seg_records_, name_heap_, id);
+}
+
+int64_t LogStore::segment_length(size_t id) const {
+  if (format_version_ < 4) return static_cast<int64_t>(segments_[id].length);
+  return RecI64(id, kRecLength);
+}
+
+IntervalColumnStats LogStore::segment_out0_stats(size_t id) const {
+  if (format_version_ < 4) return segments_[id].out0_stats;
+  IntervalColumnStats st;
+  st.sum_width = RecI64(id, kRecSumWidth);
+  st.min_lo = RecI64(id, kRecMinLo);
+  st.max_lo = RecI64(id, kRecMaxLo);
+  st.max_hi = RecI64(id, kRecMaxHi);
+  st.row_count = st.sum_width >= 0 ? RecI64(id, kRecRowCount) : -1;
+  return st;
+}
+
+const std::vector<LogStore::SegmentInfo>& LogStore::segments() const {
+  if (format_version_ < 4) return segments_;
+  std::call_once(segments_once_, [this] {
+    segments_.reserve(num_segments_);
+    for (size_t i = 0; i < num_segments_; ++i)
+      segments_.push_back(DecodeV4Record(seg_records_, name_heap_, i));
+  });
+  return segments_;
+}
+
+std::string_view LogStore::SegmentView(size_t id) const {
+  uint64_t offset, length;
+  if (format_version_ < 4) {
+    offset = segments_[id].offset;
+    length = segments_[id].length;
+  } else {
+    offset = RecU64(id, kRecOffset);
+    length = RecU64(id, kRecLength);
+  }
+  return file_.view(static_cast<size_t>(offset), static_cast<size_t>(length));
+}
+
+void LogStore::BuildNameMap() const {
+  std::call_once(name_map_once_, [this] {
+    name_map_.reserve(num_segments_);
+    for (size_t i = 0; i < num_segments_; ++i) {
+      if (format_version_ < 4) {
+        name_map_[EdgeStoreKey(segments_[i].in_arr, segments_[i].out_arr)] = i;
+      } else {
+        std::string_view in_arr, out_arr, op_name;
+        if (!SegNames(i, &in_arr, &out_arr, &op_name)) {
+          name_map_corrupt_ = true;
+          return;
+        }
+        name_map_[EdgeStoreKey(in_arr, out_arr)] = i;
+      }
+    }
+    name_map_built_.store(true, std::memory_order_release);
+  });
+}
+
+Result<int64_t> LogStore::FindSegmentId(std::string_view in_arr,
+                                        std::string_view out_arr) const {
+  static metrics::Counter& probes =
+      metrics::Registry::Global().counter("dslog.logstore.index_probes");
+  static metrics::Counter& rejects =
+      metrics::Registry::Global().counter("dslog.logstore.index_rejects");
+  probes.Increment();
+  if (num_segments_ == 0) {
+    rejects.Increment();
+    return -1;
+  }
+  if (phf_enabled_) {
+    const int64_t pos = phf_.Lookup(EdgeKeyHash(in_arr, out_arr));
+    if (pos < 0) {
+      rejects.Increment();
+      return -1;
+    }
+    // A PHF hit is only a candidate (fingerprints pass absent keys with
+    // probability ~2^-8): confirm against the stored names before serving
+    // the id — never a wrong segment, still zero segment bytes touched.
+    std::string_view rec_in, rec_out, rec_op;
+    if (!SegNames(static_cast<size_t>(pos), &rec_in, &rec_out, &rec_op))
+      return Status::Corruption("logstore record names out of heap bounds: " +
+                                path_);
+    if (rec_in == in_arr && rec_out == out_arr) return pos;
+    rejects.Increment();
+    return -1;
+  }
+  BuildNameMap();
+  if (name_map_corrupt_)
+    return Status::Corruption("logstore record names out of heap bounds: " +
+                              path_);
+  auto it = name_map_.find(EdgeStoreKey(in_arr, out_arr));
+  if (it == name_map_.end()) {
+    rejects.Increment();
+    return -1;
+  }
+  return static_cast<int64_t>(it->second);
+}
+
 Result<std::shared_ptr<const LogStore::ResolvedSegment>>
 LogStore::ResolveSegment(size_t id, int64_t* charge, int64_t* decompressed,
                          bool* borrowed, int64_t* rows_copied) const {
-  const SegmentInfo& seg = segments_[id];
+  const SegmentInfo seg = segment_info(id);
+  if (seg.offset < kHeaderSize || seg.offset > file_.size() ||
+      seg.length > file_.size() - seg.offset)
+    return Status::Corruption("logstore segment out of bounds: " + seg.in_arr +
+                              " -> " + seg.out_arr + " in " + path_);
   std::string_view bytes = SegmentView(id);
   if (options_.verify_checksums && Hash64(bytes) != seg.checksum)
     return Status::Corruption("logstore segment checksum mismatch: " +
@@ -326,12 +670,11 @@ LogStore::ResolveSegment(size_t id, int64_t* charge, int64_t* decompressed,
 }
 
 Result<LogStore::PinnedTable> LogStore::View(size_t id, ViewEvent* ev) const {
-  if (id >= segments_.size())
+  if (id >= num_segments_)
     return Status::InvalidArgument("logstore segment id out of range");
   LogStoreMetrics& lsm = LogStoreMetrics::Get();
   CacheShard& shard = ShardFor(id);
-  if (ev != nullptr)
-    ev->segment_bytes = static_cast<int64_t>(segments_[id].length);
+  if (ev != nullptr) ev->segment_bytes = segment_length(id);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.cache.find(id);
@@ -413,7 +756,7 @@ Result<LogStore::PinnedTable> LogStore::View(size_t id, ViewEvent* ev) const {
 
 Result<std::shared_ptr<const CompressedTable>> LogStore::Table(
     size_t id) const {
-  if (id >= segments_.size())
+  if (id >= num_segments_)
     return Status::InvalidArgument("logstore segment id out of range");
   DSLOG_ASSIGN_OR_RETURN(PinnedTable pinned, View(id));
   // v1 (and unaligned-v2) resolutions already own a table: alias it so the
@@ -452,34 +795,59 @@ LogStoreStats LogStore::stats() const {
     out.cache_misses += ld(s.cache_misses);
     out.evictions += ld(s.evictions);
   }
-  out.segment_count = static_cast<int64_t>(segments_.size());
+  out.segment_count = static_cast<int64_t>(num_segments_);
   return out;
 }
 
 // ----------------------------------------------------------------- writer --
 
-Result<LogStoreWriter> LogStoreWriter::Create(std::string path) {
+namespace {
+Status ValidateWriterOptions(const LogStoreWriterOptions& options) {
+  if (options.footer_version != 3 && options.footer_version != 4)
+    return Status::InvalidArgument("logstore writer: footer_version must be 3 "
+                                   "or 4");
+  return Status::OK();
+}
+}  // namespace
+
+Result<LogStoreWriter> LogStoreWriter::Create(
+    std::string path, const LogStoreWriterOptions& options) {
+  DSLOG_RETURN_IF_ERROR(ValidateWriterOptions(options));
   LogStoreWriter writer;
+  writer.options_ = options;
   writer.path_ = std::move(path);
   writer.base_offset_ = kHeaderSize;
   return writer;
 }
 
-Result<LogStoreWriter> LogStoreWriter::OpenForAppend(std::string path) {
+Result<LogStoreWriter> LogStoreWriter::OpenForAppend(
+    std::string path, const LogStoreWriterOptions& options) {
+  DSLOG_RETURN_IF_ERROR(ValidateWriterOptions(options));
   DSLOG_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
   ParsedFooter footer;
   DSLOG_RETURN_IF_ERROR(ParseFile(file.view(), path, &footer));
   LogStoreWriter writer;
+  writer.options_ = options;
   writer.appending_ = true;
   writer.path_ = std::move(path);
   writer.base_offset_ = footer.footer_offset;
   writer.old_file_size_ = file.size();
   writer.arrays_ = std::move(footer.arrays);
-  writer.segments_ = std::move(footer.segments);
+  if (footer.format_version >= 4) {
+    // Materialize the flat records into owned entries: the writer keeps
+    // them across the life of `file`'s mapping.
+    writer.segments_.reserve(static_cast<size_t>(footer.num_segments));
+    for (uint64_t i = 0; i < footer.num_segments; ++i)
+      writer.segments_.push_back(
+          DecodeV4Record(footer.seg_records, footer.name_heap,
+                         static_cast<size_t>(i)));
+  } else {
+    writer.segments_ = std::move(footer.segments);
+  }
   writer.predictor_state_ = std::move(footer.predictor_state);
   for (size_t i = 0; i < writer.segments_.size(); ++i)
     writer.edge_index_[EdgeStoreKey(writer.segments_[i].in_arr,
-                               writer.segments_[i].out_arr)] = i;
+                                    writer.segments_[i].out_arr)] = i;
   return writer;
 }
 
@@ -556,9 +924,46 @@ void LogStoreWriter::SetPredictorState(std::string blob) {
 Status LogStoreWriter::Finish() {
   if (finished_) return Status::Internal("logstore writer already finished");
   finished_ = true;
+  std::string footer;
+  if (options_.footer_version >= 4) {
+    // The flat footer must start 8-aligned in the file (its records are
+    // read in place); pad the segment area out to a word boundary.
+    while ((base_offset_ + new_bytes_.size()) % 8 != 0)
+      new_bytes_.push_back('\0');
+    std::string phf_block;
+    if (options_.build_phf && !segments_.empty()) {
+      std::vector<uint64_t> hashes;
+      hashes.reserve(segments_.size());
+      for (const LogStore::SegmentInfo& seg : segments_)
+        hashes.push_back(EdgeKeyHash(seg.in_arr, seg.out_arr));
+      auto built = PhfBuilder::Build(hashes);
+      if (built.ok()) {
+        // Permute the metadata records into PHF-position order so the PHF
+        // position of an edge key IS its segment id — no value array, no
+        // indirection. Only footer record order changes; segment bytes and
+        // offsets are untouched. Construction can only fail on a 64-bit
+        // key-hash collision (or seed exhaustion); the footer then ships
+        // an empty PHF block and readers fall back to the lazy map.
+        auto phf = PhfView::Bind(built.value());
+        DSLOG_CHECK(phf.ok()) << phf.status().ToString();
+        std::vector<LogStore::SegmentInfo> permuted(segments_.size());
+        for (size_t i = 0; i < segments_.size(); ++i) {
+          const int64_t pos = phf.value().Lookup(hashes[i]);
+          DSLOG_CHECK(pos >= 0 &&
+                      pos < static_cast<int64_t>(segments_.size()));
+          permuted[static_cast<size_t>(pos)] = std::move(segments_[i]);
+        }
+        segments_ = std::move(permuted);
+        phf_block = std::move(built).ValueOrDie();
+      }
+    }
+    footer = EncodeFooterV4(arrays_, segments_, predictor_state_, phf_block);
+  } else {
+    footer = EncodeFooter(arrays_, segments_, predictor_state_);
+  }
   const uint64_t footer_offset = base_offset_ + new_bytes_.size();
-  std::string footer = EncodeFooter(arrays_, segments_, predictor_state_);
-  std::string trailer = EncodeTrailer(footer_offset, footer);
+  std::string trailer =
+      EncodeTrailer(footer_offset, footer, options_.footer_version);
 
   if (!appending_) {
     std::string file;

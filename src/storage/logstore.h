@@ -10,10 +10,23 @@
 //   |                  |    v2 = PRC2 columnar (8-aligned; the on-disk
 //   |                  |         bytes are the kernels' scan format)
 //   +------------------+ footer_offset
-//   | footer           |  varint-coded: format version, array catalog,
-//   |                  |  edge index (names, op, offset, length, FNV-64
-//   |                  |  checksum, layout, row count per segment),
-//   |                  |  reuse-predictor blob
+//   | footer           |  footer version 1-3: varint-coded — format
+//   |                  |  version, array catalog, edge index (names, op,
+//   |                  |  offset, length, FNV-64 checksum, layout, row
+//   |                  |  count, planner stats per segment), predictor blob
+//   |                  |
+//   |                  |  footer version 4 (8-aligned in the file): the
+//   |                  |  varint prelude (version, array catalog, predictor
+//   |                  |  blob), zero-padding to 8, then a flat index read
+//   |                  |  in place with zero deserialization —
+//   |                  |    u64 num_segments | u64 name_heap_size
+//   |                  |    | u64 phf_size
+//   |                  |    | fixed 88-byte segment records x num_segments
+//   |                  |    | name heap | pad to 8 | PHF block (common/phf)
+//   |                  |  Records sit in minimal-perfect-hash position
+//   |                  |  order: the PHF position of an edge key IS its
+//   |                  |  segment id, so an edge probe is hash -> PHF ->
+//   |                  |  one name memcmp, with no map ever materialized.
 //   +------------------+ file_size - 20
 //   | trailer          |  fixed64 footer_offset | fixed64 footer checksum
 //   |                  |  | magic "DSLF"
@@ -27,7 +40,17 @@
 // bytes decompressed, zero rows materialized (LogStoreStats counts both).
 // Segment checksums are verified at first touch (and the footer checksum
 // at open), turning any flipped byte or truncation into Status::Corruption
-// instead of UB.
+// instead of UB. Version-4 footers checksum with the wide 8-byte-lane hash
+// (hash.h Hash64Wide) so open stays fast on million-edge catalogs; varint
+// footers keep the original byte-wise FNV for compatibility.
+//
+// Edge lookup: a v4 reader binds a PhfView over the footer's PHF block —
+// O(1) per probe, the per-key fingerprint rejects absent edges before any
+// record or segment byte is read, and a candidate hit is confirmed against
+// the name heap so a false fingerprint match can never serve a wrong
+// segment. v1-v3 files (and v4 opened with use_phf_index=false) fall back
+// to an edge-name map built lazily on the first name lookup, so
+// stats()-only and id-addressed opens never pay for it.
 //
 // Thread-safety: LogStore is safe for concurrent readers. The decode cache
 // is lock-striped: segments map to cache_shards shards (id mod shard
@@ -59,7 +82,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/mmap_file.h"
+#include "common/phf.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "provrc/compressed_table.h"
@@ -70,9 +95,24 @@ namespace dslog {
 /// Canonical map key for an edge in_arr -> out_arr, shared by the DSLog
 /// catalog, the legacy directory format, and the LogStoreWriter index —
 /// one scheme, so dedup/replace decisions always agree.
-inline std::string EdgeStoreKey(const std::string& in_arr,
-                                const std::string& out_arr) {
-  return in_arr + "\x1f" + out_arr;
+inline std::string EdgeStoreKey(std::string_view in_arr,
+                                std::string_view out_arr) {
+  std::string key;
+  key.reserve(in_arr.size() + 1 + out_arr.size());
+  key.append(in_arr);
+  key.push_back('\x1f');
+  key.append(out_arr);
+  return key;
+}
+
+/// FNV-64 of EdgeStoreKey(in_arr, out_arr) computed piecewise — no key
+/// string is ever materialized. This is the key hash the v4 PHF index is
+/// built over; writer and reader must agree on it byte for byte.
+inline uint64_t EdgeKeyHash(std::string_view in_arr,
+                            std::string_view out_arr) {
+  uint64_t h = Hash64(in_arr);
+  h = Hash64("\x1f", 1, h);
+  return Hash64(out_arr, h);
 }
 
 /// Exact output-attribute-0 interval-column stats of a table — one strided
@@ -107,6 +147,10 @@ struct LogStoreOptions {
   /// on tiny budgets). Clamped to >= 1; 1 reproduces the old single-lock
   /// cache (contention tests sweep this).
   int cache_shards = 8;
+  /// Bind the v4 footer's minimal-perfect-hash edge index at Open. false
+  /// forces the lazy name-map fallback even on v4 files — compat testing
+  /// and a kill switch; results must be identical either way.
+  bool use_phf_index = true;
 };
 
 /// Decode/cache counters (test + bench observability). This is the
@@ -177,7 +221,54 @@ class LogStore {
   const std::map<std::string, std::vector<int64_t>>& arrays() const {
     return arrays_;
   }
-  const std::vector<SegmentInfo>& segments() const { return segments_; }
+
+  /// Number of indexed segments. O(1) for every footer version.
+  size_t segment_count() const { return num_segments_; }
+
+  /// Metadata of segment `id` by value. v1-v3: a copy of the parsed entry.
+  /// v4: decoded on the fly from the footer's flat record (three short
+  /// string copies) — use the field-level accessors below on hot paths.
+  SegmentInfo segment_info(size_t id) const;
+
+  /// On-disk byte length of segment `id` without materializing names.
+  int64_t segment_length(size_t id) const;
+
+  /// Join-planner stats of segment `id` without materializing names.
+  IntervalColumnStats segment_out0_stats(size_t id) const;
+
+  /// All segment metadata. v1-v3: the eagerly parsed vector. v4: built on
+  /// first call (one pass over the flat records) — conversion, save and
+  /// inspect convenience, not a query path.
+  const std::vector<SegmentInfo>& segments() const;
+
+  /// Segment id of edge in_arr -> out_arr, or -1 when the store holds no
+  /// such edge. v4 + PHF: one hash, one O(1) PHF probe, one name memcmp —
+  /// the fingerprint rejects absent edges before any record bytes are
+  /// touched, and the name check means a fingerprint false positive can
+  /// never return a wrong segment. Fallback (v1-v3, or use_phf_index
+  /// false): an owned edge-name map built lazily on the first call.
+  Result<int64_t> FindSegmentId(std::string_view in_arr,
+                                std::string_view out_arr) const;
+
+  /// How edge lookups resolve on this store (observability: inspect tool,
+  /// benches).
+  enum class EdgeIndexKind { kPhf, kLazyMap };
+  EdgeIndexKind edge_index_kind() const {
+    return phf_enabled_ ? EdgeIndexKind::kPhf : EdgeIndexKind::kLazyMap;
+  }
+  /// Index size accounting; 0 bits/key on the map path (nothing on disk).
+  double index_bits_per_key() const {
+    return phf_enabled_ ? phf_.bits_per_key() : 0.0;
+  }
+  uint32_t index_fingerprint_bits() const {
+    return phf_enabled_ ? phf_.fingerprint_bits() : 0;
+  }
+  /// True once the lazy fallback name map exists (test hook: proves that
+  /// stats()-only and id-addressed opens never built it).
+  bool name_index_built() const {
+    return name_map_built_.load(std::memory_order_acquire);
+  }
+
   /// Serialized ReusePredictor state ("" when the file carries none).
   const std::string& predictor_state() const { return predictor_state_; }
 
@@ -207,11 +298,7 @@ class LogStore {
   /// Raw (still-serialized) bytes of segment `id` — zero-copy view into
   /// the mapping. Lets converters/appenders shuttle segments without a
   /// decode/re-encode round trip.
-  std::string_view SegmentView(size_t id) const {
-    const SegmentInfo& seg = segments_[id];
-    return file_.view(static_cast<size_t>(seg.offset),
-                      static_cast<size_t>(seg.length));
-  }
+  std::string_view SegmentView(size_t id) const;
 
   LogStoreStats stats() const;
 
@@ -278,12 +365,41 @@ class LogStore {
     return cache_shards_[id % num_cache_shards_];
   }
 
+  /// v4 flat-record field reads (memcpy-based: the heap-read fallback has
+  /// no alignment guarantee).
+  uint64_t RecU64(size_t id, size_t field_offset) const;
+  int64_t RecI64(size_t id, size_t field_offset) const;
+  uint32_t RecU32(size_t id, size_t field_offset) const;
+  /// Name-heap views of a v4 record. false when the record's name extent
+  /// falls outside the heap — impossible on a checksum-verified footer,
+  /// surfaced as Corruption rather than UB if it ever happens.
+  bool SegNames(size_t id, std::string_view* in_arr, std::string_view* out_arr,
+                std::string_view* op_name) const;
+  /// Builds the lazy fallback name map (first name lookup only).
+  void BuildNameMap() const;
+
   std::string path_;
   MmapFile file_;
   LogStoreOptions options_;
   uint32_t format_version_ = 0;
   std::map<std::string, std::vector<int64_t>> arrays_;
-  std::vector<SegmentInfo> segments_;
+  size_t num_segments_ = 0;
+  /// v1-v3: filled at Open. v4: materialized lazily by segments() from the
+  /// flat records (guarded by segments_once_; immutable afterwards).
+  mutable std::vector<SegmentInfo> segments_;
+  mutable std::once_flag segments_once_;
+  /// v4 footer views into the mapped file (empty on v1-v3).
+  std::string_view seg_records_;
+  std::string_view name_heap_;
+  /// Bound PHF edge index (v4 with use_phf_index; empty block -> disabled).
+  PhfView phf_;
+  bool phf_enabled_ = false;
+  /// Lazy fallback edge-name map: EdgeStoreKey -> segment id. Built at
+  /// most once, on the first name lookup that cannot go through the PHF.
+  mutable std::once_flag name_map_once_;
+  mutable std::unordered_map<std::string, size_t> name_map_;
+  mutable std::atomic<bool> name_map_built_{false};
+  mutable bool name_map_corrupt_ = false;  // set during BuildNameMap only
   std::string predictor_state_;
 
   /// Striped cache state. The array and shard count are fixed at Open
@@ -299,17 +415,32 @@ class LogStore {
   mutable std::vector<uint8_t> touched_;
 };
 
+struct LogStoreWriterOptions {
+  /// Footer version Finish() seals with. 4 (default) writes the flat
+  /// PHF-indexed footer; 3 writes the legacy varint footer for compat
+  /// testing and A/B benches. Reading is always version-agnostic.
+  uint32_t footer_version = 4;
+  /// Build the minimal-perfect-hash edge index into v4 footers. When off
+  /// (or if construction fails, e.g. a 64-bit key-hash collision) the
+  /// footer carries an empty PHF block and readers use the lazy map.
+  bool build_phf = true;
+};
+
 /// Write side: builds or extends a LogStore file.
 class LogStoreWriter {
  public:
   /// Starts a fresh store. Nothing exists at `path` until Finish(), which
   /// commits the whole file atomically (temp + rename).
-  static Result<LogStoreWriter> Create(std::string path);
+  static Result<LogStoreWriter> Create(std::string path,
+                                       const LogStoreWriterOptions& options = {});
 
   /// Opens an existing store for incremental append: prior arrays, edges,
   /// and predictor state are retained; new segments are written over the
   /// old footer and a fresh footer/trailer seals the file in Finish().
-  static Result<LogStoreWriter> OpenForAppend(std::string path);
+  /// The sealed footer version is options.footer_version regardless of
+  /// what the file carried — appending to a v3 store reseals it as v4.
+  static Result<LogStoreWriter> OpenForAppend(
+      std::string path, const LogStoreWriterOptions& options = {});
 
   /// Registers (or re-registers, idempotently) an array.
   void PutArray(const std::string& name, std::vector<int64_t> shape);
@@ -357,6 +488,7 @@ class LogStoreWriter {
  private:
   LogStoreWriter() = default;
 
+  LogStoreWriterOptions options_;
   bool appending_ = false;
   std::string path_;
   uint64_t base_offset_ = 0;   // file offset where new_bytes_ lands

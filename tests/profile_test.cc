@@ -126,8 +126,15 @@ TEST(ProfileTest, ColdRunRecordsZeroCopyResolvesExactly) {
     EXPECT_TRUE(hp.borrowed);
     EXPECT_EQ(hp.bytes_decompressed, 0);
     EXPECT_EQ(hp.rows_materialized, 0);
-    const auto& seg = store->segments()[static_cast<size_t>(step)];
-    ASSERT_EQ(seg.op_name, hp.op_name);  // registration order == segment id
+    // v4 footers hold records in PHF-position order, so segment ids no
+    // longer track registration order: resolve this hop's segment through
+    // the store's edge index.
+    auto seg_id = store->FindSegmentId(hp.in_arr, hp.out_arr);
+    ASSERT_TRUE(seg_id.ok());
+    ASSERT_GE(seg_id.value(), 0);
+    const LogStore::SegmentInfo seg =
+        store->segment_info(static_cast<size_t>(seg_id.value()));
+    ASSERT_EQ(seg.op_name, hp.op_name);
     EXPECT_EQ(hp.segment_bytes, static_cast<int64_t>(seg.length));
 
     // Join execution: the chain relations are total permutations, so the

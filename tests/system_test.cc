@@ -18,6 +18,7 @@
 #include "query/query_engine.h"
 #include "relational/relational_ops.h"
 #include "storage/dslog.h"
+#include "storage/signatures.h"
 #include "workloads/kaggle_sim.h"
 #include "workloads/workflows.h"
 
@@ -491,6 +492,120 @@ TEST(DSLogTest, ReusePredictorStateSurvivesSaveLoad) {
   auto fwd = restored.ProvQuery({"p2", "q2"}, BoxTable::FromCells(1, {7}));
   ASSERT_TRUE(fwd.ok());
   EXPECT_EQ(fwd.value().ExpandToCells(), (std::vector<int64_t>{7}));
+}
+
+// --------------------------------------------------- predictor seal format --
+
+namespace seal_test {
+
+/// Identity lineage over 8 cells, the shared payload for promoted entries.
+std::vector<CompressedTable> OneTable() {
+  LineageRelation rel(1, 1);
+  rel.set_shapes({8}, {8});
+  for (int64_t i = 0; i < 8; ++i) {
+    const int64_t tuple[2] = {i, i};
+    rel.AddTuple(tuple);
+  }
+  return {ProvRcCompress(rel)};
+}
+
+/// Predictor with `ops` promoted dim signatures op0..op<ops-1> (each
+/// registered twice with identical lineage, the m = 1 promotion).
+ReusePredictor Promoted(int ops, const std::vector<CompressedTable>& tables) {
+  ReusePredictor p;
+  for (int i = 0; i < ops; ++i) {
+    OpArgs args;
+    args.SetInt("k", i);
+    for (int rep = 0; rep < 2; ++rep)
+      p.ProcessRegistration("op" + std::to_string(i), args, {{8}}, {8},
+                            static_cast<uint64_t>(i), tables);
+  }
+  return p;
+}
+
+}  // namespace seal_test
+
+TEST(ReusePredictorTest, SealedStateRoundTripsAndServesPromotedLookups) {
+  const std::vector<CompressedTable> tables = seal_test::OneTable();
+  ReusePredictor p = seal_test::Promoted(4, tables);
+  ASSERT_EQ(p.stats().dim_promotions, 4);
+
+  const std::string sealed_blob = p.SerializeState();
+  const std::string legacy_blob = p.SerializeState(/*seal=*/false);
+  // seal = false reproduces the legacy RPS1 bytes exactly; the SEAL section
+  // is strictly appended, so readers that predate it keep working.
+  ASSERT_LT(legacy_blob.size(), sealed_blob.size());
+  EXPECT_EQ(sealed_blob.compare(0, legacy_blob.size(), legacy_blob), 0);
+
+  // A SEAL-carrying blob binds the perfect-hash index directly; a legacy
+  // blob is sealed in memory after the restore. Either way the restored
+  // predictor serves exactly the promoted mappings.
+  for (const std::string* blob : {&sealed_blob, &legacy_blob}) {
+    ReusePredictor r;
+    ASSERT_TRUE(r.RestoreState(*blob).ok());
+    EXPECT_TRUE(r.sealed());
+    for (int i = 0; i < 4; ++i) {
+      OpArgs args;
+      args.SetInt("k", i);
+      auto predicted = r.Predict("op" + std::to_string(i), args, {{8}}, {8});
+      ASSERT_EQ(predicted.size(), 1u);
+      EXPECT_TRUE(predicted[0] == tables[0]);
+      // Absent op / different shape: clean misses through the same index.
+      EXPECT_TRUE(r.Predict("nope" + std::to_string(i), args, {{8}}, {8})
+                      .empty());
+      EXPECT_TRUE(r.Predict("op" + std::to_string(i), args, {{9}}, {9})
+                      .empty());
+    }
+  }
+}
+
+TEST(ReusePredictorTest, PromotionStateChangeUnsealsAndStaysCorrect) {
+  const std::vector<CompressedTable> tables = seal_test::OneTable();
+  ReusePredictor r;
+  ASSERT_TRUE(
+      r.RestoreState(seal_test::Promoted(3, tables).SerializeState()).ok());
+  ASSERT_TRUE(r.sealed());
+
+  // A misprediction demotes op1 (promoted -> rejected), which invalidates
+  // the sealed indexes; lookups fall back to the maps with no behaviour
+  // change for the still-promoted ops.
+  LineageRelation other(1, 1);
+  other.set_shapes({8}, {8});
+  const int64_t tuple[2] = {0, 7};
+  other.AddTuple(tuple);
+  OpArgs args1;
+  args1.SetInt("k", 1);
+  r.ProcessRegistration("op1", args1, {{8}}, {8}, 99, {ProvRcCompress(other)});
+  EXPECT_FALSE(r.sealed());
+  EXPECT_EQ(r.stats().mispredictions, 1);
+  EXPECT_TRUE(r.Predict("op1", args1, {{8}}, {8}).empty());
+  OpArgs args0;
+  args0.SetInt("k", 0);
+  EXPECT_EQ(r.Predict("op0", args0, {{8}}, {8}).size(), 1u);
+}
+
+TEST(ReusePredictorTest, CorruptSealSectionIsRejectedWithoutStateChange) {
+  const std::vector<CompressedTable> tables = seal_test::OneTable();
+  ReusePredictor p = seal_test::Promoted(3, tables);
+  const std::string good = p.SerializeState();
+  const size_t legacy_size = p.SerializeState(/*seal=*/false).size();
+
+  // Flip a byte inside the SEAL payload (past the 4-byte magic): the
+  // restore must fail as Corruption and leave the target untouched.
+  std::string bad = good;
+  ASSERT_GT(bad.size(), legacy_size + 8);
+  bad[legacy_size + 8] ^= 0x20;
+
+  ReusePredictor r;
+  ASSERT_TRUE(r.RestoreState(good).ok());
+  Status st = r.RestoreState(bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+  // Prior state intact and still sealed.
+  EXPECT_TRUE(r.sealed());
+  OpArgs args0;
+  args0.SetInt("k", 0);
+  EXPECT_EQ(r.Predict("op0", args0, {{8}}, {8}).size(), 1u);
 }
 
 // -------------------------------------------------------------- workflows --
