@@ -1,0 +1,287 @@
+// Wire-level stress harness for dslog_server: holds >= 1000 concurrent
+// client sessions against one in-process server, drives query + stats
+// round trips from every session, and reports per-request latency
+// percentiles, throughput, and the server's own error counters — the
+// admission-control demonstration (a tiny-capacity server shedding typed
+// kOverloaded answers) rides along as a second record. The run fails
+// (exit 1) if any protocol error is counted or the target concurrency was
+// never reached, so CI can gate on it. Emits BENCH_server.json.
+//
+//   bench_server_stress [--sessions N] [--rounds R] [--drivers K]
+//                       [--json PATH]
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "query/box.h"
+#include "storage/dslog.h"
+
+using namespace dslog;
+using namespace dslog::bench;
+using dslog::net::DslogClient;
+using dslog::net::DslogServer;
+using dslog::net::IngestHandle;
+using dslog::net::ServerOptions;
+
+namespace {
+
+// Each session's fd plus the server-side fd: leave generous headroom.
+void RaiseFdLimit(int sessions) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  const rlim_t want = static_cast<rlim_t>(sessions) * 2 + 512;
+  if (lim.rlim_cur >= want) return;
+  lim.rlim_cur = std::min<rlim_t>(want, lim.rlim_max);
+  setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+// The paper's running example as the served pipeline: B = sum(A, axis=1),
+// C = cumsum(B) — two hops so queries exercise a real multi-hop join.
+Status IngestPipeline(DslogClient* client) {
+  DSLOG_RETURN_IF_ERROR(client->OpenStore("bench"));
+  DSLOG_RETURN_IF_ERROR(client->DefineArray("A", {64, 8}));
+  DSLOG_RETURN_IF_ERROR(client->DefineArray("B", {64}));
+  DSLOG_RETURN_IF_ERROR(client->DefineArray("C", {64}));
+  Rng rng(42);
+  NDArray a = NDArray::Random({64, 8}, &rng);
+
+  OperationRegistration sum_reg;
+  sum_reg.op_name = "sum";
+  sum_reg.in_arrs = {"A"};
+  sum_reg.out_arr = "B";
+  OpArgs sum_args;
+  sum_args.SetInt("axis", 1);
+  const ArrayOp* sum = OpRegistry::Global().Find("sum");
+  NDArray b = sum->Apply({&a}, sum_args).ValueOrDie();
+  sum_reg.captured = sum->Capture({&a}, b, sum_args).ValueOrDie();
+  sum_reg.args = sum_args;
+
+  OperationRegistration cum_reg;
+  cum_reg.op_name = "cumsum";
+  cum_reg.in_arrs = {"B"};
+  cum_reg.out_arr = "C";
+  const ArrayOp* cumsum = OpRegistry::Global().Find("cumsum");
+  OpArgs cum_args = cumsum->SampleArgs(b.shape(), &rng);
+  NDArray c = cumsum->Apply({&b}, cum_args).ValueOrDie();
+  cum_reg.captured = cumsum->Capture({&b}, c, cum_args).ValueOrDie();
+  cum_reg.args = cum_args;
+
+  IngestHandle handle(client);
+  DSLOG_RETURN_IF_ERROR(handle.Add(sum_reg).status());
+  DSLOG_RETURN_IF_ERROR(handle.Add(cum_reg).status());
+  return handle.Drain().status();
+}
+
+struct DriverResult {
+  std::vector<double> latencies_ms;
+  int64_t requests = 0;
+  int64_t errors = 0;
+};
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0;
+  std::sort(sorted_ms->begin(), sorted_ms->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms->size() - 1) + 0.5);
+  return (*sorted_ms)[std::min(idx, sorted_ms->size() - 1)];
+}
+
+int64_t CounterValue(const char* name) {
+  return metrics::Registry::Global().counter(name).Value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int sessions = 1000;
+  int rounds = 3;
+  int drivers = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--sessions") && i + 1 < argc) {
+      sessions = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--rounds") && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--drivers") && i + 1 < argc) {
+      drivers = std::atoi(argv[++i]);
+    }
+  }
+  drivers = std::max(1, std::min(drivers, sessions));
+  RaiseFdLimit(sessions);
+  JsonReporter json("server_stress", argc, argv, "BENCH_server.json");
+
+  const int64_t proto_errors_before =
+      CounterValue("dslog.server.protocol_errors");
+
+  ServerOptions options;
+  options.max_sessions = sessions + 64;
+  options.max_inflight_requests = sessions + 64;
+  options.worker_threads = 8;
+  DslogServer server(options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  {
+    auto seeder = DslogClient::Connect("127.0.0.1", server.port());
+    if (!seeder.ok() || !IngestPipeline(seeder.value().get()).ok()) {
+      std::fprintf(stderr, "pipeline ingest failed\n");
+      return 1;
+    }
+    Status bye = seeder.value()->Bye();
+    if (!bye.ok()) {
+      std::fprintf(stderr, "bye failed: %s\n", bye.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Phase 1: every driver connects its share of sessions and holds them
+  // open; the query phase starts only once ALL are connected, so the
+  // server really is serving `sessions` concurrent sessions.
+  std::atomic<int> connected{0};
+  std::atomic<int> connect_failures{0};
+  std::atomic<bool> go{false};
+  std::vector<DriverResult> results(static_cast<size_t>(drivers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(drivers));
+  WallTimer total_timer;
+  for (int d = 0; d < drivers; ++d) {
+    threads.emplace_back([&, d] {
+      DriverResult& result = results[static_cast<size_t>(d)];
+      const int lo = sessions * d / drivers;
+      const int hi = sessions * (d + 1) / drivers;
+      std::vector<std::unique_ptr<DslogClient>> clients;
+      clients.reserve(static_cast<size_t>(hi - lo));
+      for (int i = lo; i < hi; ++i) {
+        auto c = DslogClient::Connect("127.0.0.1", server.port());
+        if (!c.ok()) {
+          connect_failures.fetch_add(1);
+          continue;
+        }
+        if (!c.value()->OpenStore("bench", /*create=*/false).ok()) {
+          connect_failures.fetch_add(1);
+          continue;
+        }
+        clients.push_back(std::move(c).value());
+      }
+      connected.fetch_add(static_cast<int>(clients.size()));
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+      const BoxTable fwd = BoxTable::FromCells(2, {1, 1, 2, 3});
+      const BoxTable bwd = BoxTable::FromCells(1, {0, 5});
+      for (int round = 0; round < rounds; ++round) {
+        for (size_t k = 0; k < clients.size(); ++k) {
+          WallTimer t;
+          const bool forward = (round + static_cast<int>(k)) % 2 == 0;
+          auto r = forward ? clients[k]->Query({"A", "B", "C"}, fwd)
+                           : clients[k]->Query({"C", "B", "A"}, bwd);
+          result.latencies_ms.push_back(t.ElapsedMillis());
+          ++result.requests;
+          if (!r.ok() || r.value().empty()) ++result.errors;
+        }
+      }
+      for (auto& client : clients)
+        if (!client->Bye().ok()) ++result.errors;
+    });
+  }
+
+  // Wait out phase 1, confirm the concurrency target, then fire.
+  while (connected.load() + connect_failures.load() < sessions)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const int64_t peak_sessions = server.active_sessions();
+  WallTimer query_timer;
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  const double query_seconds = query_timer.ElapsedSeconds();
+  const double total_seconds = total_timer.ElapsedSeconds();
+
+  std::vector<double> all_ms;
+  int64_t requests = 0, errors = 0;
+  for (DriverResult& r : results) {
+    all_ms.insert(all_ms.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+    requests += r.requests;
+    errors += r.errors;
+  }
+  const double p50 = Percentile(&all_ms, 0.50);
+  const double p99 = Percentile(&all_ms, 0.99);
+  const double qps =
+      query_seconds > 0 ? static_cast<double>(requests) / query_seconds : 0;
+  server.Stop();
+  const int64_t protocol_errors =
+      CounterValue("dslog.server.protocol_errors") - proto_errors_before;
+
+  // Admission-control demonstration: a 4-session server hammered by 32
+  // connects must shed the excess with typed kUnavailable answers (and no
+  // protocol errors), while the admitted sessions keep working.
+  int64_t shed_typed = 0, shed_admitted = 0;
+  {
+    ServerOptions tiny;
+    tiny.max_sessions = 4;
+    tiny.worker_threads = 2;
+    DslogServer small(tiny);
+    if (!small.Start().ok()) {
+      std::fprintf(stderr, "tiny server start failed\n");
+      return 1;
+    }
+    std::vector<std::unique_ptr<DslogClient>> held;
+    for (int i = 0; i < 32; ++i) {
+      auto c = DslogClient::Connect("127.0.0.1", small.port());
+      if (c.ok()) {
+        held.push_back(std::move(c).value());
+        ++shed_admitted;
+      } else if (c.status().code() == StatusCode::kUnavailable) {
+        ++shed_typed;
+      }
+    }
+    for (auto& client : held)
+      if (!client->ServerStats().ok()) ++errors;
+  }
+
+  std::printf(
+      "sessions=%d (peak %lld)  requests=%lld  qps=%.0f  p50=%.3fms  "
+      "p99=%.3fms  errors=%lld  protocol_errors=%lld  sheds(typed)=%lld\n",
+      sessions, static_cast<long long>(peak_sessions),
+      static_cast<long long>(requests), qps, p50, p99,
+      static_cast<long long>(errors), static_cast<long long>(protocol_errors),
+      static_cast<long long>(shed_typed));
+
+  json.TopNum("sessions_target", sessions);
+  json.TopNum("peak_sessions", static_cast<double>(peak_sessions));
+  json.TopNum("total_seconds", total_seconds);
+  auto& rec = json.Add();
+  rec.Str("phase", "steady_state")
+      .Num("sessions", static_cast<double>(peak_sessions))
+      .Num("drivers", drivers)
+      .Num("rounds", rounds)
+      .Num("requests", static_cast<double>(requests))
+      .Num("qps", qps)
+      .Num("p50_ms", p50)
+      .Num("p99_ms", p99)
+      .Num("request_errors", static_cast<double>(errors))
+      .Num("protocol_errors", static_cast<double>(protocol_errors))
+      .Num("connect_failures", static_cast<double>(connect_failures.load()));
+  auto& adm = json.Add();
+  adm.Str("phase", "admission_control")
+      .Num("capacity", 4)
+      .Num("offered", 32)
+      .Num("admitted", static_cast<double>(shed_admitted))
+      .Num("shed_typed_unavailable", static_cast<double>(shed_typed));
+
+  const bool ok = protocol_errors == 0 && errors == 0 &&
+                  connect_failures.load() == 0 && peak_sessions >= sessions &&
+                  shed_typed > 0 && shed_admitted == 4;
+  if (!ok) std::fprintf(stderr, "FAILED stress invariants\n");
+  return ok ? 0 : 1;
+}

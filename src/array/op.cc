@@ -1,9 +1,11 @@
 #include "array/op.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/hash.h"
 #include "common/random.h"
+#include "compress/varint.h"
 
 namespace dslog {
 
@@ -50,6 +52,70 @@ std::string OpArgs::ToString() const {
   }
   os << "}";
   return os.str();
+}
+
+void OpArgs::AppendTo(std::string* dst) const {
+  PutVarint64(dst, ints_.size());
+  for (const auto& [k, v] : ints_) {
+    PutLengthPrefixed(dst, k);
+    PutVarintSigned(dst, v);
+  }
+  PutVarint64(dst, doubles_.size());
+  for (const auto& [k, v] : doubles_) {
+    PutLengthPrefixed(dst, k);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(dst, bits);
+  }
+  PutVarint64(dst, int_lists_.size());
+  for (const auto& [k, v] : int_lists_) {
+    PutLengthPrefixed(dst, k);
+    PutVarint64(dst, v.size());
+    for (int64_t x : v) PutVarintSigned(dst, x);
+  }
+}
+
+bool OpArgs::ParseFrom(std::string_view src, size_t* pos) {
+  ints_.clear();
+  doubles_.clear();
+  int_lists_.clear();
+  uint64_t n;
+  std::string key;
+  if (!GetVarint64(src, pos, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t v;
+    if (!GetLengthPrefixed(src, pos, &key)) return false;
+    if (!GetVarintSigned(src, pos, &v)) return false;
+    ints_[key] = v;
+  }
+  if (!GetVarint64(src, pos, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t bits;
+    if (!GetLengthPrefixed(src, pos, &key)) return false;
+    if (!GetFixed64(src, pos, &bits)) return false;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    doubles_[key] = v;
+  }
+  if (!GetVarint64(src, pos, &n)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len;
+    if (!GetLengthPrefixed(src, pos, &key)) return false;
+    if (!GetVarint64(src, pos, &len)) return false;
+    // Bound the reserve by the bytes actually left: each element takes at
+    // least one byte, so a forged length can never balloon the allocation.
+    if (len > src.size() - *pos) return false;
+    std::vector<int64_t> list;
+    list.reserve(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      int64_t x;
+      if (!GetVarintSigned(src, pos, &x)) return false;
+      list.push_back(x);
+    }
+    int_lists_[key] = std::move(list);
+  }
+  return true;
 }
 
 OpArgs ArrayOp::SampleArgs(const std::vector<int64_t>&, Rng*) const {

@@ -58,6 +58,13 @@ class OpArgs {
   uint64_t Hash() const;
   std::string ToString() const;
 
+  /// Appends a self-delimiting binary encoding (map sizes + varint-coded
+  /// entries, deterministic map order) — the wire form of the network
+  /// ingest path. ParseFrom decodes one encoding at `*pos`, advancing it;
+  /// false on truncation or malformed bytes (`*this` unspecified then).
+  void AppendTo(std::string* dst) const;
+  bool ParseFrom(std::string_view src, size_t* pos);
+
   bool operator==(const OpArgs& other) const {
     return ints_ == other.ints_ && doubles_ == other.doubles_ &&
            int_lists_ == other.int_lists_;

@@ -1,0 +1,67 @@
+// CancelToken: cooperative cancellation for multi-hop queries and the
+// network server's sessions. A token is armed once (Cancel is sticky) and
+// polled at coarse boundaries — between query hops, never inside a join
+// inner loop — so the steady-state cost of an unarmed token is one relaxed
+// atomic load per hop. Any thread may Cancel; any thread may poll.
+
+#ifndef DSLOG_COMMON_CANCEL_H_
+#define DSLOG_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dslog {
+
+/// Sticky cancellation flag shared between a requester (a server session's
+/// reactor lane, a user thread) and the query executing on its behalf.
+/// Lifetime is the caller's problem: QueryOptions carries a non-owning
+/// pointer, so the token must outlive every query it is attached to (the
+/// server keeps one shared_ptr per in-flight request).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Sticky and idempotent; safe from any thread.
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called (or an armed CancelAfterPolls
+  /// threshold has fired). Does not count as a poll.
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The cancellation check the execution layers call at each boundary
+  /// (DSLog::ProvQuery before resolving each hop, InSituQuery before
+  /// running each hop's θ-join). Counts the poll, applies the test-only
+  /// auto-cancel threshold, and returns whether work must stop.
+  bool ShouldStop() noexcept {
+    const int64_t poll = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const int64_t after = cancel_after_.load(std::memory_order_relaxed);
+    if (after > 0 && poll >= after) Cancel();
+    return cancelled();
+  }
+
+  /// Test hook: the nth ShouldStop poll (1-based) — and every later one —
+  /// observes cancellation, while polls 1..n-1 pass. Lets tests prove a
+  /// query stops at an exact inter-hop boundary without racing a timer.
+  /// 0 disarms.
+  void CancelAfterPolls(int64_t n) noexcept {
+    cancel_after_.store(n, std::memory_order_relaxed);
+  }
+
+  /// Polls observed so far (test/metrics introspection).
+  int64_t polls() const noexcept {
+    return polls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> polls_{0};
+  std::atomic<int64_t> cancel_after_{0};
+};
+
+}  // namespace dslog
+
+#endif  // DSLOG_COMMON_CANCEL_H_

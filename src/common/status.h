@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kNotSupported = 6,
   kOutOfRange = 7,
   kInternal = 8,
+  kCancelled = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -60,6 +62,23 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// The caller (or its session) asked for the work to stop: not a failure
+  /// of the data or the system, so callers may retry the identical call.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Transient capacity refusal (admission control): the request was valid
+  /// but the system shed it; retry later. The network server's typed
+  /// `Overloaded` response surfaces as this code.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// Builds a Status from a raw (code, message) pair — the wire-decoding
+  /// path of the network layer. kOk ignores the message.
+  static Status FromCode(StatusCode code, std::string msg) {
+    return code == StatusCode::kOk ? OK() : Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

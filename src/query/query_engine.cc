@@ -58,6 +58,11 @@ BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
     // estimates, no clock reads, no atomics inside the kernels.
     BoxTable current = query;
     for (const QueryHop& hop : hops) {
+      // Inter-hop cancellation boundary: a cancelled query abandons its
+      // partial frontier and returns empty (ProvQuery maps the armed token
+      // to Status::Cancelled; bare callers poll the token themselves).
+      if (options.cancel != nullptr && options.cancel->ShouldStop())
+        return BoxTable();
       current = RunHop(hop, current, num_threads, merge, options.join_path,
                        nullptr);
       hops_run.Increment();
@@ -86,6 +91,8 @@ BoxTable InSituQuery(const std::vector<QueryHop>& hops, const BoxTable& query,
 
   BoxTable current = query;
   for (size_t h = 0; h < hops.size(); ++h) {
+    if (options.cancel != nullptr && options.cancel->ShouldStop())
+      return BoxTable();
     const QueryHop& hop = hops[h];
     HopProfile& hp = profile->hops[h];
     hp.forward = hop.forward;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "lineage/lineage_relation.h"
 #include "provrc/compressed_table.h"
 #include "provrc/interval_index.h"
@@ -139,6 +140,15 @@ struct QueryOptions {
   /// the hot path exactly as unprofiled builds always ran it: no planner
   /// estimates, no atomics in join inner loops, no clock reads per hop.
   bool profile = false;
+  /// Cooperative cancellation, polled at hop boundaries only (never inside
+  /// a join inner loop): DSLog::ProvQuery polls before resolving each
+  /// hop's segment, InSituQuery before running each hop's θ-join. Non-
+  /// owning — the token must outlive the query (the network server keeps
+  /// one per in-flight request and cancels it on a Cancel frame or session
+  /// teardown). A cancelled ProvQuery returns Status::Cancelled with every
+  /// hop pin released; a cancelled bare InSituQuery returns an empty
+  /// table. nullptr (the default) costs nothing.
+  CancelToken* cancel = nullptr;
 };
 
 /// Evaluates a multi-hop in-situ query: `query` holds boxes over the first

@@ -382,6 +382,12 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
   std::shared_ptr<const LogStore> store = log_store();
   std::vector<QueryHop> hops;
   for (size_t k = 0; k + 1 < path.size(); ++k) {
+    // Cancellation boundary: poll before paying for this hop's edge lookup,
+    // segment resolve, and index build. Already-built hops' pins release on
+    // return (the hops vector destructs here).
+    if (options.cancel != nullptr && options.cancel->ShouldStop())
+      return Status::Cancelled("query cancelled before hop " +
+                               std::to_string(k));
     Edge edge;
     bool forward;
     // Forward hop: path[k] is the relation's input array; backward hop:
@@ -441,7 +447,17 @@ Result<BoxTable> DSLog::ProvQuery(const std::vector<std::string>& path,
     hop.pin = std::move(pin);
     hops.push_back(std::move(hop));
   }
-  return InSituQuery(hops, query, options, prof ? profile : nullptr);
+  BoxTable result = InSituQuery(hops, query, options, prof ? profile : nullptr);
+  // A token armed mid-execution made InSituQuery bail between hops with an
+  // empty table; surface that as a typed status rather than an (incorrect)
+  // empty answer. Pins release with `hops` on return either way.
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    static metrics::Counter& cancelled =
+        metrics::Registry::Global().counter("dslog.query.cancelled");
+    cancelled.Increment();
+    return Status::Cancelled("query cancelled between hops");
+  }
+  return result;
 }
 
 Result<std::vector<BoxTable>> DSLog::ProvQueryBatch(

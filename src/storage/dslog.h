@@ -118,6 +118,13 @@ class DSLog {
   /// with per-hop observability: edge identity and how each hop's segment
   /// resolved (cache hit / zero-copy borrow / decode, bytes, resolve time)
   /// from this layer, plus the join-execution fields from InSituQuery.
+  ///
+  /// With `options.cancel` set, the query polls the token at every hop
+  /// boundary (before resolving a hop's segment and before running its
+  /// θ-join) and returns Status::Cancelled once it observes cancellation,
+  /// releasing every pin it holds; work inside a hop always runs to
+  /// completion. A query whose token is cancelled concurrently with its
+  /// final hop may return either the full result or Cancelled.
   Result<BoxTable> ProvQuery(const std::vector<std::string>& path,
                              const BoxTable& query,
                              const QueryOptions& options = {},

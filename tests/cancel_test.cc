@@ -1,0 +1,239 @@
+// Cooperative cancellation: CancelToken unit semantics, the exact
+// hop-boundary poll contract of DSLog::ProvQuery + InSituQuery (asserted
+// through the dslog.query.hops counter delta), batch-query cancellation,
+// and the session-teardown guarantee that a dropped StagedIngest commits
+// nothing.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/io.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "query/query_engine.h"
+#include "storage/dslog.h"
+#include "storage/logstore.h"
+#include "test_util.h"
+
+namespace dslog {
+namespace {
+
+using test_util::GenerateDag;
+using test_util::RandomDag;
+using test_util::RegisterDag;
+using test_util::SampleCells;
+
+TEST(CancelTokenTest, StartsClear) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_EQ(token.polls(), 1);
+}
+
+TEST(CancelTokenTest, CancelIsSticky) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_TRUE(token.ShouldStop());
+}
+
+TEST(CancelTokenTest, CancelAfterPollsFiresOnExactPoll) {
+  CancelToken token;
+  token.CancelAfterPolls(3);
+  EXPECT_FALSE(token.ShouldStop());  // poll 1
+  EXPECT_FALSE(token.ShouldStop());  // poll 2
+  EXPECT_TRUE(token.ShouldStop());   // poll 3: armed threshold reached
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.polls(), 3);
+}
+
+TEST(CancelTokenTest, CancelIsVisibleAcrossThreads) {
+  CancelToken token;
+  std::thread t([&token] { token.Cancel(); });
+  t.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+// --------------------------------------------------- ProvQuery contract --
+
+// Ingests a seeded pipeline and returns the forward whole-chain path plus
+// a query covering a few x0 cells.
+struct QueryFixture {
+  RandomDag dag;
+  std::vector<std::string> path;
+  BoxTable query;
+  int hops = 0;
+};
+
+QueryFixture MakeFixture(uint64_t seed, DSLog* log) {
+  QueryFixture f;
+  f.dag = GenerateDag(seed);
+  EXPECT_GE(f.dag.rels.size(), 2u);
+  EXPECT_TRUE(RegisterDag(f.dag, log).ok());
+  f.path = f.dag.names;
+  f.hops = static_cast<int>(f.dag.rels.size());
+  Rng rng(seed + 5);
+  f.query = BoxTable::FromCells(static_cast<int>(f.dag.shapes[0].size()),
+                                SampleCells(f.dag.shapes[0], 6, &rng));
+  return f;
+}
+
+TEST(ProvQueryCancelTest, PreCancelledReturnsCancelledBeforeAnyHop) {
+  DSLog log;
+  QueryFixture f = MakeFixture(3, &log);
+
+  // In-situ leg: a pre-cancelled query must not even resolve segments.
+  const std::string path = ScratchDir() + "/cancel_pre.dsl";
+  ASSERT_TRUE(log.SaveLogStore(path).ok());
+  auto insitu = DSLog::OpenInSitu(path);
+  ASSERT_TRUE(insitu.ok());
+
+  CancelToken token;
+  token.Cancel();
+  QueryOptions options;
+  options.cancel = &token;
+
+  metrics::Counter& hops_run =
+      metrics::Registry::Global().counter("dslog.query.hops");
+  const int64_t hops_before = hops_run.Value();
+  auto r = insitu.value().ProvQuery(f.path, f.query, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(hops_run.Value(), hops_before) << "no hop join may run";
+  EXPECT_EQ(insitu.value().log_store()->stats().decode_count, 0)
+      << "no segment may be resolved for a pre-cancelled query";
+}
+
+// Poll ordering: a K-hop ProvQuery polls K times while building hops
+// (before resolving each segment), then InSituQuery polls once before each
+// hop's θ-join. CancelAfterPolls(K+1) therefore stops after hop-build but
+// before any join; K+2 lets exactly one join run.
+TEST(ProvQueryCancelTest, StopsExactlyBetweenHops) {
+  DSLog log;
+  QueryFixture f = MakeFixture(4, &log);
+  metrics::Counter& hops_run =
+      metrics::Registry::Global().counter("dslog.query.hops");
+
+  {
+    CancelToken token;
+    token.CancelAfterPolls(f.hops + 1);
+    QueryOptions options;
+    options.cancel = &token;
+    const int64_t before = hops_run.Value();
+    auto r = log.ProvQuery(f.path, f.query, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+    EXPECT_EQ(hops_run.Value() - before, 0) << "cancelled before first join";
+  }
+  {
+    CancelToken token;
+    token.CancelAfterPolls(f.hops + 2);
+    QueryOptions options;
+    options.cancel = &token;
+    const int64_t before = hops_run.Value();
+    auto r = log.ProvQuery(f.path, f.query, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+    EXPECT_EQ(hops_run.Value() - before, 1)
+        << "exactly one hop joins before the next boundary poll";
+  }
+}
+
+TEST(ProvQueryCancelTest, UncancelledTokenChangesNothing) {
+  DSLog log;
+  QueryFixture f = MakeFixture(5, &log);
+  auto plain = log.ProvQuery(f.path, f.query);
+  ASSERT_TRUE(plain.ok());
+
+  CancelToken token;
+  QueryOptions options;
+  options.cancel = &token;
+  auto tracked = log.ProvQuery(f.path, f.query, options);
+  ASSERT_TRUE(tracked.ok());
+  EXPECT_EQ(tracked.value().ExpandToCells(), plain.value().ExpandToCells());
+  EXPECT_GE(token.polls(), 2 * f.hops) << "every hop boundary must poll";
+}
+
+TEST(ProvQueryCancelTest, CancelledCounterIncrements) {
+  DSLog log;
+  QueryFixture f = MakeFixture(6, &log);
+  metrics::Counter& cancelled =
+      metrics::Registry::Global().counter("dslog.query.cancelled");
+  const int64_t before = cancelled.Value();
+  CancelToken token;
+  token.CancelAfterPolls(f.hops + 1);
+  QueryOptions options;
+  options.cancel = &token;
+  ASSERT_FALSE(log.ProvQuery(f.path, f.query, options).ok());
+  EXPECT_EQ(cancelled.Value() - before, 1);
+}
+
+TEST(ProvQueryCancelTest, BatchObservesCancellation) {
+  DSLog log;
+  QueryFixture f = MakeFixture(7, &log);
+  std::vector<std::vector<std::string>> paths(4, f.path);
+  std::vector<BoxTable> queries(4, f.query);
+
+  CancelToken token;
+  token.Cancel();
+  QueryOptions options;
+  options.cancel = &token;
+  auto r = log.ProvQueryBatch(paths, queries, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(InSituQueryCancelTest, BareCancelledQueryReturnsEmpty) {
+  DSLog log;
+  QueryFixture f = MakeFixture(8, &log);
+  // Build a one-hop vector by hand through FindEdge.
+  const CompressedTable* table =
+      log.FindEdge(f.dag.names[0], f.dag.names[1]);
+  ASSERT_NE(table, nullptr);
+  std::vector<QueryHop> hops;
+  hops.emplace_back(table, /*forward=*/true);
+
+  CancelToken token;
+  token.Cancel();
+  QueryOptions options;
+  options.cancel = &token;
+  BoxTable out = InSituQuery(hops, f.query, options);
+  EXPECT_TRUE(out.empty());
+  for (bool profile : {false, true}) {
+    QueryProfile prof;
+    options.profile = profile;
+    EXPECT_TRUE(InSituQuery(hops, f.query, options, &prof).empty());
+  }
+}
+
+// ------------------------------------------------- staged-ingest teardown --
+
+TEST(StagedIngestTest, DroppedStagerCommitsNothing) {
+  DSLog log;
+  RandomDag dag = GenerateDag(9);
+  ASSERT_GE(dag.rels.size(), 2u);
+  for (size_t i = 0; i < dag.names.size(); ++i)
+    ASSERT_TRUE(log.DefineArray(dag.names[i], dag.shapes[i]).ok());
+  if (dag.has_branch) {
+    ASSERT_TRUE(log.DefineArray("branch", dag.branch_shape).ok());
+  }
+
+  {
+    StagedIngest stager(&log);
+    for (OperationRegistration& reg : dag.Registrations())
+      ASSERT_TRUE(stager.Add(std::move(reg)).ok());
+    EXPECT_GT(stager.staged(), 0);
+    // Destroyed without Drain — the session-teardown path.
+  }
+  EXPECT_EQ(log.FindEdge(dag.names[0], dag.names[1]), nullptr)
+      << "undrained staged ingest must not commit";
+  EXPECT_EQ(log.StorageFootprintBytes(), 0);
+}
+
+}  // namespace
+}  // namespace dslog

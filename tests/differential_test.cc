@@ -27,108 +27,12 @@
 namespace dslog {
 namespace {
 
+using test_util::GenerateDag;
+using test_util::RandomDag;
+using test_util::RegisterDag;
 using test_util::SampleCells;
 using test_util::ToTupleSet;
 using test_util::TupleSet;
-
-// A random linear pipeline x0 -> x1 -> ... -> xn plus (when generation
-// succeeds) one branch op off an intermediate array, for mixed-direction
-// paths: branch -> x_{branch_from} is a backward hop, the rest forward.
-struct RandomDag {
-  std::vector<std::string> names;  // chain array names x0..xn
-  std::vector<std::vector<int64_t>> shapes;
-  std::vector<std::string> op_names;       // op_names[i]: x_i -> x_{i+1}
-  std::vector<LineageRelation> rels;       // rels[i]: x_i -> x_{i+1}
-  bool has_branch = false;
-  int branch_from = 0;                     // index of the branched array
-  std::string branch_op;
-  std::vector<int64_t> branch_shape;
-  LineageRelation branch_rel;              // x_{branch_from} -> "branch"
-};
-
-RandomDag GenerateDag(uint64_t seed) {
-  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
-  auto pool = OpRegistry::Global().UnaryPipelineNames();
-  RandomDag dag;
-
-  std::vector<NDArray> arrays;
-  arrays.push_back(rng.Bernoulli(0.5) ? NDArray::Random({48}, &rng)
-                                      : NDArray::Random({8, 6}, &rng));
-  dag.names.push_back("x0");
-  dag.shapes.push_back(arrays[0].shape());
-
-  const int target_steps = 3 + static_cast<int>(seed % 3);
-  int guard = 0;
-  while (static_cast<int>(dag.rels.size()) < target_steps && guard < 300) {
-    ++guard;
-    const NDArray& current = arrays.back();
-    const ArrayOp* op =
-        OpRegistry::Global().Find(pool[rng.Uniform(pool.size())]);
-    if (!op->SupportsUnaryShape(current.shape())) continue;
-    OpArgs args = op->SampleArgs(current.shape(), &rng);
-    auto out = op->Apply({&current}, args);
-    if (!out.ok()) continue;
-    NDArray next = out.ValueOrDie();
-    if (next.size() == 0 || next.size() > 20000) continue;
-    auto captured = op->Capture({&current}, next, args);
-    if (!captured.ok() || captured.value()[0].num_rows() == 0) continue;
-    dag.rels.push_back(std::move(captured.ValueOrDie()[0]));
-    dag.op_names.push_back(op->name());
-    arrays.push_back(std::move(next));
-    dag.names.push_back("x" + std::to_string(arrays.size() - 1));
-    dag.shapes.push_back(arrays.back().shape());
-  }
-
-  // Branch op off an intermediate array (never the last, so mixed paths
-  // always have at least one forward hop after the backward one).
-  const int n = static_cast<int>(dag.rels.size());
-  for (int attempt = 0; attempt < 60 && n >= 2 && !dag.has_branch; ++attempt) {
-    int from = 1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(n - 1)));
-    const NDArray& src = arrays[static_cast<size_t>(from)];
-    const ArrayOp* op =
-        OpRegistry::Global().Find(pool[rng.Uniform(pool.size())]);
-    if (!op->SupportsUnaryShape(src.shape())) continue;
-    OpArgs args = op->SampleArgs(src.shape(), &rng);
-    auto out = op->Apply({&src}, args);
-    if (!out.ok()) continue;
-    NDArray b = out.ValueOrDie();
-    if (b.size() == 0 || b.size() > 20000) continue;
-    auto captured = op->Capture({&src}, b, args);
-    if (!captured.ok() || captured.value()[0].num_rows() == 0) continue;
-    dag.has_branch = true;
-    dag.branch_from = from;
-    dag.branch_op = op->name();
-    dag.branch_shape = b.shape();
-    dag.branch_rel = std::move(captured.ValueOrDie()[0]);
-  }
-  return dag;
-}
-
-void RegisterDag(const RandomDag& dag, DSLog* log) {
-  for (size_t i = 0; i < dag.names.size(); ++i)
-    ASSERT_TRUE(log->DefineArray(dag.names[i], dag.shapes[i]).ok());
-  if (dag.has_branch) {
-    ASSERT_TRUE(log->DefineArray("branch", dag.branch_shape).ok());
-  }
-  for (size_t i = 0; i < dag.rels.size(); ++i) {
-    OperationRegistration reg;
-    reg.op_name = dag.op_names[i];
-    reg.in_arrs = {dag.names[i]};
-    reg.out_arr = dag.names[i + 1];
-    reg.captured.push_back(dag.rels[i]);
-    auto outcome = log->RegisterOperation(std::move(reg));
-    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
-  }
-  if (dag.has_branch) {
-    OperationRegistration reg;
-    reg.op_name = dag.branch_op;
-    reg.in_arrs = {dag.names[static_cast<size_t>(dag.branch_from)]};
-    reg.out_arr = "branch";
-    reg.captured.push_back(dag.branch_rel);
-    auto outcome = log->RegisterOperation(std::move(reg));
-    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
-  }
-}
 
 // Runs one path query against every catalog variant (in-memory, forward-
 // materialized, and the save -> OpenInSitu leg) under every knob
@@ -175,9 +79,8 @@ TEST_P(DifferentialPipelineTest, InSituMatchesUncompressedOracle) {
   DSLogOptions mat_options;
   mat_options.materialize_forward = true;
   DSLog materialized(mat_options);
-  RegisterDag(dag, &plain);
-  RegisterDag(dag, &materialized);
-  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_TRUE(RegisterDag(dag, &plain).ok());
+  ASSERT_TRUE(RegisterDag(dag, &materialized).ok());
 
   // In-situ leg: persist the catalog as a LogStore file and serve the same
   // queries through the mapped, lazily-decoded path (at 1 and 4 threads,

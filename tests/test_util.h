@@ -1,6 +1,8 @@
 // Shared helpers for the query-equivalence test suites: flat-tuple set
 // conversion (for set-semantics comparison against the uncompressed
-// oracle) and random cell sampling over an array shape.
+// oracle), random cell sampling over an array shape, and the seeded
+// random-pipeline generator the differential suites (in-process and over
+// the network server) both ingest from.
 
 #ifndef DSLOG_TESTS_TEST_UTIL_H_
 #define DSLOG_TESTS_TEST_UTIL_H_
@@ -8,10 +10,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "array/ndarray.h"
+#include "array/op.h"
+#include "array/op_registry.h"
 #include "common/random.h"
+#include "common/status.h"
+#include "lineage/lineage_relation.h"
+#include "storage/dslog.h"
 
 namespace dslog {
 namespace test_util {
@@ -41,6 +49,115 @@ inline std::vector<int64_t> SampleCells(const std::vector<int64_t>& shape,
     cells.insert(cells.end(), idx.begin(), idx.end());
   }
   return cells;
+}
+
+// A random linear pipeline x0 -> x1 -> ... -> xn plus (when generation
+// succeeds) one branch op off an intermediate array, for mixed-direction
+// paths: branch -> x_{branch_from} is a backward hop, the rest forward.
+struct RandomDag {
+  std::vector<std::string> names;  // chain array names x0..xn
+  std::vector<std::vector<int64_t>> shapes;
+  std::vector<std::string> op_names;  // op_names[i]: x_i -> x_{i+1}
+  std::vector<LineageRelation> rels;  // rels[i]: x_i -> x_{i+1}
+  bool has_branch = false;
+  int branch_from = 0;  // index of the branched array
+  std::string branch_op;
+  std::vector<int64_t> branch_shape;
+  LineageRelation branch_rel;  // x_{branch_from} -> "branch"
+
+  /// The registrations that ingest this pipeline, in chain order (branch
+  /// last). Relations are copied so one dag can feed several catalogs.
+  std::vector<OperationRegistration> Registrations() const {
+    std::vector<OperationRegistration> regs;
+    for (size_t i = 0; i < rels.size(); ++i) {
+      OperationRegistration reg;
+      reg.op_name = op_names[i];
+      reg.in_arrs = {names[i]};
+      reg.out_arr = names[i + 1];
+      reg.captured.push_back(rels[i]);
+      regs.push_back(std::move(reg));
+    }
+    if (has_branch) {
+      OperationRegistration reg;
+      reg.op_name = branch_op;
+      reg.in_arrs = {names[static_cast<size_t>(branch_from)]};
+      reg.out_arr = "branch";
+      reg.captured.push_back(branch_rel);
+      regs.push_back(std::move(reg));
+    }
+    return regs;
+  }
+};
+
+inline RandomDag GenerateDag(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  auto pool = OpRegistry::Global().UnaryPipelineNames();
+  RandomDag dag;
+
+  std::vector<NDArray> arrays;
+  arrays.push_back(rng.Bernoulli(0.5) ? NDArray::Random({48}, &rng)
+                                      : NDArray::Random({8, 6}, &rng));
+  dag.names.push_back("x0");
+  dag.shapes.push_back(arrays[0].shape());
+
+  const int target_steps = 3 + static_cast<int>(seed % 3);
+  int guard = 0;
+  while (static_cast<int>(dag.rels.size()) < target_steps && guard < 300) {
+    ++guard;
+    const NDArray& current = arrays.back();
+    const ArrayOp* op =
+        OpRegistry::Global().Find(pool[rng.Uniform(pool.size())]);
+    if (!op->SupportsUnaryShape(current.shape())) continue;
+    OpArgs args = op->SampleArgs(current.shape(), &rng);
+    auto out = op->Apply({&current}, args);
+    if (!out.ok()) continue;
+    NDArray next = out.ValueOrDie();
+    if (next.size() == 0 || next.size() > 20000) continue;
+    auto captured = op->Capture({&current}, next, args);
+    if (!captured.ok() || captured.value()[0].num_rows() == 0) continue;
+    dag.rels.push_back(std::move(captured.ValueOrDie()[0]));
+    dag.op_names.push_back(op->name());
+    arrays.push_back(std::move(next));
+    dag.names.push_back("x" + std::to_string(arrays.size() - 1));
+    dag.shapes.push_back(arrays.back().shape());
+  }
+
+  // Branch op off an intermediate array (never the last, so mixed paths
+  // always have at least one forward hop after the backward one).
+  const int n = static_cast<int>(dag.rels.size());
+  for (int attempt = 0; attempt < 60 && n >= 2 && !dag.has_branch; ++attempt) {
+    int from = 1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(n - 1)));
+    const NDArray& src = arrays[static_cast<size_t>(from)];
+    const ArrayOp* op =
+        OpRegistry::Global().Find(pool[rng.Uniform(pool.size())]);
+    if (!op->SupportsUnaryShape(src.shape())) continue;
+    OpArgs args = op->SampleArgs(src.shape(), &rng);
+    auto out = op->Apply({&src}, args);
+    if (!out.ok()) continue;
+    NDArray b = out.ValueOrDie();
+    if (b.size() == 0 || b.size() > 20000) continue;
+    auto captured = op->Capture({&src}, b, args);
+    if (!captured.ok() || captured.value()[0].num_rows() == 0) continue;
+    dag.has_branch = true;
+    dag.branch_from = from;
+    dag.branch_op = op->name();
+    dag.branch_shape = b.shape();
+    dag.branch_rel = std::move(captured.ValueOrDie()[0]);
+  }
+  return dag;
+}
+
+/// Defines the dag's arrays and registers every operation into `log`.
+inline Status RegisterDag(const RandomDag& dag, DSLog* log) {
+  for (size_t i = 0; i < dag.names.size(); ++i)
+    DSLOG_RETURN_IF_ERROR(log->DefineArray(dag.names[i], dag.shapes[i]));
+  if (dag.has_branch)
+    DSLOG_RETURN_IF_ERROR(log->DefineArray("branch", dag.branch_shape));
+  for (OperationRegistration& reg : dag.Registrations()) {
+    auto outcome = log->RegisterOperation(std::move(reg));
+    if (!outcome.ok()) return outcome.status();
+  }
+  return Status::OK();
 }
 
 }  // namespace test_util
