@@ -86,6 +86,17 @@ DslogClient::~DslogClient() {
 
 Status DslogClient::SendFrame(Opcode opcode, uint32_t request_id,
                               std::string_view payload) {
+  // The server's decoder drops the whole session on an oversized frame;
+  // failing here is a typed, recoverable error instead. hello_ holds the
+  // protocol default until the handshake overwrites it with the server's
+  // advertised cap; a nonsensical advertisement falls back to our own.
+  const int64_t limit = hello_.max_frame_bytes > 0 ? hello_.max_frame_bytes
+                                                   : options_.max_frame_bytes;
+  if (static_cast<int64_t>(payload.size()) > limit)
+    return Status::InvalidArgument(
+        "request payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the server's " + std::to_string(limit) +
+        "-byte frame limit");
   std::string frame;
   frame.reserve(payload.size() + 9);
   AppendFrame(&frame, opcode, request_id, payload);
@@ -178,7 +189,7 @@ Result<std::pair<uint64_t, uint64_t>> DslogClient::ReserveOpIds(
 }
 
 Result<int64_t> DslogClient::ShipIngestBlock(uint64_t num_ops,
-                                             std::string block) {
+                                             std::string_view block) {
   std::string payload;
   payload.reserve(block.size() + 4);
   PutVarint64(&payload, num_ops);
@@ -257,9 +268,11 @@ Result<uint64_t> IngestHandle::Add(const OperationRegistration& reg) {
 
 Status IngestHandle::Flush() {
   if (ops_in_block_ == 0) return Status::OK();
-  DSLOG_ASSIGN_OR_RETURN(
-      int64_t staged,
-      client_->ShipIngestBlock(ops_in_block_, std::move(block_)));
+  // The block is only surrendered on success: a failed ship leaves
+  // block_/ops_in_block_ intact, so a retried Flush/Drain resends the same
+  // ops instead of an empty block claiming them.
+  DSLOG_ASSIGN_OR_RETURN(int64_t staged,
+                         client_->ShipIngestBlock(ops_in_block_, block_));
   (void)staged;
   block_.clear();
   ops_in_block_ = 0;

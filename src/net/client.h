@@ -64,8 +64,9 @@ class DslogClient {
   Result<std::pair<uint64_t, uint64_t>> ReserveOpIds(uint64_t count);
 
   /// Ships one pre-encoded ingest data block (varint op count + encoded
-  /// WireOperations). Returns the server's total staged count.
-  Result<int64_t> ShipIngestBlock(uint64_t num_ops, std::string block);
+  /// WireOperations). Returns the server's total staged count. Takes a
+  /// view: on failure the caller still owns the block and may retry.
+  Result<int64_t> ShipIngestBlock(uint64_t num_ops, std::string_view block);
 
   /// Commits everything this session staged; one outcome per staged op.
   Result<std::vector<ReuseOutcome>> Drain();

@@ -157,9 +157,13 @@ bool IngestBatchRequest::Decode(std::string_view payload,
   uint64_t n = 0;
   if (!GetVarint64(payload, &pos, &n)) return false;
   if (n > payload.size() - pos) return false;
-  out->ops.resize(n);
+  // Decode incrementally: a WireOperation is hundreds of bytes in memory
+  // but can be forged in ~1 wire byte, so an up-front resize(n) would let
+  // one frame balloon an allocation ~200x past the payload it carries.
+  out->ops.clear();
   for (uint64_t i = 0; i < n; ++i) {
-    if (!GetWireOperation(payload, &pos, &out->ops[i])) return false;
+    out->ops.emplace_back();
+    if (!GetWireOperation(payload, &pos, &out->ops.back())) return false;
   }
   return AtEnd(payload, pos);
 }
@@ -220,9 +224,13 @@ bool QueryRequest::Decode(std::string_view payload, QueryRequest* out) {
   uint64_t n = 0;
   if (!GetVarint64(payload, &pos, &n)) return false;
   if (n > payload.size() - pos) return false;
-  out->path.resize(n);
+  // push_back, not resize(n): a forged count must not allocate 32x the
+  // bytes actually present (sizeof(std::string) per 1-byte wire entry).
+  out->path.clear();
   for (uint64_t i = 0; i < n; ++i) {
-    if (!GetString(payload, &pos, &out->path[i])) return false;
+    std::string elem;
+    if (!GetString(payload, &pos, &elem)) return false;
+    out->path.push_back(std::move(elem));
   }
   return GetBoxTable(payload, &pos, &out->query) &&
          GetQueryOptions(payload, &pos, &out->options) && AtEnd(payload, pos);

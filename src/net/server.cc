@@ -112,23 +112,33 @@ struct DslogServer::Impl {
     SetNonBlocking(wake_read);
     SetNonBlocking(wake_write);
 
+    // Start() failing must not leak fds: started stays false, so Stop()
+    // never runs and nothing else would close them.
+    const auto fail = [this](Status status) {
+      if (listen_fd >= 0) ::close(listen_fd);
+      ::close(wake_read);
+      ::close(wake_write);
+      listen_fd = wake_read = wake_write = -1;
+      return status;
+    };
+
     listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd < 0) return Status::IOError("socket() failed");
+    if (listen_fd < 0) return fail(Status::IOError("socket() failed"));
     int one = 1;
     ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<uint16_t>(options.port));
     if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1)
-      return Status::InvalidArgument("host must be a numeric IPv4 address: " +
-                                     options.host);
+      return fail(Status::InvalidArgument(
+          "host must be a numeric IPv4 address: " + options.host));
     if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
         0)
-      return Status::IOError("bind(" + options.host + ":" +
-                             std::to_string(options.port) +
-                             ") failed: " + std::strerror(errno));
+      return fail(Status::IOError("bind(" + options.host + ":" +
+                                  std::to_string(options.port) +
+                                  ") failed: " + std::strerror(errno)));
     if (::listen(listen_fd, 512) != 0)
-      return Status::IOError("listen() failed");
+      return fail(Status::IOError("listen() failed"));
     SetNonBlocking(listen_fd);
 
     sockaddr_in bound{};
@@ -505,6 +515,24 @@ struct DslogServer::Impl {
                      std::string_view payload) {
     static metrics::Counter& bytes_out =
         metrics::Registry::Global().counter("dslog.server.bytes_written");
+    static metrics::Counter& oversize =
+        metrics::Registry::Global().counter("dslog.server.oversize_responses");
+    // A response the client's decoder would reject (it sizes its decoder
+    // to our advertised cap) must not be sent: the client would declare
+    // the stream unsalvageable. Answer with a small typed error instead.
+    if (static_cast<int64_t>(payload.size()) > options.max_frame_bytes) {
+      oversize.Increment();
+      const std::string err = EncodeStatusPayload(Status::OutOfRange(
+          "response of " + std::to_string(payload.size()) +
+          " bytes exceeds the frame limit"));
+      if (opcode == Opcode::kError ||
+          static_cast<int64_t>(err.size()) > options.max_frame_bytes) {
+        Teardown(s);  // even the error is unrepresentable within the cap
+        return;
+      }
+      WriteResponse(s, Opcode::kError, request_id, err);
+      return;
+    }
     std::string frame;
     frame.reserve(payload.size() + 9);
     AppendFrame(&frame, opcode, request_id, payload);

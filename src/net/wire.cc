@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <vector>
 
+#include "common/check.h"
 #include "compress/varint.h"
 #include "provrc/interval.h"
 
@@ -20,6 +22,12 @@ constexpr uint64_t kMaxWireNdim = 64;
 
 void AppendFrame(std::string* dst, Opcode opcode, uint32_t request_id,
                  std::string_view payload) {
+  // The length prefix is 32-bit; a payload the prefix cannot represent
+  // would silently corrupt the stream. Senders bound payloads against the
+  // negotiated max_frame_bytes long before this, so tripping here is a
+  // caller bug, not remote input.
+  DSLOG_CHECK(payload.size() <=
+              std::numeric_limits<uint32_t>::max() - kFrameOverhead);
   PutFixed32(dst, static_cast<uint32_t>(payload.size()) + kFrameOverhead);
   dst->push_back(static_cast<char>(opcode));
   PutFixed32(dst, request_id);
@@ -108,7 +116,9 @@ bool GetInt64Vector(std::string_view src, size_t* pos,
   // Each element costs at least one byte, bounding a forged count.
   if (n > src.size() - *pos) return false;
   out->clear();
-  out->reserve(n);
+  // Cap the up-front reserve: n is byte-bounded but one wire byte maps to
+  // eight allocated bytes, so let large vectors grow as bytes decode.
+  out->reserve(static_cast<size_t>(std::min<uint64_t>(n, 4096)));
   for (uint64_t i = 0; i < n; ++i) {
     int64_t x;
     if (!GetVarintSigned(src, pos, &x)) return false;
@@ -133,8 +143,15 @@ bool GetBoxTable(std::string_view src, size_t* pos, BoxTable* out) {
   if (!GetVarint64(src, pos, &ndim)) return false;
   if (ndim > kMaxWireNdim) return false;
   if (!GetVarint64(src, pos, &boxes)) return false;
-  // Two varints per interval, one byte minimum each.
-  if (ndim > 0 && boxes > (src.size() - *pos) / (2 * ndim)) return false;
+  // Two varints per interval, one byte minimum each. A 0-dim table never
+  // carries boxes (num_boxes() is defined as 0 then), so a nonzero count
+  // with ndim==0 is forged — without this check it would spin the decode
+  // loop ~2^64 times on zero-byte boxes.
+  if (ndim == 0) {
+    if (boxes > 0) return false;
+  } else if (boxes > (src.size() - *pos) / (2 * ndim)) {
+    return false;
+  }
   *out = BoxTable(static_cast<int>(ndim));
   std::vector<Interval> box(static_cast<size_t>(ndim));
   for (uint64_t b = 0; b < boxes; ++b) {
@@ -169,10 +186,19 @@ bool GetLineageRelation(std::string_view src, size_t* pos,
   uint64_t rows = 0;
   if (!GetVarint64(src, pos, &rows)) return false;
   const uint64_t arity = out_ndim + in_ndim;
-  if (arity > 0 && rows > (src.size() - *pos) / arity) return false;
+  // An arity-0 relation never carries rows (num_rows() is defined as 0
+  // then); a nonzero forged count would otherwise spin on zero-byte rows.
+  if (arity == 0) {
+    if (rows > 0) return false;
+  } else if (rows > (src.size() - *pos) / arity) {
+    return false;
+  }
   *out = LineageRelation(static_cast<int>(out_ndim), static_cast<int>(in_ndim));
   out->set_shapes(std::move(out_shape), std::move(in_shape));
-  out->Reserve(static_cast<int64_t>(rows));
+  // `rows` is bounded by payload bytes, but reserving it all up front
+  // still multiplies attacker bytes by sizeof(int64_t)*arity; let growth
+  // track what actually decodes instead.
+  out->Reserve(static_cast<int64_t>(std::min<uint64_t>(rows, 4096)));
   std::vector<int64_t> tuple(static_cast<size_t>(arity));
   for (uint64_t r = 0; r < rows; ++r) {
     for (uint64_t i = 0; i < arity; ++i) {

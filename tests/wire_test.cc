@@ -159,6 +159,18 @@ TEST(WireCodecTest, BoxTableRejectsForgedBoxCount) {
   EXPECT_FALSE(GetBoxTable(buf, &pos, &out));
 }
 
+TEST(WireCodecTest, BoxTableRejectsZeroDimForgedBoxCount) {
+  // ndim==0 makes each box zero bytes, so the byte bound alone cannot
+  // catch a forged count — decode must reject it outright instead of
+  // spinning ~2^61 iterations (a legit 0-dim table always encodes 0).
+  std::string buf;
+  PutVarint64(&buf, 0);           // ndim
+  PutVarint64(&buf, 1ull << 61);  // boxes
+  size_t pos = 0;
+  BoxTable out;
+  EXPECT_FALSE(GetBoxTable(buf, &pos, &out));
+}
+
 LineageRelation MakeRelation() {
   LineageRelation rel(1, 2);
   rel.set_shapes({4}, {4, 3});
@@ -182,6 +194,30 @@ TEST(WireCodecTest, LineageRelationRoundTrip) {
   EXPECT_EQ(out.out_shape(), rel.out_shape());
   EXPECT_EQ(out.in_shape(), rel.in_shape());
   EXPECT_EQ(out.flat(), rel.flat());
+}
+
+TEST(WireCodecTest, LineageRelationRejectsZeroArityForgedRowCount) {
+  // Same hole as the 0-dim BoxTable: arity 0 rows are zero bytes each.
+  std::string buf;
+  PutVarint64(&buf, 0);                     // out_ndim
+  PutVarint64(&buf, 0);                     // in_ndim
+  PutInt64Vector(&buf, {});                 // out_shape
+  PutInt64Vector(&buf, {});                 // in_shape
+  PutVarint64(&buf, 1ull << 61);            // rows
+  size_t pos = 0;
+  LineageRelation out;
+  EXPECT_FALSE(GetLineageRelation(buf, &pos, &out));
+}
+
+TEST(WireCodecTest, ZeroArityRelationWithZeroRowsRoundTrips) {
+  const LineageRelation rel(0, 0);
+  std::string buf;
+  PutLineageRelation(&buf, rel);
+  size_t pos = 0;
+  LineageRelation out;
+  ASSERT_TRUE(GetLineageRelation(buf, &pos, &out));
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(out.num_rows(), 0);
 }
 
 TEST(WireCodecTest, QueryOptionsRoundTrip) {
@@ -335,6 +371,19 @@ TEST(ProtocolTest, IngestBatchRoundTrip) {
   IngestBatchResponse dresp;
   ASSERT_TRUE(IngestBatchResponse::Decode(resp.Encode(), &dresp));
   EXPECT_EQ(dresp.staged, 42);
+}
+
+TEST(ProtocolTest, IngestBatchRejectsForgedOpCountWithoutBallooning) {
+  // A count that passes the byte bound but exceeds the ops present must
+  // fail on the first missing op, with allocation tracking decoded bytes
+  // (not count * sizeof(WireOperation)).
+  std::string buf;
+  PutVarint64(&buf, 1000);
+  buf.append(1000, '\0');  // bytes exist, but they are not 1000 ops
+  IngestBatchRequest out;
+  EXPECT_FALSE(IngestBatchRequest::Decode(buf, &out));
+  EXPECT_LT(out.ops.size(), 1000u)
+      << "allocation must track decoded bytes, not the forged count";
 }
 
 TEST(ProtocolTest, DrainResponseRoundTrip) {
@@ -826,6 +875,68 @@ TEST(AdversarialWireTest, SeededFuzzNeverKillsTheServer) {
   }
   ExpectServiceable(*server);
   AwaitNoSessions(*server);
+}
+
+TEST(AdversarialWireTest, ZeroDimForgedBoxCountQueryAnswersPromptly) {
+  // The forged payload that used to pin a worker thread forever: a Query
+  // whose BoxTable claims ndim=0 with ~2^61 boxes. Decode must reject it
+  // immediately and answer a typed error.
+  auto server = StartServer();
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Hello());
+  std::string payload;
+  PutVarint64(&payload, 0);           // empty path
+  PutVarint64(&payload, 0);           // BoxTable ndim
+  PutVarint64(&payload, 1ull << 61);  // BoxTable boxes
+  ASSERT_TRUE(conn.SendFrame(Opcode::kQuery, 5, payload));
+  auto err = conn.ReadFrame();  // RawConn's 5 s recv timeout bounds this
+  ASSERT_TRUE(err.has_value()) << "decode spun instead of rejecting";
+  EXPECT_EQ(err->opcode, static_cast<uint8_t>(Opcode::kError));
+  EXPECT_EQ(err->request_id, 5u);
+  ExpectServiceable(*server);
+}
+
+TEST(AdversarialWireTest, OversizedResponseAnswersTypedErrorNotCorruption) {
+  // With a tiny frame cap the StatsOk JSON cannot be framed; the server
+  // must answer a (small) typed error rather than emit a frame the
+  // client's decoder would treat as an unsalvageable stream.
+  ServerOptions options;
+  options.max_frame_bytes = 128;  // the typed error fits, StatsOk does not
+  auto server = StartServer(options);
+  RawConn conn(server->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Hello());
+  ASSERT_TRUE(conn.SendFrame(Opcode::kStats, 3, ""));
+  auto f = conn.ReadFrame();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->opcode, static_cast<uint8_t>(Opcode::kError));
+  EXPECT_EQ(f->request_id, 3u);
+  EXPECT_EQ(DecodeStatusPayload(f->payload).code(), StatusCode::kOutOfRange);
+  // Framing stayed intact; the session still works for small responses.
+  ASSERT_TRUE(conn.SendFrame(Opcode::kBye, 4, ""));
+  auto bye = conn.ReadFrame();
+  ASSERT_TRUE(bye.has_value());
+  EXPECT_EQ(bye->opcode, static_cast<uint8_t>(Opcode::kByeOk));
+}
+
+TEST(AdversarialWireTest, ClientRefusesRequestBeyondNegotiatedFrameCap) {
+  ServerOptions options;
+  options.max_frame_bytes = 1 << 10;
+  auto server = StartServer(options);
+  auto connected = DslogClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(connected.ok());
+  std::unique_ptr<DslogClient> client = std::move(connected).value();
+  EXPECT_EQ(client->server_hello().max_frame_bytes, 1 << 10);
+  ASSERT_TRUE(client->OpenStore("t", true).ok());
+  // A query whose encoding exceeds the server's cap fails client-side
+  // with a typed error instead of getting the session torn down.
+  std::vector<std::string> path = {std::string(4096, 'a')};
+  Result<BoxTable> r = client->Query(path, BoxTable(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The refused request never hit the wire; the session still works.
+  EXPECT_TRUE(client->Bye().ok());
 }
 
 }  // namespace
